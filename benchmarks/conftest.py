@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper. Default
+parameters are scaled for quick runs; set ``REPRO_FULL=1`` to use the
+full SPEC stand-in suite and larger miss budgets (minutes instead of
+seconds). Every bench prints the rows/series the paper reports so the
+output can be compared side by side with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_run() -> bool:
+    """True when REPRO_FULL=1 requests paper-scale runs."""
+    return bool(os.environ.get("REPRO_FULL"))
+
+
+@pytest.fixture
+def bench_benchmarks():
+    """Benchmark subset: 3 representative locality classes, or all 11."""
+    if full_run():
+        from repro.workloads.spec import benchmark_names
+
+        return benchmark_names()
+    return ["hmmer", "libq", "mcf"]
+
+
+@pytest.fixture
+def bench_misses():
+    """LLC miss budget per benchmark point."""
+    return 20_000 if full_run() else 1_500
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""Ablation bench: PLB associativity (§7.1.3) and PLB value."""
+
+from conftest import run_once
+
+from repro.eval import ablation_plb
+
+
+def test_plb_associativity(benchmark, bench_benchmarks, bench_misses):
+    ratios = run_once(
+        benchmark,
+        ablation_plb.associativity_sweep,
+        benchmarks=bench_benchmarks,
+        misses=bench_misses,
+    )
+    print()
+    print("PLB associativity ablation (paper: full-assoc gains <= 10%)")
+    for ways, ratio in ratios.items():
+        print(f"  {ways}-way vs direct-mapped: {ratio:.3f}")
+    assert ratios[1] == 1.0
+    # Higher associativity may help but never by more than ~10%.
+    for ways in (2, 4, 8):
+        assert ratios[ways] > 0.85
+        assert ratios[ways] < 1.05
+
+
+def test_plb_value(benchmark, bench_benchmarks, bench_misses):
+    ratios = run_once(
+        benchmark,
+        ablation_plb.plb_value,
+        benchmarks=bench_benchmarks,
+        misses=bench_misses,
+    )
+    print()
+    print("Value of the PLB (no-PLB runtime / 64KB-PLB runtime)")
+    for name, ratio in ratios.items():
+        print(f"  {name:>7}: {ratio:.2f}x")
+    # High-locality workloads gain the most; even mcf must not lose.
+    assert max(ratios.values()) > 1.2
+    assert min(ratios.values()) >= 0.95

@@ -1,0 +1,21 @@
+"""Figure 3 bench: recursion overhead curves across capacities."""
+
+from conftest import run_once
+
+from repro.eval import fig3
+
+
+def test_fig3_recursion_overhead(benchmark):
+    data = run_once(benchmark, fig3.run)
+    print()
+    caps = [c for c, _ in next(iter(data.values()))]
+    print("Fig 3 — % bytes from PosMap ORAMs (paper at 4 GB: b64 56%, b128 39%)")
+    print("log2(cap):", " ".join(f"{c:5d}" for c in caps))
+    for label, points in data.items():
+        print(f"{label:>12}:", " ".join(f"{100 * f:5.1f}" for _, f in points))
+    # Shape assertions: the headline points and the growth trend.
+    b64 = dict(data["b64_pm8"])
+    b128 = dict(data["b128_pm8"])
+    assert abs(b64[32] - 0.56) < 0.03
+    assert abs(b128[32] - 0.39) < 0.04
+    assert b64[40] > b64[30]

@@ -1,0 +1,87 @@
+"""Scenario: a cloud key-value store whose access pattern leaks nothing.
+
+The paper's motivation (§1): a data centre can watch which memory
+locations a computation touches and reconstruct secrets from the pattern
+alone. This example builds a small key-value store on top of the ORAM
+and shows that two very different query workloads — a targeted lookup
+storm against one hot record vs a uniform scan — produce externally
+indistinguishable DRAM traces, while the same workloads over plain
+memory are trivially distinguishable.
+
+Run:  python examples/secure_cloud_database.py
+"""
+
+from typing import Dict, List
+
+from repro import DeterministicRng, pc_x32
+from repro.adversary.observer import TraceObserver
+from repro.utils.stats import chi_square_uniform
+
+NUM_BLOCKS = 2**12
+RECORD_BYTES = 64
+
+
+class ObliviousKeyValueStore:
+    """Fixed-capacity KV store with ORAM-backed record storage."""
+
+    def __init__(self, seed: int, observer: TraceObserver):
+        self._oram = pc_x32(
+            num_blocks=NUM_BLOCKS, rng=DeterministicRng(seed), observer=observer
+        )
+        self._directory: Dict[str, int] = {}
+        self._next_slot = 0
+
+    def put(self, key: str, value: bytes) -> None:
+        if key not in self._directory:
+            self._directory[key] = self._next_slot
+            self._next_slot += 1
+        padded = value.ljust(RECORD_BYTES, b"\x00")[:RECORD_BYTES]
+        self._oram.write(self._directory[key], padded)
+
+    def get(self, key: str) -> bytes:
+        return self._oram.read(self._directory[key]).rstrip(b"\x00")
+
+
+def run_workload(queries: List[str], seed: int) -> List[int]:
+    """Run a query stream and return the adversary-visible leaf trace."""
+    observer = TraceObserver()
+    store = ObliviousKeyValueStore(seed, observer)
+    for user in range(256):
+        store.put(f"user:{user}", f"balance={user * 17}".encode())
+    observer.clear()  # adversary starts watching after load
+    for key in queries:
+        store.get(key)
+    return observer.leaf_sequence(0)
+
+
+def main() -> None:
+    hot_queries = ["user:42"] * 512  # an attacker-interesting pattern
+    scan_queries = [f"user:{i % 256}" for i in range(512)]
+
+    hot_trace = run_workload(hot_queries, seed=7)
+    scan_trace = run_workload(scan_queries, seed=7)
+
+    print("Oblivious store — DRAM-visible path traces:")
+    for name, trace in (("hot-record storm", hot_trace), ("uniform scan", scan_trace)):
+        counts = [0] * 64
+        for leaf in trace:
+            counts[leaf % 64] += 1
+        stat, dof = chi_square_uniform(counts)
+        print(
+            f"  {name:>17}: {len(trace)} path reads, "
+            f"leaf chi2/dof = {stat / dof:.2f} (uniform ~1.0)"
+        )
+    print("  -> both traces are uniform random paths; the adversary learns")
+    print("     only the trace length, never *which* record is hot.\n")
+
+    # Contrast: plain memory leaks the hot address immediately.
+    plain_hot = [hash(q) % NUM_BLOCKS for q in hot_queries]
+    plain_scan = [hash(q) % NUM_BLOCKS for q in scan_queries]
+    print("Plain (non-ORAM) store address traces:")
+    print(f"  hot-record storm touches {len(set(plain_hot))} distinct address(es)")
+    print(f"  uniform scan touches     {len(set(plain_scan))} distinct addresses")
+    print("  -> without ORAM the access pattern identifies the hot record.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Shim for environments without the `wheel` package, where PEP 660
+# editable installs are unavailable; `pip install -e .` falls back to
+# `setup.py develop` via this file. All metadata lives in pyproject.toml.
+setup()

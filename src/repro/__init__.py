@@ -1,0 +1,77 @@
+"""Freecursive ORAM — reproduction of Fletcher et al., ASPLOS 2015.
+
+A complete, pure-Python implementation of "Freecursive ORAM: [Nearly]
+Free Recursion and Integrity Verification for Position-based Oblivious
+RAM": Path ORAM backend, Recursive ORAM baseline, the PosMap Lookaside
+Buffer with a Unified ORAM tree (S4), compressed PosMap (S5), PMMAC
+integrity verification (S6), and the full evaluation substrate (DDR3
+timing model, cache hierarchy, SPEC stand-in workloads, ASIC area model).
+
+Quickstart::
+
+    from repro import pic_x32, Op
+
+    oram = pic_x32(num_blocks=2**14)       # PLB + compression + PMMAC
+    oram.write(7, b"secret".ljust(64, b"\\0"))
+    assert oram.read(7).startswith(b"secret")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import FrontendTimings, OramConfig, ProcessorConfig
+from repro.crypto.suite import CryptoSuite
+from repro.errors import (
+    BlockNotFoundError,
+    ConfigurationError,
+    IntegrityViolationError,
+    ReproError,
+    StashOverflowError,
+)
+from repro.frontend.linear import LinearFrontend
+from repro.frontend.recursive import RecursiveFrontend
+from repro.frontend.unified import PlbFrontend
+from repro.presets import (
+    SCHEMES,
+    build_frontend,
+    p_x16,
+    pc_x32,
+    pc_x64,
+    phantom_4kb,
+    pi_x8,
+    pic_x32,
+    r_x8,
+)
+from repro.utils.rng import DeterministicRng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Op",
+    "PathOramBackend",
+    "OramConfig",
+    "ProcessorConfig",
+    "FrontendTimings",
+    "CryptoSuite",
+    "ReproError",
+    "StashOverflowError",
+    "IntegrityViolationError",
+    "BlockNotFoundError",
+    "ConfigurationError",
+    "LinearFrontend",
+    "RecursiveFrontend",
+    "PlbFrontend",
+    "SCHEMES",
+    "build_frontend",
+    "r_x8",
+    "p_x16",
+    "pc_x32",
+    "pc_x64",
+    "pi_x8",
+    "pic_x32",
+    "phantom_4kb",
+    "DeterministicRng",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Adversary models from the threat model (§2).
+
+- :class:`~repro.adversary.observer.TraceObserver` — the passive data-centre
+  adversary: records the DRAM-visible access sequence (which tree, which
+  path) for distinguishability analysis.
+- :class:`~repro.adversary.tamper.Tamperer` — the active adversary: flips
+  ciphertext bits, replays stale bucket images, and rolls back encryption
+  seeds against an :class:`~repro.storage.encrypted.EncryptedTreeStorage`.
+"""
+
+from repro.adversary.observer import AccessEvent, TraceObserver
+from repro.adversary.tamper import Tamperer
+
+__all__ = ["AccessEvent", "TraceObserver", "Tamperer"]

@@ -1,0 +1,94 @@
+"""Passive adversary: records the externally visible access sequence.
+
+The security definition (§2) says the adversary sees the randomized data
+request sequence — for Path ORAM, a series of path reads/writes to one or
+more physical trees. :class:`TraceObserver` captures exactly that view:
+``(tree_id, kind, leaf)`` events, without any plaintext. The §4.1.2
+PLB-insecurity reproduction compares these traces across programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One externally visible path operation."""
+
+    tree_id: int
+    kind: str  # "read" or "write"
+    leaf: int
+
+
+class TraceObserver:
+    """Collects the DRAM-visible trace for one or more ORAM trees.
+
+    A single observer may be shared by several trees (the Recursive ORAM
+    baseline has H physical trees); each registers with a distinct
+    ``tree_id`` via :meth:`for_tree`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[AccessEvent] = []
+
+    def for_tree(self, tree_id: int) -> "_TreeView":
+        """Adapter bound to one tree id (what storages call into)."""
+        return _TreeView(self, tree_id)
+
+    def record(self, tree_id: int, kind: str, leaf: int) -> None:
+        """Append one event."""
+        self.events.append(AccessEvent(tree_id, kind, leaf))
+
+    # -- analysis helpers ------------------------------------------------------
+
+    def tree_sequence(self) -> List[int]:
+        """Sequence of tree ids touched by read events (the §4.1.2 view)."""
+        return [e.tree_id for e in self.events if e.kind == "read"]
+
+    def leaf_sequence(self, tree_id: int = 0) -> List[int]:
+        """Leaves of read events against one tree."""
+        return [e.leaf for e in self.events if e.kind == "read" and e.tree_id == tree_id]
+
+    def leaf_histogram(self, tree_id: int, num_leaves: int) -> List[int]:
+        """Per-leaf read counts (for uniformity chi-square tests)."""
+        counts = [0] * num_leaves
+        for leaf in self.leaf_sequence(tree_id):
+            counts[leaf] += 1
+        return counts
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _TreeView:
+    """Observer facade with the storage-facing callback interface."""
+
+    def __init__(self, parent: TraceObserver, tree_id: int):
+        self._parent = parent
+        self._tree_id = tree_id
+
+    def on_path_read(self, leaf: int, indices: Sequence[int]) -> None:
+        self._parent.record(self._tree_id, "read", leaf)
+
+    def on_path_write(self, leaf: int, indices: Sequence[int]) -> None:
+        self._parent.record(self._tree_id, "write", leaf)
+
+
+def distinguish_by_tree_pattern(
+    trace_a: Sequence[int], trace_b: Sequence[int]
+) -> bool:
+    """Return True if two tree-id traces are trivially distinguishable.
+
+    This is the distinguisher from §4.1.2: compare the *pattern* of which
+    tree each access touches (after truncating to equal length). A PLB
+    without a unified tree makes program A and program B produce different
+    patterns; the unified tree makes both all-zeros.
+    """
+    n = min(len(trace_a), len(trace_b))
+    return list(trace_a[:n]) != list(trace_b[:n])

@@ -1,0 +1,71 @@
+"""Active adversary: tampering primitives against encrypted storage.
+
+Implements the attack repertoire the paper's integrity analysis considers:
+bit flips in block data, wholesale replay of stale bucket images
+(freshness violation), and the §6.4 seed-rollback attack that coerces
+one-time-pad reuse under the bucket-seed encryption scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.storage.encrypted import EncryptedTreeStorage
+
+
+class Tamperer:
+    """Wraps an :class:`EncryptedTreeStorage` with tampering operations."""
+
+    def __init__(self, storage: EncryptedTreeStorage):
+        self.storage = storage
+        self._snapshots: Dict[int, List[bytes]] = {}
+
+    # -- snapshots (for replay attacks) ---------------------------------------
+
+    def snapshot(self, tag: int = 0) -> None:
+        """Record the current image of every bucket under ``tag``."""
+        self._snapshots[tag] = [
+            self.storage.raw_image(i) for i in range(self.storage.config.num_buckets)
+        ]
+
+    def replay_bucket(self, index: int, tag: int = 0) -> None:
+        """Restore one bucket to its snapshotted image (freshness attack)."""
+        self.storage.tamper_image(index, self._snapshots[tag][index])
+
+    def replay_all(self, tag: int = 0) -> None:
+        """Restore the whole tree to a snapshot."""
+        for index, image in enumerate(self._snapshots[tag]):
+            self.storage.tamper_image(index, image)
+
+    # -- bit flips ---------------------------------------------------------------
+
+    def flip_bit(self, index: int, byte_offset: int, bit: int = 0) -> None:
+        """Flip one ciphertext bit of a bucket image."""
+        image = bytearray(self.storage.raw_image(index))
+        image[byte_offset] ^= 1 << bit
+        self.storage.tamper_image(index, bytes(image))
+
+    def corrupt_body(self, index: int, byte_offset: int = 0) -> None:
+        """Flip a bit inside the encrypted body (past the seed field)."""
+        self.flip_bit(index, 8 + byte_offset)
+
+    # -- §6.4 seed rollback ---------------------------------------------------------
+
+    def rollback_seed(self, index: int, delta: int = 1) -> int:
+        """Decrement the plaintext seed of a bucket image.
+
+        Under the bucket-seed scheme, the next legitimate re-encryption of
+        this bucket will reuse a pad the adversary has already observed
+        (pad for seed ``old_seed``), enabling the XOR attack of §6.4.
+        Returns the seed value written.
+        """
+        image = bytearray(self.storage.raw_image(index))
+        seed = int.from_bytes(image[:8], "little")
+        new_seed = max(seed - delta, 0)
+        image[:8] = new_seed.to_bytes(8, "little")
+        self.storage.tamper_image(index, bytes(image))
+        return new_seed
+
+    def read_seed(self, index: int) -> int:
+        """Plaintext seed currently stored with a bucket."""
+        return int.from_bytes(self.storage.raw_image(index)[:8], "little")

@@ -1,0 +1,5 @@
+"""ASIC area model for Table 3 (32 nm, post-synthesis and post-layout)."""
+
+from repro.area.model import AreaBreakdown, AreaModel
+
+__all__ = ["AreaBreakdown", "AreaModel"]

@@ -1,0 +1,18 @@
+"""Path ORAM Backend (§3.1): stash, path access, and eviction.
+
+The Backend implements steps 2-5 of the Path ORAM access algorithm — read
+a path, pull real blocks into the stash, return/update the block of
+interest, evict greedily back to the same path. It supports the four
+operation flavours the Frontend needs: ``READ``, ``WRITE``, ``READRMV``
+(read-remove) and ``APPEND`` (§4.2.2).
+
+All Frontend schemes in this library (Recursive baseline, PLB, compressed
+PosMap, PMMAC) drive this same Backend unchanged, which is the paper's
+central modularity claim.
+"""
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import AccessReceipt, PathOramBackend
+from repro.backend.stash import Stash
+
+__all__ = ["Op", "PathOramBackend", "AccessReceipt", "Stash"]

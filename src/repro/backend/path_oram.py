@@ -1,0 +1,168 @@
+"""Path ORAM Backend: the §3.1 access algorithm with §4.2.2 extensions.
+
+``PathOramBackend.access`` performs one full Backend operation:
+
+1. read and decrypt all buckets on the requested path into the stash,
+2. locate the block of interest (creating a zero block on first touch),
+3. apply the caller's update (remap leaf, overwrite data/MAC),
+4. greedily evict stash blocks back to the same path, deepest level first,
+5. check the stash limit.
+
+``READRMV`` hands the located block to the caller and removes it;
+``APPEND`` inserts a previously removed block without any tree access.
+Every tree touch is reported to the storage layer, which accounts
+bandwidth and notifies the passive adversary.
+
+The Backend never interprets block payloads: PosMap blocks, data blocks
+and MAC tags are all opaque here — exactly the property that lets the
+paper's Frontend schemes compose without Backend changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.backend.ops import Op
+from repro.backend.stash import Stash
+from repro.config import OramConfig
+from repro.errors import BlockNotFoundError
+from repro.storage.block import Block
+from repro.utils.bitops import common_prefix_len
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class AccessReceipt:
+    """What one Backend call did, for timing/bandwidth attribution."""
+
+    op: Op
+    addr: int
+    touched_tree: bool
+    leaf: int = 0
+    created_fresh: bool = False
+
+
+class PathOramBackend:
+    """One Path ORAM Backend bound to a storage tree and a stash."""
+
+    def __init__(
+        self,
+        config: OramConfig,
+        storage,
+        rng: DeterministicRng,
+        allow_missing: bool = True,
+    ):
+        self.config = config
+        self.storage = storage
+        self.rng = rng
+        #: When True, a block never written before reads back as zeroes
+        #: (factory-initialised memory); when False it is an error.
+        self.allow_missing = allow_missing
+        self.stash = Stash(config.stash_limit)
+        self.access_count = 0
+        self.tree_access_count = 0
+        self.append_count = 0
+        self._zero = bytes(config.block_bytes)
+
+    # -- public API -----------------------------------------------------------
+
+    def random_leaf(self) -> int:
+        """Fresh uniform leaf label for remapping."""
+        return self.rng.random_leaf(self.config.levels)
+
+    def access(
+        self,
+        op: Op,
+        addr: int,
+        leaf: int = 0,
+        new_leaf: int = 0,
+        update: Optional[Callable[[Block], None]] = None,
+        append_block: Optional[Block] = None,
+    ) -> Optional[Block]:
+        """Perform one Backend operation; returns the block of interest.
+
+        For ``READ``/``WRITE`` a defensive copy is returned (the live block
+        stays in the stash/tree). For ``READRMV`` the live block itself is
+        returned and ownership passes to the caller. For ``APPEND`` the
+        caller supplies ``append_block`` (with its current leaf already
+        set) and None is returned.
+
+        ``update`` is invoked on the live block after it is found and its
+        leaf remapped — this is where the Frontend overwrites data, splices
+        new PosMap entries, or attaches a fresh MAC, modelling in-stash
+        modification.
+        """
+        self.access_count += 1
+        if op is Op.APPEND:
+            if append_block is None:
+                raise ValueError("APPEND requires append_block")
+            self.append_count += 1
+            self.stash.add(append_block)
+            self.stash.check_limit()
+            return None
+
+        self.tree_access_count += 1
+        path = self.storage.read_path(leaf)
+        for _level, bucket in path:
+            self.stash.add_all(bucket.drain())
+
+        block = self.stash.pop(addr)
+        created_fresh = False
+        if block is None:
+            if not self.allow_missing:
+                raise BlockNotFoundError(
+                    f"block {addr:#x} absent from path {leaf} and stash"
+                )
+            block = Block(addr, new_leaf, self._zero, None)
+            created_fresh = True
+
+        block.leaf = new_leaf
+        if update is not None:
+            update(block)
+
+        result: Optional[Block]
+        if op is Op.READRMV:
+            result = block  # ownership moves to the Frontend (PLB)
+        else:
+            self.stash.add(block)
+            result = block.copy()
+
+        self._evict(leaf, path)
+        self.storage.write_path(leaf)
+        self.stash.check_limit()
+        return result
+
+    # -- eviction ---------------------------------------------------------------
+
+    def _evict(self, leaf: int, path) -> None:
+        """Greedy Path ORAM eviction onto ``path`` (deepest level first)."""
+        levels = self.config.levels
+        cap = self.config.blocks_per_bucket
+        # Group stash blocks by the deepest level they may legally occupy.
+        by_depth: List[List[Block]] = [[] for _ in range(levels + 1)]
+        for block in self.stash:
+            depth = common_prefix_len(block.leaf, leaf, levels)
+            by_depth[depth].append(block)
+
+        placed: List[int] = []
+        pool: List[Block] = []
+        for level in range(levels, -1, -1):
+            pool.extend(by_depth[level])
+            bucket = path[level][1]
+            while pool and len(bucket) < cap:
+                block = pool.pop()
+                bucket.add(block)
+                placed.append(block.addr)
+        self.stash.remove_many(placed)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes moved on the tree interface."""
+        return self.storage.bytes_moved
+
+    def stash_occupancy(self) -> int:
+        """Current stash size in blocks."""
+        return len(self.stash)

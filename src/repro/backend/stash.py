@@ -1,0 +1,73 @@
+"""The stash: small trusted memory for in-flight blocks (§3.1).
+
+The stash temporarily holds blocks between path reads and evictions. Its
+occupancy stays small with overwhelming probability for Z >= 4; the
+configured limit (200, following [26]) converts the negligible-probability
+overflow into an explicit :class:`~repro.errors.StashOverflowError` so
+tests can assert it never fires under honest operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import StashOverflowError
+from repro.storage.block import Block
+from repro.utils.stats import RunningStats
+
+
+class Stash:
+    """Address-indexed block store with occupancy tracking."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self._blocks: Dict[int, Block] = {}
+        #: Occupancy sampled after each eviction (for the stash experiments).
+        self.occupancy_stats = RunningStats()
+
+    def add(self, block: Block) -> None:
+        """Insert a block; duplicate addresses are a protocol violation."""
+        if block.addr in self._blocks:
+            raise ValueError(f"duplicate block {block.addr:#x} in stash")
+        self._blocks[block.addr] = block
+
+    def add_all(self, blocks: Iterable[Block]) -> None:
+        """Insert many blocks (path read)."""
+        for block in blocks:
+            self.add(block)
+
+    def get(self, addr: int) -> Optional[Block]:
+        """Block by address, or None."""
+        return self._blocks.get(addr)
+
+    def pop(self, addr: int) -> Optional[Block]:
+        """Remove and return block by address, or None."""
+        return self._blocks.pop(addr, None)
+
+    def contains(self, addr: int) -> bool:
+        """Membership test."""
+        return addr in self._blocks
+
+    def blocks(self) -> List[Block]:
+        """Snapshot list of resident blocks."""
+        return list(self._blocks.values())
+
+    def remove_many(self, addrs: Iterable[int]) -> None:
+        """Remove a batch of addresses (post-eviction cleanup)."""
+        for addr in addrs:
+            del self._blocks[addr]
+
+    def check_limit(self) -> None:
+        """Record occupancy and raise if the configured limit is exceeded."""
+        n = len(self._blocks)
+        self.occupancy_stats.add(n)
+        if n > self.limit:
+            raise StashOverflowError(
+                f"stash occupancy {n} exceeds limit {self.limit}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks.values())

@@ -1,0 +1,76 @@
+"""Command-line entry point: run any paper experiment by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig6
+    python -m repro table2 fig3 hashbw
+    REPRO_FULL=1 python -m repro all
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.eval import (
+    ablation_plb,
+    compression,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    hashbw,
+    table2,
+    table3,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig3": fig3.main,
+    "table2": table2.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "table3": table3.main,
+    "hashbw": hashbw.main,
+    "compression": compression.main,
+    "ablation-plb": ablation_plb.main,
+}
+
+#: Cheap, purely analytic experiments run first under ``all``.
+_ORDER = (
+    "fig3", "table2", "table3", "compression", "hashbw",
+    "fig6", "fig5", "fig7", "fig8", "fig9", "ablation-plb",
+)
+
+
+def main(argv=None) -> int:
+    """Dispatch experiment names; returns a process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args == ["list"]:
+        print("Available experiments (python -m repro <name> [...]):")
+        for name in _ORDER:
+            doc = EXPERIMENTS[name].__module__.rsplit(".", 1)[-1]
+            print(f"  {name:<13} repro.eval.{doc}")
+        print("  all           run everything in order")
+        return 0
+    if args == ["all"]:
+        args = list(_ORDER)
+    unknown = [a for a in args if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(_ORDER)} or 'all'", file=sys.stderr)
+        return 2
+    for name in args:
+        print(f"==== {name} " + "=" * max(60 - len(name), 0))
+        EXPERIMENTS[name]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Cryptographic substrate: AES-128, PRF, MAC, one-time-pad encryption.
+
+The paper's hardware uses an AES-128 core for the PRF and path encryption
+and a SHA3-224 core for PMMAC. We provide:
+
+- :class:`~repro.crypto.aes.AES128` — a from-scratch AES-128 block cipher
+  (reference fidelity; validated against FIPS-197 vectors in tests).
+- :class:`~repro.crypto.prf.Prf` — PRF_K(x) with AES-128 or a fast keyed
+  BLAKE2b mode for large simulations.
+- :class:`~repro.crypto.mac.Mac` — MAC_K(m) via SHA3-224 (as in the paper)
+  or keyed BLAKE2b.
+- :class:`~repro.crypto.pad.PadGenerator` — AES-CTR style one-time pads for
+  bucket encryption, used to reproduce the §6.4 seed-replay attack and fix.
+- :class:`~repro.crypto.suite.CryptoSuite` — bundles the above with key
+  management; ``CryptoSuite.reference()`` and ``CryptoSuite.fast()``.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.mac import Mac
+from repro.crypto.pad import PadGenerator
+from repro.crypto.prf import Prf
+from repro.crypto.suite import CryptoSuite
+
+__all__ = ["AES128", "Mac", "PadGenerator", "Prf", "CryptoSuite"]

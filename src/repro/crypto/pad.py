@@ -1,0 +1,73 @@
+"""One-time-pad generation for bucket encryption (AES counter mode).
+
+Two schemes from the paper are implemented:
+
+- **Bucket-seed** (§6.4, the scheme of [26] that breaks under active
+  adversaries): pad chunk i of a bucket is AES_K(BucketID || BucketSeed || i),
+  with the per-bucket seed stored in plaintext next to the bucket. An active
+  adversary who rolls the stored seed back forces pad reuse.
+- **Global-seed** (the fix): pad chunk i is AES_K(GlobalSeed || i) where
+  GlobalSeed is a single monotonic counter in the ORAM controller, so a pad
+  is never reused regardless of tampering.
+
+Both are exercised by the §6.4 attack tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.aes import AES128
+
+CHUNK = 16  # pad generation granularity, one AES block
+
+
+class PadGenerator:
+    """Deterministic pad stream generator keyed at construction."""
+
+    MODE_AES = "aes"
+    MODE_FAST = "fast"
+
+    def __init__(self, key: bytes, mode: str = MODE_FAST):
+        if mode not in (self.MODE_AES, self.MODE_FAST):
+            raise ValueError(f"unknown pad mode {mode!r}")
+        self.mode = mode
+        self.key = key
+        self.blocks_generated = 0
+        if mode == self.MODE_AES:
+            if len(key) != 16:
+                raise ValueError("AES pad requires a 16-byte key")
+            self._aes = AES128(key)
+
+    def _pad_block(self, tweak: bytes) -> bytes:
+        self.blocks_generated += 1
+        if self.mode == self.MODE_FAST:
+            return hashlib.blake2b(tweak, key=self.key, digest_size=CHUNK).digest()
+        return self._aes.encrypt_block(tweak.ljust(CHUNK, b"\x00")[:CHUNK])
+
+    def pad(self, seed_parts: bytes, nbytes: int) -> bytes:
+        """Generate ``nbytes`` of pad for the given seed material."""
+        out = bytearray()
+        i = 0
+        while len(out) < nbytes:
+            tweak = seed_parts + i.to_bytes(4, "little")
+            out.extend(self._pad_block(tweak[:CHUNK] if self.mode == self.MODE_AES else tweak))
+            i += 1
+        return bytes(out[:nbytes])
+
+    def bucket_seed_pad(self, bucket_id: int, bucket_seed: int, nbytes: int) -> bytes:
+        """Pad per the bucket-seed scheme of [26] (vulnerable to replay)."""
+        seed = bucket_id.to_bytes(6, "little") + bucket_seed.to_bytes(6, "little")
+        return self.pad(seed, nbytes)
+
+    def global_seed_pad(self, global_seed: int, nbytes: int) -> bytes:
+        """Pad per the global-seed scheme of §6.4 (replay safe)."""
+        seed = b"GSEED" + global_seed.to_bytes(8, "little")
+        return self.pad(seed, nbytes)
+
+    @staticmethod
+    def xor(data: bytes, pad: bytes) -> bytes:
+        """XOR data with a pad of the same length."""
+        if len(data) != len(pad):
+            raise ValueError("pad length mismatch")
+        return bytes(a ^ b for a, b in zip(data, pad))

@@ -1,0 +1,68 @@
+"""Pseudorandom function PRF_K(x), used for on-demand leaf generation.
+
+The compressed PosMap (§5.2.1) and PMMAC (§6.2.1) derive the current leaf
+of block ``a`` with count ``c`` as ``PRF_K(a || c) mod 2^L``. The paper
+implements PRF_K with AES-128; we offer that plus a fast keyed-BLAKE2b
+instantiation for large simulations (identical interface, still a PRF —
+just a different primitive).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.aes import AES128
+
+
+class Prf:
+    """PRF keyed at construction; maps byte strings / ints to integers."""
+
+    MODE_AES = "aes"
+    MODE_FAST = "fast"
+
+    def __init__(self, key: bytes, mode: str = MODE_FAST):
+        if mode not in (self.MODE_AES, self.MODE_FAST):
+            raise ValueError(f"unknown PRF mode {mode!r}")
+        self.mode = mode
+        self.key = key
+        self.call_count = 0
+        if mode == self.MODE_AES:
+            if len(key) != 16:
+                raise ValueError("AES PRF requires a 16-byte key")
+            self._aes = AES128(key)
+
+    def eval_bytes(self, data: bytes) -> bytes:
+        """PRF output (16 bytes) for an arbitrary-length input."""
+        self.call_count += 1
+        if self.mode == self.MODE_FAST:
+            return hashlib.blake2b(data, key=self.key, digest_size=16).digest()
+        # AES-CBC-MAC style compression for inputs longer than one block:
+        # pad to a block multiple with the length, then chain.
+        padded = data + b"\x80"
+        padded += b"\x00" * ((-len(padded) - 8) % 16)
+        padded += len(data).to_bytes(8, "little")
+        state = b"\x00" * 16
+        for i in range(0, len(padded), 16):
+            block = bytes(a ^ b for a, b in zip(state, padded[i : i + 16]))
+            state = self._aes.encrypt_block(block)
+        return state
+
+    def eval_int(self, data: bytes, modulus_bits: int) -> int:
+        """PRF output reduced to ``modulus_bits`` bits (``mod 2^L``)."""
+        if modulus_bits <= 0:
+            return 0
+        digest = self.eval_bytes(data)
+        return int.from_bytes(digest, "little") & ((1 << modulus_bits) - 1)
+
+    def leaf_for(self, address: int, count: int, num_levels: int, subblock: int = 0) -> int:
+        """Leaf label for (address, count) per §5.2.1 / §6.2.1.
+
+        ``subblock`` carries the sub-block index k of §5.4 when a data block
+        is split into PosMap-sized sub-blocks; it is 0 otherwise.
+        """
+        message = (
+            address.to_bytes(8, "little")
+            + count.to_bytes(12, "little")
+            + subblock.to_bytes(4, "little")
+        )
+        return self.eval_int(message, num_levels)

@@ -1,0 +1,17 @@
+"""DDR3 DRAM timing model and the subtree ORAM layout of [26].
+
+The paper evaluates on DRAMSim2 with its default DDR3 Micron part: 8
+banks, 16384 rows, 1024 columns per row, 667 MHz DDR, 64-bit bus —
+~10.67 GB/s per channel (§7.1.1). This package provides a simplified but
+structurally faithful substitute: per-bank open-row state machines, a
+channel-level bus serialisation model, and the subtree address layout
+that packs k tree levels per DRAM row so path reads stay row-buffer
+friendly. It reproduces Table 2's shape (sub-linear latency scaling in
+channel count) and the 58-cycle insecure DRAM access baseline.
+"""
+
+from repro.dram.config import DramConfig
+from repro.dram.layout import SubtreeLayout
+from repro.dram.model import DramModel, PathAccessStats
+
+__all__ = ["DramConfig", "SubtreeLayout", "DramModel", "PathAccessStats"]

@@ -1,0 +1,57 @@
+"""DDR3 geometry and timing parameters (DRAMSim2's default Micron part)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """One memory system: ``channels`` independent DDR3 channels.
+
+    Timing fields are in DRAM clock cycles at ``dram_mhz`` (the I/O bus
+    runs DDR, so a 64-byte transfer takes ``burst_cycles`` = 4 cycles at
+    a 64-bit bus: 8 beats / 2 per cycle).
+    """
+
+    channels: int = 2
+    banks_per_channel: int = 8
+    rows_per_bank: int = 16384
+    columns_per_row: int = 1024
+    bus_bytes: int = 8  # 64-bit data bus
+    dram_mhz: float = 667.0
+
+    # Core DDR3-1333 timing (DRAM cycles).
+    t_cas: int = 10  # column access strobe (CL)
+    t_rcd: int = 10  # row to column delay
+    t_rp: int = 10  # row precharge
+    burst_beats: int = 8  # beats per 64-byte burst (BL8)
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.banks_per_channel < 1:
+            raise ValueError("need at least one channel and one bank")
+
+    @property
+    def row_bytes(self) -> int:
+        """Row-buffer size: columns x bus width (8 KiB by default)."""
+        return self.columns_per_row * self.bus_bytes
+
+    @property
+    def burst_cycles(self) -> int:
+        """DRAM cycles to move one 64-byte burst (DDR: 2 beats/cycle)."""
+        return self.burst_beats // 2
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes per burst (64 with BL8 on a 64-bit bus)."""
+        return self.burst_beats * self.bus_bytes
+
+    @property
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        """Aggregate peak bandwidth across channels (~10.67 GB/s each)."""
+        per_channel = self.dram_mhz * 1e6 * 2 * self.bus_bytes
+        return per_channel * self.channels
+
+    def dram_to_proc_cycles(self, dram_cycles: float, proc_ghz: float) -> float:
+        """Convert DRAM cycles to processor cycles."""
+        return dram_cycles * (proc_ghz * 1000.0 / self.dram_mhz)

@@ -1,0 +1,131 @@
+"""Channel/bank timing model for whole-path ORAM accesses.
+
+The model captures the two effects that dominate ORAM path latency on
+commodity DRAM:
+
+- *bus serialisation*: each channel moves at most one 64-byte burst per
+  ``burst_cycles``; a path read of (L+1) x bucket_bytes is bandwidth-bound
+  when buckets spread evenly over channels and suffers when they collide
+  (the "channel conflicts" behind Table 2's sub-linear scaling);
+- *row activations*: grouped by the subtree layout; consecutive bursts to
+  an open row pay only CAS + burst, a closed row pays precharge +
+  activate first. Activations on distinct banks overlap with transfers.
+
+``path_access_cycles`` returns DRAM cycles for one full path read or
+write; an ORAM access is one read plus one write-back of the same path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.config import DramConfig
+from repro.dram.layout import SubtreeLayout
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class PathAccessStats:
+    """Decomposition of one path access."""
+
+    dram_cycles: float
+    bursts: int
+    row_hits: int
+    row_misses: int
+
+
+class DramModel:
+    """Stateful open-row DRAM model for one ORAM tree."""
+
+    def __init__(self, levels: int, bucket_bytes: int, config: Optional[DramConfig] = None):
+        self.config = config if config is not None else DramConfig()
+        self.layout = SubtreeLayout(levels, bucket_bytes, self.config)
+        self.levels = levels
+        self.bucket_bytes = bucket_bytes
+        # Open row per bank (mirrored across channels by interleaving).
+        self._open_rows: Dict[int, int] = {}
+        self.total_cycles = 0.0
+        self.total_accesses = 0
+
+    def _bursts_per_bucket(self) -> int:
+        return -(-self.bucket_bytes // self.config.burst_bytes)
+
+    def path_access_cycles(self, leaf: int) -> PathAccessStats:
+        """DRAM cycles for one path read (or write) to ``leaf``.
+
+        Bursts interleave over channels at cache-line granularity (the
+        standard controller mapping), so transfer time is the per-channel
+        share of the path's bursts. Row activations are per row group
+        (subtree): the first miss is fully exposed, later misses overlap
+        with transfers on other banks and expose only a fraction of tRP.
+        """
+        cfg = self.config
+        bursts_per_bucket = self._bursts_per_bucket()
+        row_hits = 0
+        row_misses = 0
+        stall = 0.0
+        total_bursts = 0
+
+        for bank, row, bucket_count in self.layout.path_row_groups(leaf):
+            total_bursts += bucket_count * bursts_per_bucket
+            if self._open_rows.get(bank) == row:
+                row_hits += 1
+            else:
+                row_misses += 1
+                if stall == 0.0:
+                    stall = float(cfg.t_rp + cfg.t_rcd + cfg.t_cas)
+                else:
+                    stall += cfg.t_rp * 0.25
+            self._open_rows[bank] = row
+
+        per_channel_bursts = -(-total_bursts // cfg.channels)
+        cycles = stall + per_channel_bursts * cfg.burst_cycles
+        stats = PathAccessStats(
+            dram_cycles=cycles,
+            bursts=total_bursts,
+            row_hits=row_hits,
+            row_misses=row_misses,
+        )
+        self.total_cycles += cycles
+        self.total_accesses += 1
+        return stats
+
+    def oram_access_cycles(self, leaf: int) -> float:
+        """DRAM cycles for a full ORAM tree access (path read + write)."""
+        read = self.path_access_cycles(leaf)
+        write = self.path_access_cycles(leaf)
+        return read.dram_cycles + write.dram_cycles
+
+    def average_path_cycles(self, samples: int = 256, seed: int = 12345) -> float:
+        """Monte-Carlo average DRAM cycles over uniform leaves.
+
+        Used by the timing model to turn the per-leaf distribution into a
+        single expected path latency (the paper reports averages over
+        multiple accesses the same way, Table 2).
+        """
+        rng = DeterministicRng(seed)
+        total = 0.0
+        for _ in range(samples):
+            total += self.path_access_cycles(rng.random_leaf(self.levels)).dram_cycles
+        return total / samples
+
+    def average_oram_latency_proc_cycles(
+        self, proc_ghz: float, samples: int = 256, seed: int = 12345
+    ) -> float:
+        """Expected processor cycles for path read + write-back."""
+        per_path = self.average_path_cycles(samples=samples, seed=seed)
+        return self.config.dram_to_proc_cycles(2.0 * per_path, proc_ghz)
+
+    def insecure_access_cycles(self, proc_ghz: float, row_hit_fraction: float = 0.2) -> float:
+        """Processor cycles for one 64-byte access without ORAM.
+
+        A conventional LLC-miss stream has poor row locality; with a 20%
+        row-hit rate the expected latency matches the paper's 58-cycle
+        average insecure DRAM access (§7.1.2).
+        """
+        cfg = self.config
+        hit = cfg.t_cas + cfg.burst_cycles
+        miss = cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.burst_cycles
+        dram_cycles = row_hit_fraction * hit + (1 - row_hit_fraction) * miss
+        return cfg.dram_to_proc_cycles(dram_cycles, proc_ghz)

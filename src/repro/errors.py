@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Freecursive ORAM library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class StashOverflowError(ReproError):
+    """Stash occupancy exceeded its configured limit.
+
+    For Z >= 4 this is a negligible-probability event in a correct system
+    (§3.1.2); seeing it in a simulation almost always means an adversary
+    injected blocks or a frontend violated the readrmv/append discipline.
+    """
+
+
+class IntegrityViolationError(ReproError):
+    """PMMAC or Merkle verification failed — memory was tampered with.
+
+    Per the threat model (§2), the processor receives this as an exception
+    and may kill the program.
+    """
+
+
+class BlockNotFoundError(ReproError):
+    """The block of interest was not on its path nor in the stash.
+
+    With honest memory this indicates a PosMap/backend bug; with an active
+    adversary it indicates tampering (e.g. the block's address bits were
+    corrupted, §6.5.2) and is handled like an integrity violation.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Inconsistent or unsupported parameter combination."""

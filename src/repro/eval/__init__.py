@@ -1,0 +1,20 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning structured rows and
+a ``main()`` that prints the same rows/series the paper reports, with the
+paper's reference values alongside. The benchmarks/ directory wraps each
+module in a pytest-benchmark target; EXPERIMENTS.md records the outputs.
+
+| Module       | Reproduces |
+|--------------|------------|
+| fig3         | Fig. 3 — recursion overhead vs capacity |
+| table2       | Tab. 2 — path latency vs DRAM channels (+58-cycle baseline) |
+| fig5         | Fig. 5 — PLB capacity sweep |
+| fig6         | Fig. 6 — R_X8 / PC_X32 / PIC_X32 slowdowns |
+| fig7         | Fig. 7 — KB/access scalability, PosMap share |
+| fig8         | Fig. 8 — [26]-parameter comparison (PC_X64/PC_X32) |
+| fig9         | Fig. 9 — speedup over Phantom 4 KB blocks |
+| table3       | Tab. 3 — area breakdown vs channel count |
+| hashbw       | §6.3 — PMMAC vs Merkle hash bandwidth |
+| compression  | §5.3 — compressed PosMap geometry and remap overhead |
+"""

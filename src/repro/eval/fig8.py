@@ -1,0 +1,86 @@
+"""Figure 8: apples-to-apples comparison with Ren et al. [26].
+
+Adopts the parameters of that work: 4 DRAM channels, a 2.6 GHz core,
+128-byte cache lines / ORAM blocks, Z=3. PC_X64 is the PLB scheme at a
+128-byte block (X doubles to 64); PC_X32 keeps 64-byte blocks. The paper
+reports ~1.27x geomean speedup for both over the R_X8 baseline and a 95%
+cut in PosMap traffic for PC_X64.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.config import ProcessorConfig
+from repro.dram.config import DramConfig
+from repro.sim.metrics import format_table, slowdown_table
+from repro.sim.runner import SimulationRunner
+from repro.workloads.spec import benchmark_names
+
+
+def _runner(misses: Optional[int]) -> SimulationRunner:
+    proc = ProcessorConfig(core_ghz=2.6, line_bytes=128)
+    return SimulationRunner(
+        proc=proc,
+        dram=DramConfig(channels=4),
+        proc_ghz=2.6,
+        misses_per_benchmark=misses,
+    )
+
+
+def run(
+    benchmarks: Optional[Iterable[str]] = None,
+    misses: Optional[int] = None,
+) -> Tuple[Dict[str, Dict[str, float]], Dict[str, float]]:
+    """Slowdown table for R_X8 / PC_X64 / PC_X32 plus traffic cuts.
+
+    Returns (slowdowns, posmap_traffic) where posmap_traffic maps scheme
+    to average PosMap bytes per access.
+    """
+    runner = _runner(misses)
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    results = {}
+    results["R_X8"] = {
+        n: runner.run_one("R_X8", n, block_bytes=128, blocks_per_bucket=3)
+        for n in names
+    }
+    results["PC_X64"] = {
+        n: runner.run_one("PC_X64", n, block_bytes=128, blocks_per_bucket=3)
+        for n in names
+    }
+    results["PC_X32"] = {
+        n: runner.run_one("PC_X32", n, block_bytes=64, blocks_per_bucket=3)
+        for n in names
+    }
+    baselines = runner.baselines(names)
+    table = slowdown_table(results, baselines, ("R_X8", "PC_X64", "PC_X32"))
+    traffic = {
+        scheme: {
+            bench: r.posmap_bytes / max(r.oram_accesses, 1)
+            for bench, r in results[scheme].items()
+        }
+        for scheme in results
+    }
+    return table, traffic
+
+
+def main() -> None:
+    """Print slowdowns and PosMap traffic with [26]'s parameters."""
+    table, traffic = run()
+    print(
+        format_table(
+            table,
+            benchmark_names(),
+            "Figure 8: slowdown vs insecure ([26] parameters: 4ch, 2.6 GHz, Z=3)",
+        )
+    )
+    for scheme in ("PC_X64", "PC_X32"):
+        speedup = table["R_X8"]["geomean"] / table[scheme]["geomean"]
+        print(f"{scheme} speedup over R_X8: {speedup:.2f}x (paper: ~1.27x)")
+    for bench, r_bytes in traffic["R_X8"].items():
+        cut = 1 - traffic["PC_X64"][bench] / max(r_bytes, 1)
+        print(f"PC_X64 PosMap traffic cut on {bench}: {100 * cut:.0f}% (paper avg: 95%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""ORAM Frontends — the paper's contribution (§4, §5, §6).
+
+A Frontend translates a processor block address into Backend operations:
+
+- :class:`~repro.frontend.linear.LinearFrontend` — whole PosMap on-chip
+  (Phantom-style [21] baseline; no recursion).
+- :class:`~repro.frontend.recursive.RecursiveFrontend` — classic Recursive
+  ORAM [30]/[26] with one physical tree per recursion level (the R_X8
+  baseline).
+- :class:`~repro.frontend.unified.PlbFrontend` — the paper's design: PLB +
+  Unified ORAM tree (§4), pluggable PosMap block format (uncompressed,
+  flat-counter, compressed §5), and optional PMMAC integrity (§6).
+
+All share :class:`~repro.frontend.base.Frontend`'s ``access`` interface and
+statistics, and drive an unmodified :class:`~repro.backend.PathOramBackend`.
+"""
+
+from repro.frontend.addrgen import AddressSpace
+from repro.frontend.base import Frontend, FrontendStats
+from repro.frontend.formats import (
+    CompressedPosMapFormat,
+    FlatCounterPosMapFormat,
+    UncompressedPosMapFormat,
+)
+from repro.frontend.linear import LinearFrontend
+from repro.frontend.plb import Plb, PlbEntry
+from repro.frontend.posmap import OnChipPosMap
+from repro.frontend.recursive import RecursiveFrontend
+from repro.frontend.subblock import SubBlockFrontend
+from repro.frontend.unified import PlbFrontend
+
+__all__ = [
+    "AddressSpace",
+    "Frontend",
+    "FrontendStats",
+    "UncompressedPosMapFormat",
+    "FlatCounterPosMapFormat",
+    "CompressedPosMapFormat",
+    "LinearFrontend",
+    "Plb",
+    "PlbEntry",
+    "OnChipPosMap",
+    "RecursiveFrontend",
+    "SubBlockFrontend",
+    "PlbFrontend",
+]

@@ -1,0 +1,91 @@
+"""Frontend interface and shared statistics.
+
+Every Frontend exposes ``access(addr, op, data)`` with the semantics of
+§3.1's accessORAM — the processor-side contract — plus a statistics block
+that the evaluation harness uses to attribute bandwidth to Data vs PosMap
+traffic (the white/shaded split of Figs. 7 and 8).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.backend.ops import Op
+
+
+@dataclass
+class FrontendStats:
+    """Counters accumulated across the life of a Frontend."""
+
+    accesses: int = 0
+    data_tree_accesses: int = 0
+    posmap_tree_accesses: int = 0
+    plb_hits: int = 0
+    plb_misses: int = 0
+    plb_refills: int = 0
+    plb_evictions: int = 0
+    group_remaps: int = 0
+    group_relocations: int = 0
+    mac_checks: int = 0
+    fresh_blocks: int = 0
+
+    @property
+    def tree_accesses(self) -> int:
+        """Total Backend path accesses (data + PosMap)."""
+        return self.data_tree_accesses + self.posmap_tree_accesses
+
+    @property
+    def posmap_fraction(self) -> float:
+        """Fraction of Backend path accesses serving the PosMap."""
+        total = self.tree_accesses
+        return self.posmap_tree_accesses / total if total else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one Frontend access, for the timing model."""
+
+    data: bytes
+    tree_accesses: int
+    posmap_tree_accesses: int = 0
+    plb_hit_level: int = -1
+
+
+class Frontend(abc.ABC):
+    """Processor-facing ORAM controller interface."""
+
+    def __init__(self) -> None:
+        self.stats = FrontendStats()
+
+    @abc.abstractmethod
+    def access(
+        self, addr: int, op: Op = Op.READ, data: Optional[bytes] = None
+    ) -> AccessResult:
+        """Read or write one data block; returns its (pre-write) contents."""
+
+    def read(self, addr: int) -> bytes:
+        """Convenience read returning payload bytes."""
+        return self.access(addr, Op.READ).data
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Convenience write."""
+        self.access(addr, Op.WRITE, data)
+
+    # -- bandwidth attribution --------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def data_bytes_moved(self) -> int:
+        """Bytes moved on the memory bus attributable to data blocks."""
+
+    @property
+    @abc.abstractmethod
+    def posmap_bytes_moved(self) -> int:
+        """Bytes moved attributable to PosMap lookups."""
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """All bytes moved on the memory bus."""
+        return self.data_bytes_moved + self.posmap_bytes_moved

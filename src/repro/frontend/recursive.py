@@ -1,0 +1,173 @@
+"""Recursive ORAM baseline (§3.2): one physical tree per recursion level.
+
+This is the scheme of Shi et al. [30] as architected by Ren et al. [26] —
+the paper's R_X8 baseline. PosMap blocks of ORam_i hold X leaf labels for
+blocks of ORam_{i-1}; a full access walks the on-chip PosMap, then
+ORam_{H-1} ... ORam_1, then the Data ORAM, like a page-table walk. Every
+level lives in its *own* ORAM tree, which is exactly why a PLB cannot be
+bolted on here without leaking (§4.1.2) — and why bandwidth explodes with
+capacity (Fig. 3 / Fig. 7).
+
+PosMap ORAMs may use a smaller block size Bp than the data ORAM (32-byte
+PosMap blocks in [26]); bandwidth accounting uses each tree's own padded
+bucket size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import OramConfig
+from repro.errors import ConfigurationError
+from repro.frontend.addrgen import AddressSpace, levels_needed
+from repro.frontend.base import AccessResult, Frontend
+from repro.frontend.formats import UncompressedPosMapFormat
+from repro.frontend.posmap import OnChipPosMap
+from repro.storage.tree import TreeStorage
+from repro.utils.rng import DeterministicRng
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(n - 1, 1).bit_length() if n > 1 else 1
+
+
+class RecursiveFrontend(Frontend):
+    """H-level Recursive Path ORAM with separate trees (baseline R_X8)."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        data_block_bytes: int = 64,
+        posmap_block_bytes: int = 32,
+        blocks_per_bucket: int = 4,
+        leaf_bytes: int = 4,
+        onchip_entries: int = 2**16,
+        rng: Optional[DeterministicRng] = None,
+        observer=None,
+    ):
+        super().__init__()
+        self.rng = rng if rng is not None else DeterministicRng(0)
+        fanout = posmap_block_bytes // leaf_bytes
+        if fanout < 2:
+            raise ConfigurationError("PosMap block too small for its entries")
+        self.num_levels = levels_needed(num_blocks, fanout, onchip_entries)
+        self.space = AddressSpace(num_blocks, fanout, self.num_levels)
+
+        self.configs: List[OramConfig] = []
+        self.backends: List[PathOramBackend] = []
+        self._touched: List[bytearray] = []
+        for level in range(self.num_levels):
+            blocks = _next_pow2(self.space.level_blocks(level))
+            block_bytes = data_block_bytes if level == 0 else posmap_block_bytes
+            cfg = OramConfig(
+                num_blocks=blocks,
+                block_bytes=block_bytes,
+                blocks_per_bucket=blocks_per_bucket,
+                leaf_bytes=leaf_bytes,
+            )
+            view = observer.for_tree(level) if observer is not None else None
+            storage = TreeStorage(cfg, observer=view)
+            self.configs.append(cfg)
+            self.backends.append(PathOramBackend(cfg, storage, self.rng.fork(level)))
+            self._touched.append(bytearray((self.space.level_blocks(level) + 7) // 8))
+        # A PosMap block at level i stores leaves of tree i-1, so each
+        # level's format emits labels sized for the tree *below* it.
+        self.formats: List[Optional[UncompressedPosMapFormat]] = [None]
+        for level in range(1, self.num_levels):
+            self.formats.append(
+                UncompressedPosMapFormat(
+                    posmap_block_bytes, self.configs[level - 1].levels, leaf_bytes
+                )
+            )
+
+        top = self.num_levels - 1
+        self.posmap = OnChipPosMap(
+            entries=self.space.level_blocks(top),
+            levels=self.configs[top].levels,
+            mode=OnChipPosMap.MODE_LEAF,
+            rng=self.rng,
+        )
+
+    # -- first-touch bookkeeping (simulation stand-in for factory init) --------
+
+    def _is_touched(self, level: int, index: int) -> bool:
+        return bool(self._touched[level][index >> 3] & (1 << (index & 7)))
+
+    def _mark_touched(self, level: int, index: int) -> None:
+        self._touched[level][index >> 3] |= 1 << (index & 7)
+
+    # -- access -----------------------------------------------------------------
+
+    def access(
+        self, addr: int, op: Op = Op.READ, data: Optional[bytes] = None
+    ) -> AccessResult:
+        """Full Recursive ORAM access: on-chip, ORam_{H-1}..ORam_1, Data."""
+        if op not in (Op.READ, Op.WRITE):
+            raise ConfigurationError("processor requests are READ or WRITE")
+        if op is Op.WRITE and (data is None or len(data) != self.configs[0].block_bytes):
+            raise ValueError("WRITE requires a full block of data")
+        self.stats.accesses += 1
+        chain = self.space.chain(addr)
+        top = self.num_levels - 1
+
+        leaf, new_leaf, _ = self.posmap.lookup_and_remap(chain[top], chain[top])
+
+        # Walk ORam_{H-1} down to ORam_1: each supplies (and remaps) the
+        # leaf of the next block down.
+        for level in range(top, 0, -1):
+            child_index = chain[level - 1]
+            slot = self.space.child_slot(child_index)
+            fmt = self.formats[level]
+            backend = self.backends[level]
+            child_fresh = not self._is_touched(level - 1, child_index)
+            holder = {}
+
+            def update(block, fmt=fmt, slot=slot, holder=holder) -> None:
+                buf = bytearray(block.data)
+                holder["remap"] = fmt.remap(buf, slot, 0, self.rng)
+                block.data = bytes(buf)
+
+            backend.access(Op.READ, chain[level], leaf, new_leaf, update=update)
+            self.stats.posmap_tree_accesses += 1
+            remap = holder["remap"]
+            if child_fresh:
+                # Never-written entry: substitute the uniform label factory
+                # initialisation would have placed there.
+                leaf = self.rng.random_leaf(self.configs[level - 1].levels)
+                self._mark_touched(level - 1, child_index)
+            else:
+                leaf = remap.old_leaf
+            new_leaf = remap.new_leaf
+
+        # Data ORAM access.
+        self.stats.data_tree_accesses += 1
+
+        def data_update(block) -> None:
+            if op is Op.WRITE:
+                block.data = data
+
+        block = self.backends[0].access(op, addr, leaf, new_leaf, update=data_update)
+        return AccessResult(
+            data=block.data,
+            tree_accesses=self.num_levels,
+            posmap_tree_accesses=self.num_levels - 1,
+        )
+
+    # -- bandwidth attribution -----------------------------------------------------
+
+    @property
+    def data_bytes_moved(self) -> int:
+        """Bytes moved by the Data ORAM tree."""
+        return self.backends[0].storage.bytes_moved
+
+    @property
+    def posmap_bytes_moved(self) -> int:
+        """Bytes moved by all PosMap ORAM trees combined."""
+        return sum(b.storage.bytes_moved for b in self.backends[1:])
+
+    @property
+    def onchip_posmap_bytes(self) -> int:
+        """SRAM footprint of the on-chip PosMap."""
+        return self.posmap.size_bytes

@@ -1,0 +1,395 @@
+"""PLB-enabled Frontend over a Unified ORAM tree (§4), with optional
+compressed PosMap (§5) and PMMAC integrity verification (§6).
+
+All recursion levels — data blocks and every PosMap level — live in one
+physical tree ``ORamU``, addressed with i||a_i tags (§4.2.1). The access
+algorithm is §4.2.4:
+
+1. *PLB lookup loop*: find the smallest i such that the PosMap block
+   a_{i+1} (which holds the leaf of a_i) is PLB-resident; fall back to the
+   on-chip PosMap at i = H-1.
+2. *PosMap block accesses*: readrmv each missing PosMap block from ORamU
+   and refill it into the PLB, appending any PLB victim back to the stash.
+3. *Data block access*: an ordinary read/write to ORamU.
+
+PMMAC (§6.2): every block is stored with h = MAC_K(c || a || d) where the
+count c comes from the block's parent PosMap entry (flat or compressed
+counters) — tamper-proof recursively up to the on-chip PosMap. Only the
+block of interest is ever hashed, the source of the >= 68x hash-bandwidth
+advantage over Merkle schemes (§6.3).
+
+The Backend is driven through its four public ops only; no Backend changes
+are required for any of the three mechanisms — the paper's composability
+claim, which the test suite checks by running every scheme against the
+same Backend implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import OramConfig
+from repro.crypto.suite import CryptoSuite
+from repro.errors import ConfigurationError, IntegrityViolationError
+from repro.frontend.addrgen import AddressSpace, levels_needed
+from repro.frontend.base import AccessResult, Frontend
+from repro.frontend.formats import (
+    CompressedPosMapFormat,
+    FlatCounterPosMapFormat,
+    UncompressedPosMapFormat,
+)
+from repro.frontend.plb import Plb, PlbEntry
+from repro.frontend.posmap import OnChipPosMap
+from repro.storage.block import Block
+from repro.storage.tree import TreeStorage
+from repro.utils.rng import DeterministicRng
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(n - 1, 1).bit_length() if n > 1 else 1
+
+
+class PlbFrontend(Frontend):
+    """The paper's Frontend: PLB + Unified tree (+ compression / PMMAC)."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_bytes: int = 64,
+        blocks_per_bucket: int = 4,
+        plb_capacity_bytes: int = 8 * 1024,
+        plb_ways: int = 1,
+        onchip_entries: int = 1024,
+        posmap_format: str = "uncompressed",
+        pmmac: bool = False,
+        mac_tag_bytes: int = 14,
+        compressed_alpha: int = 64,
+        compressed_beta: int = 14,
+        compressed_fanout: Optional[int] = None,
+        leaf_bytes: int = 4,
+        crypto: Optional[CryptoSuite] = None,
+        rng: Optional[DeterministicRng] = None,
+        observer=None,
+        storage_factory=None,
+    ):
+        super().__init__()
+        self.rng = rng if rng is not None else DeterministicRng(0)
+        self.crypto = crypto if crypto is not None else CryptoSuite.fast()
+        self.pmmac = pmmac
+        self.num_blocks = num_blocks
+
+        # The Unified tree must hold data blocks plus every PosMap level;
+        # with X >= 2 this at most doubles the block count, i.e. adds at
+        # most one tree level (§4.2.1). Geometry is solved iteratively
+        # because the format's fan-out is independent of tree depth here
+        # (leaf labels are 4 bytes / PRF-derived for any supported depth).
+        self._compressed_fanout = compressed_fanout
+        fanout = self._format_fanout(
+            posmap_format, block_bytes, leaf_bytes, compressed_alpha,
+            compressed_beta, compressed_fanout,
+        )
+        self.space_levels = levels_needed(num_blocks, fanout, onchip_entries)
+        self.space = AddressSpace(num_blocks, fanout, self.space_levels)
+        total_blocks = _next_pow2(self.space.total_blocks())
+        self.config = OramConfig(
+            num_blocks=total_blocks,
+            block_bytes=block_bytes,
+            blocks_per_bucket=blocks_per_bucket,
+            leaf_bytes=leaf_bytes,
+            mac_bytes=mac_tag_bytes if pmmac else 0,
+        )
+
+        self.format = self._build_format(
+            posmap_format, block_bytes, leaf_bytes, compressed_alpha, compressed_beta
+        )
+        if self.format.fanout != fanout:
+            raise ConfigurationError("fan-out mismatch between planning and format")
+
+        if storage_factory is None:
+            view = observer.for_tree(0) if observer is not None else None
+            storage = TreeStorage(self.config, observer=view)
+        else:
+            storage = storage_factory(self.config, observer)
+        self.backend = PathOramBackend(self.config, storage, self.rng.fork(0xBACC))
+
+        top = self.space_levels - 1
+        self.posmap = OnChipPosMap(
+            entries=self.space.level_blocks(top),
+            levels=self.config.levels,
+            mode=OnChipPosMap.MODE_COUNTER if pmmac else OnChipPosMap.MODE_LEAF,
+            rng=self.rng,
+            prf=self.crypto.prf,
+        )
+        self.plb = Plb(plb_capacity_bytes, block_bytes, ways=plb_ways)
+        # First-touch bitmap per level for leaf-mode entries (see
+        # OnChipPosMap docstring); counter formats need none — zero
+        # counters reproduce factory state exactly.
+        self._touched: List[Optional[bytearray]] = [None] * self.space_levels
+        if not self.format.uses_counters:
+            for level in range(self.space_levels - 1):
+                size = (self.space.level_blocks(level) + 7) // 8
+                self._touched[level] = bytearray(size)
+
+    # -- construction helpers -----------------------------------------------------
+
+    @staticmethod
+    def _format_fanout(
+        kind: str,
+        block_bytes: int,
+        leaf_bytes: int,
+        alpha: int,
+        beta: int,
+        compressed_fanout: Optional[int] = None,
+    ) -> int:
+        if kind == "uncompressed":
+            return block_bytes // leaf_bytes
+        if kind == "flat":
+            return block_bytes // 8
+        if kind == "compressed":
+            if compressed_fanout is not None:
+                return compressed_fanout
+            max_fanout = (8 * block_bytes - alpha) // beta
+            return 1 << (max_fanout.bit_length() - 1) if max_fanout >= 1 else 0
+        raise ConfigurationError(f"unknown PosMap format {kind!r}")
+
+    def _build_format(
+        self, kind: str, block_bytes: int, leaf_bytes: int, alpha: int, beta: int
+    ):
+        levels = self.config.levels
+        if kind == "uncompressed":
+            return UncompressedPosMapFormat(block_bytes, levels, leaf_bytes)
+        if kind == "flat":
+            return FlatCounterPosMapFormat(block_bytes, levels, self.crypto.prf)
+        return CompressedPosMapFormat(
+            block_bytes,
+            levels,
+            self.crypto.prf,
+            alpha_bits=alpha,
+            beta_bits=beta,
+            fanout=self._compressed_fanout,
+        )
+
+    # -- PMMAC helpers ---------------------------------------------------------------
+
+    def _verify(self, block: Block, tagged_addr: int, counter: int) -> None:
+        """Check h == MAC_K(c || a || d) for the block of interest (§6.2.1)."""
+        if not self.pmmac:
+            return
+        if block.mac is None:
+            # Never-written block materialised as zeroes by the Backend.
+            # Legitimate only while its counter has never been advanced:
+            # once c > 0 the block must exist in the tree with a MAC, so a
+            # missing block means deletion or replay (freshness violation).
+            if counter != 0:
+                raise IntegrityViolationError(
+                    f"block {tagged_addr:#x} lost: counter {counter} but no MAC"
+                )
+            self.stats.fresh_blocks += 1
+            return
+        self.stats.mac_checks += 1
+        if not self.crypto.mac.verify(
+            counter.to_bytes(12, "little")
+            + tagged_addr.to_bytes(8, "little")
+            + block.data,
+            block.mac,
+        ):
+            raise IntegrityViolationError(
+                f"MAC mismatch for block {tagged_addr:#x} at count {counter}"
+            )
+
+    def _seal(self, tagged_addr: int, counter: int, data: bytes) -> Optional[bytes]:
+        """Produce the stored tag for a block about to re-enter the tree."""
+        if not self.pmmac:
+            return None
+        return self.crypto.mac.block_tag(counter, tagged_addr, data)
+
+    # -- first-touch bookkeeping -------------------------------------------------------
+
+    def _fresh_leaf_override(self, level: int, index: int) -> Optional[int]:
+        """Uniform label for a never-touched leaf-mode entry, else None."""
+        bitmap = self._touched[level]
+        if bitmap is None:
+            return None
+        if bitmap[index >> 3] & (1 << (index & 7)):
+            return None
+        bitmap[index >> 3] |= 1 << (index & 7)
+        return self.rng.random_leaf(self.config.levels)
+
+    # -- child remap through a parent entry ----------------------------------------------
+
+    def _remap_child(
+        self, parent: Optional[PlbEntry], level: int, chain: List[int]
+    ) -> Tuple[int, int, int, int]:
+        """Remap the entry for block (level, chain[level]) in its parent.
+
+        Returns (current_leaf, new_leaf, old_counter, new_counter). The
+        parent is a PLB entry, or None for the on-chip PosMap (top level
+        only). Handles compressed-format group remaps inline.
+        """
+        index = chain[level]
+        tagged = self.space.tag(level, index)
+        if parent is None:
+            if level != self.space_levels - 1:
+                raise ConfigurationError("only the top level resolves on-chip")
+            leaf, new_leaf, new_counter = self.posmap.lookup_and_remap(index, tagged)
+            return leaf, new_leaf, max(new_counter - 1, 0), new_counter
+
+        slot = self.space.child_slot(index)
+        result = self.format.remap(parent.data, slot, tagged, self.rng)
+        if result.group_remap_slots:
+            self._group_remap(parent, level, index, slot, result)
+        override = self._fresh_leaf_override(level, index)
+        current = override if override is not None else result.old_leaf
+        return current, result.new_leaf, result.old_counter, result.new_counter
+
+    def _group_remap(
+        self,
+        parent: PlbEntry,
+        level: int,
+        child_index: int,
+        child_slot: int,
+        result,
+    ) -> None:
+        """Relocate every sibling after an IC rollover (§5.2.2).
+
+        Thanks to the Unified tree this costs one readrmv+append per
+        sibling instead of X full recursive accesses — the §5.2.2 argument
+        for why compression requires the unified organisation.
+        """
+        self.stats.group_remaps += 1
+        group_base = child_index - child_slot
+        level_size = self.space.level_blocks(level)
+        for slot, old_counter in result.group_remap_slots:
+            sibling = group_base + slot
+            if sibling >= level_size:
+                continue
+            tagged = self.space.tag(level, sibling)
+            new_leaf = self.format.leaf_for_counter(tagged, result.new_counter)
+            resident = self.plb.peek(tagged)
+            if resident is not None:
+                # The sibling lives on-chip: update its bookkeeping only.
+                resident.leaf = new_leaf
+                resident.counter = result.new_counter
+                continue
+            old_leaf = self.format.leaf_for_counter(tagged, old_counter)
+            block = self.backend.access(Op.READRMV, tagged, old_leaf, new_leaf)
+            self.stats.posmap_tree_accesses += 1
+            self.stats.group_relocations += 1
+            self._verify(block, tagged, old_counter)
+            block.mac = self._seal(tagged, result.new_counter, block.data)
+            self.backend.access(Op.APPEND, tagged, append_block=block)
+
+    # -- PLB refill / eviction ----------------------------------------------------------
+
+    def _refill_plb(
+        self, level: int, chain: List[int], leaf: int, new_leaf: int,
+        old_counter: int, new_counter: int,
+    ) -> PlbEntry:
+        """readrmv PosMap block (level, chain[level]) and install it."""
+        tagged = self.space.tag(level, chain[level])
+        block = self.backend.access(Op.READRMV, tagged, leaf, new_leaf)
+        self.stats.posmap_tree_accesses += 1
+        self.stats.plb_refills += 1
+        self._verify(block, tagged, old_counter)
+        entry = PlbEntry(
+            tagged_addr=tagged,
+            data=bytearray(block.data),
+            leaf=new_leaf,
+            counter=new_counter,
+        )
+        victim = self.plb.insert(entry)
+        if victim is not None:
+            self._evict_plb_entry(victim)
+        return entry
+
+    def _evict_plb_entry(self, victim: PlbEntry) -> None:
+        """Append a PLB victim back into the stash with a fresh MAC."""
+        self.stats.plb_evictions += 1
+        data = bytes(victim.data)
+        block = Block(
+            addr=victim.tagged_addr,
+            leaf=victim.leaf,
+            data=data,
+            mac=self._seal(victim.tagged_addr, victim.counter, data),
+        )
+        self.backend.access(Op.APPEND, victim.tagged_addr, append_block=block)
+
+    # -- the access algorithm (§4.2.4) -----------------------------------------------------
+
+    def access(
+        self, addr: int, op: Op = Op.READ, data: Optional[bytes] = None
+    ) -> AccessResult:
+        """One processor request: PLB loop, PosMap refills, data access."""
+        if op not in (Op.READ, Op.WRITE):
+            raise ConfigurationError("processor requests are READ or WRITE")
+        if op is Op.WRITE and (data is None or len(data) != self.config.block_bytes):
+            raise ValueError("WRITE requires a full block of data")
+        self.stats.accesses += 1
+        start_posmap = self.stats.posmap_tree_accesses
+        chain = self.space.chain(addr)
+        levels = self.space_levels
+
+        # Step 1: PLB lookup loop.
+        parent: Optional[PlbEntry] = None
+        hit_level = levels - 1
+        for i in range(levels - 1):
+            entry = self.plb.lookup(self.space.tag(i + 1, chain[i + 1]))
+            if entry is not None:
+                parent = entry
+                hit_level = i
+                break
+        if hit_level == 0 or (levels == 1):
+            self.stats.plb_hits += 1
+        else:
+            self.stats.plb_misses += 1
+
+        # Step 2: fetch missing PosMap blocks, deepest level first.
+        for level in range(hit_level, 0, -1):
+            leaf, new_leaf, old_c, new_c = self._remap_child(parent, level, chain)
+            parent = self._refill_plb(level, chain, leaf, new_leaf, old_c, new_c)
+
+        # Step 3: data block access.
+        leaf, new_leaf, old_c, new_c = self._remap_child(parent, 0, chain)
+        frontend = self
+
+        def update(block) -> None:
+            frontend._verify(block, addr, old_c)
+            if op is Op.WRITE:
+                block.data = data
+            block.mac = frontend._seal(addr, new_c, block.data)
+
+        result_block = self.backend.access(op, addr, leaf, new_leaf, update=update)
+        self.stats.data_tree_accesses += 1
+        posmap_accesses = self.stats.posmap_tree_accesses - start_posmap
+        return AccessResult(
+            data=result_block.data if op is Op.READ else (data or b""),
+            tree_accesses=posmap_accesses + 1,
+            posmap_tree_accesses=posmap_accesses,
+            plb_hit_level=hit_level,
+        )
+
+    # -- bandwidth attribution ---------------------------------------------------------------
+
+    @property
+    def data_bytes_moved(self) -> int:
+        """Unified-tree traffic attributable to data block accesses."""
+        per_access = 2 * self.config.path_bytes
+        return self.stats.data_tree_accesses * per_access
+
+    @property
+    def posmap_bytes_moved(self) -> int:
+        """Unified-tree traffic attributable to PosMap management."""
+        per_access = 2 * self.config.path_bytes
+        return self.stats.posmap_tree_accesses * per_access
+
+    @property
+    def onchip_posmap_bytes(self) -> int:
+        """SRAM footprint of the on-chip PosMap."""
+        return self.posmap.size_bytes
+
+    @property
+    def plb_capacity_bytes(self) -> int:
+        """Configured PLB data capacity."""
+        return self.plb.capacity_bytes

@@ -1,0 +1,16 @@
+"""Integrity verification schemes.
+
+- :class:`~repro.integrity.merkle.MerklePathVerifier` — the prior-art
+  baseline ([25]): a hash tree over ORAM buckets, verifying and updating
+  every bucket on the accessed path. Correct but hash-bandwidth hungry
+  and inherently sequential (§6.3).
+- PMMAC itself lives in the Frontend
+  (:class:`~repro.frontend.unified.PlbFrontend` with ``pmmac=True``)
+  because it is a Frontend mechanism; this package hosts the baseline it
+  is compared against and shared helpers.
+"""
+
+from repro.integrity.adapter import MerkleVerifiedStorage
+from repro.integrity.merkle import MerklePathVerifier, serialise_bucket
+
+__all__ = ["MerklePathVerifier", "MerkleVerifiedStorage", "serialise_bucket"]

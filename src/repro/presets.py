@@ -1,0 +1,202 @@
+"""Named scheme presets matching the paper's evaluation (§7.1.4).
+
+Naming follows the paper: P = PLB, I = Integrity (PMMAC), C = Compressed
+PosMap, and the X suffix is the PosMap fan-out:
+
+- ``R_X8``    — Recursive ORAM baseline of [26]: separate trees, X = 8
+                (32-byte PosMap blocks), no PLB.
+- ``P_X16``   — PLB + Unified tree, uncompressed PosMap (X = 16 at 64 B).
+- ``PC_X32``  — PLB + compressed PosMap (alpha=64, beta=14, X = 32).
+- ``PI_X8``   — PLB + PMMAC with flat 64-bit counters (X = 8).
+- ``PIC_X32`` — PLB + compressed PosMap + PMMAC (the paper's headline).
+- ``phantom_4kb`` — Phantom [21] configuration: 4 KB blocks, no recursion.
+
+Simulation-scale defaults (N = 2^16 blocks, 8 KB on-chip budget) keep runs
+tractable; every parameter can be overridden for full-scale studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import OramConfig
+from repro.crypto.suite import CryptoSuite
+from repro.frontend.linear import LinearFrontend
+from repro.frontend.recursive import RecursiveFrontend
+from repro.frontend.unified import PlbFrontend
+from repro.utils.rng import DeterministicRng
+
+#: Scheme names usable with :func:`build_frontend`.
+SCHEMES = ("R_X8", "P_X16", "PC_X32", "PI_X8", "PIC_X32")
+
+
+def r_x8(
+    num_blocks: int = 2**16,
+    block_bytes: int = 64,
+    blocks_per_bucket: int = 4,
+    onchip_entries: int = 2**11,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+) -> RecursiveFrontend:
+    """Recursive ORAM baseline with X=8 (32-byte PosMap blocks, [26])."""
+    return RecursiveFrontend(
+        num_blocks=num_blocks,
+        data_block_bytes=block_bytes,
+        posmap_block_bytes=32,
+        blocks_per_bucket=blocks_per_bucket,
+        onchip_entries=onchip_entries,
+        rng=rng,
+        observer=observer,
+    )
+
+
+def _plb_frontend(
+    posmap_format: str,
+    pmmac: bool,
+    num_blocks: int,
+    block_bytes: int,
+    blocks_per_bucket: int,
+    plb_capacity_bytes: int,
+    onchip_entries: int,
+    rng: Optional[DeterministicRng],
+    observer,
+    crypto: Optional[CryptoSuite],
+    plb_ways: int = 1,
+) -> PlbFrontend:
+    return PlbFrontend(
+        num_blocks=num_blocks,
+        block_bytes=block_bytes,
+        blocks_per_bucket=blocks_per_bucket,
+        plb_capacity_bytes=plb_capacity_bytes,
+        plb_ways=plb_ways,
+        onchip_entries=onchip_entries,
+        posmap_format=posmap_format,
+        pmmac=pmmac,
+        rng=rng,
+        observer=observer,
+        crypto=crypto,
+    )
+
+
+def p_x16(
+    num_blocks: int = 2**16,
+    block_bytes: int = 64,
+    blocks_per_bucket: int = 4,
+    plb_capacity_bytes: int = 64 * 1024,
+    onchip_entries: int = 2**11,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+    crypto: Optional[CryptoSuite] = None,
+    plb_ways: int = 1,
+) -> PlbFrontend:
+    """PLB + Unified tree with the uncompressed PosMap (X=16 at 64 B)."""
+    return _plb_frontend(
+        "uncompressed", False, num_blocks, block_bytes, blocks_per_bucket,
+        plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+    )
+
+
+def pc_x32(
+    num_blocks: int = 2**16,
+    block_bytes: int = 64,
+    blocks_per_bucket: int = 4,
+    plb_capacity_bytes: int = 64 * 1024,
+    onchip_entries: int = 2**11,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+    crypto: Optional[CryptoSuite] = None,
+    plb_ways: int = 1,
+) -> PlbFrontend:
+    """PLB + compressed PosMap (X=32 for 64 B blocks; §5.3)."""
+    return _plb_frontend(
+        "compressed", False, num_blocks, block_bytes, blocks_per_bucket,
+        plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+    )
+
+
+def pi_x8(
+    num_blocks: int = 2**16,
+    block_bytes: int = 64,
+    blocks_per_bucket: int = 4,
+    plb_capacity_bytes: int = 64 * 1024,
+    onchip_entries: int = 2**11,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+    crypto: Optional[CryptoSuite] = None,
+    plb_ways: int = 1,
+) -> PlbFrontend:
+    """PLB + PMMAC with flat 64-bit counters (X=8; §6.2.2)."""
+    return _plb_frontend(
+        "flat", True, num_blocks, block_bytes, blocks_per_bucket,
+        plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+    )
+
+
+def pic_x32(
+    num_blocks: int = 2**16,
+    block_bytes: int = 64,
+    blocks_per_bucket: int = 4,
+    plb_capacity_bytes: int = 64 * 1024,
+    onchip_entries: int = 2**11,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+    crypto: Optional[CryptoSuite] = None,
+    plb_ways: int = 1,
+) -> PlbFrontend:
+    """PLB + compressed PosMap + PMMAC — the paper's combined scheme."""
+    return _plb_frontend(
+        "compressed", True, num_blocks, block_bytes, blocks_per_bucket,
+        plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+    )
+
+
+def pc_x64(
+    num_blocks: int = 2**15,
+    block_bytes: int = 128,
+    blocks_per_bucket: int = 3,
+    plb_capacity_bytes: int = 64 * 1024,
+    onchip_entries: int = 2**11,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+    crypto: Optional[CryptoSuite] = None,
+) -> PlbFrontend:
+    """PC with 128-byte blocks, doubling X to 64 (the Fig. 8 point)."""
+    return _plb_frontend(
+        "compressed", False, num_blocks, block_bytes, blocks_per_bucket,
+        plb_capacity_bytes, onchip_entries, rng, observer, crypto,
+    )
+
+
+def phantom_4kb(
+    num_blocks: int = 2**12,
+    block_bytes: int = 4096,
+    blocks_per_bucket: int = 4,
+    rng: Optional[DeterministicRng] = None,
+    observer=None,
+) -> LinearFrontend:
+    """Phantom [21] configuration: large blocks, full on-chip PosMap."""
+    cfg = OramConfig(
+        num_blocks=num_blocks,
+        block_bytes=block_bytes,
+        blocks_per_bucket=blocks_per_bucket,
+    )
+    rng = rng if rng is not None else DeterministicRng(0)
+    from repro.storage.tree import TreeStorage
+
+    view = observer.for_tree(0) if observer is not None else None
+    return LinearFrontend(cfg, rng, storage=TreeStorage(cfg, observer=view))
+
+
+def build_frontend(scheme: str, **kwargs):
+    """Factory dispatch on a paper scheme name (see :data:`SCHEMES`)."""
+    factories = {
+        "R_X8": r_x8,
+        "P_X16": p_x16,
+        "PC_X32": pc_x32,
+        "PI_X8": pi_x8,
+        "PIC_X32": pic_x32,
+        "PC_X64": pc_x64,
+    }
+    if scheme not in factories:
+        raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+    return factories[scheme](**kwargs)

@@ -1,0 +1,12 @@
+"""Processor-side models: caches and the trace-driven core (Table 1).
+
+The paper evaluates with Graphite: an in-order, single-issue 1.3 GHz core
+with 32 KB L1 and 1 MB L2 caches. We reproduce that with a set-associative
+LRU cache hierarchy driven by synthetic SPEC stand-in traces; the LLC
+miss/eviction stream it produces is what the ORAM controller sees.
+"""
+
+from repro.proc.cache import Cache, CacheStats
+from repro.proc.hierarchy import CacheHierarchy, MissEvent, MissTrace
+
+__all__ = ["Cache", "CacheStats", "CacheHierarchy", "MissEvent", "MissTrace"]

@@ -1,0 +1,117 @@
+"""Set-associative write-back LRU cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.bitops import is_power_of_two, log2_exact
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0 when unused)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "last_use")
+
+    def __init__(self, tag: int, clock: int):
+        self.tag = tag
+        self.dirty = False
+        self.last_use = clock
+
+
+class Cache:
+    """One cache level; addresses are line-granular (byte_addr // line)."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64):
+        lines = size_bytes // line_bytes
+        if lines % ways:
+            raise ValueError("capacity must divide evenly into ways")
+        self.num_sets = lines // ways
+        if not is_power_of_two(self.num_sets):
+            raise ValueError("set count must be a power of two")
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self._set_shift = log2_exact(self.num_sets)
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def _locate(self, line_addr: int) -> Tuple[Dict[int, _Line], int]:
+        return self._sets[line_addr & (self.num_sets - 1)], line_addr >> self._set_shift
+
+    def access(self, line_addr: int, is_write: bool) -> Tuple[bool, Optional[int]]:
+        """Look up a line; allocate on miss.
+
+        Returns (hit, writeback_line_addr): the second element is the
+        address of a dirty victim that must be written to the next level,
+        or None.
+        """
+        self._clock += 1
+        cache_set, tag = self._locate(line_addr)
+        line = cache_set.get(tag)
+        if line is not None:
+            self.stats.hits += 1
+            line.last_use = self._clock
+            if is_write:
+                line.dirty = True
+            return True, None
+
+        self.stats.misses += 1
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+            victim = cache_set.pop(victim_tag)
+            if victim.dirty:
+                self.stats.writebacks += 1
+                set_index = line_addr & (self.num_sets - 1)
+                writeback = (victim_tag << self._set_shift) | set_index
+        new_line = _Line(tag, self._clock)
+        new_line.dirty = is_write
+        cache_set[tag] = new_line
+        return False, writeback
+
+    def install(self, line_addr: int, dirty: bool) -> Optional[int]:
+        """Insert a line without counting a demand access (fill path).
+
+        Returns a dirty victim's line address, if one was displaced.
+        """
+        self._clock += 1
+        cache_set, tag = self._locate(line_addr)
+        line = cache_set.get(tag)
+        if line is not None:
+            line.last_use = self._clock
+            line.dirty = line.dirty or dirty
+            return None
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+            victim = cache_set.pop(victim_tag)
+            if victim.dirty:
+                self.stats.writebacks += 1
+                set_index = line_addr & (self.num_sets - 1)
+                writeback = (victim_tag << self._set_shift) | set_index
+        new_line = _Line(tag, self._clock)
+        new_line.dirty = dirty
+        cache_set[tag] = new_line
+        return writeback
+
+    def occupancy(self) -> int:
+        """Lines currently resident."""
+        return sum(len(s) for s in self._sets)

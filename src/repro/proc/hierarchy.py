@@ -1,0 +1,107 @@
+"""Two-level cache hierarchy producing the LLC miss/eviction stream.
+
+The ORAM controller intercepts last-level cache misses and dirty
+evictions (§1, §2); :class:`CacheHierarchy` simulates L1 + L2 over a
+memory-reference trace and records exactly that stream as a
+:class:`MissTrace`, which the system simulator then replays against any
+Frontend. Decoupling trace generation from Frontend replay lets one
+cache simulation serve every scheme and PLB size (they see the same
+miss addresses by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.config import ProcessorConfig
+from repro.proc.cache import Cache
+
+
+@dataclass(frozen=True)
+class MissEvent:
+    """One ORAM-visible event: an LLC miss (read) or dirty eviction (write)."""
+
+    line_addr: int
+    is_write: bool
+
+
+@dataclass
+class MissTrace:
+    """LLC-filtered view of a program's execution."""
+
+    name: str
+    instructions: int = 0
+    mem_refs: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    events: List[MissEvent] = field(default_factory=list)
+
+    @property
+    def llc_misses(self) -> int:
+        """Demand misses (excludes eviction writebacks)."""
+        return sum(1 for e in self.events if not e.is_write)
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        return 1000.0 * self.llc_misses / self.instructions if self.instructions else 0.0
+
+
+class CacheHierarchy:
+    """L1 + L2 write-back hierarchy with Table 1 geometry by default."""
+
+    def __init__(self, config: ProcessorConfig = ProcessorConfig()):
+        self.config = config
+        self.l1 = Cache(config.l1_bytes, config.l1_ways, config.line_bytes)
+        self.l2 = Cache(config.l2_bytes, config.l2_ways, config.line_bytes)
+
+    def run(
+        self,
+        refs: Iterable[Tuple[int, bool, int]],
+        name: str = "trace",
+        max_llc_misses: int = 0,
+        warmup_refs: int = 0,
+    ) -> MissTrace:
+        """Drive the hierarchy with (gap_instructions, is_write, byte_addr).
+
+        The first ``warmup_refs`` references warm the caches without being
+        recorded (the paper warms over 1B instructions before measuring,
+        §7.1.1); measurement then stops after ``max_llc_misses`` demand
+        misses when positive.
+        """
+        trace = MissTrace(name=name)
+        line_shift = self.config.line_bytes.bit_length() - 1
+        misses = 0
+        warm_remaining = warmup_refs
+        for gap, is_write, byte_addr in refs:
+            recording = warm_remaining <= 0
+            if not recording:
+                warm_remaining -= 1
+            if recording:
+                trace.instructions += gap + 1
+                trace.mem_refs += 1
+            line = byte_addr >> line_shift
+            hit, wb = self.l1.access(line, is_write)
+            if hit:
+                if recording:
+                    trace.l1_hits += 1
+                continue
+            if wb is not None:
+                l2_wb = self.l2.install(wb, dirty=True)
+                if l2_wb is not None and recording:
+                    trace.events.append(MissEvent(l2_wb, True))
+            l2_hit, l2_wb = self.l2.access(line, False)
+            if l2_hit:
+                if recording:
+                    trace.l2_hits += 1
+                continue
+            if not recording:
+                continue
+            if l2_wb is not None:
+                trace.events.append(MissEvent(l2_wb, True))
+            trace.events.append(MissEvent(line, False))
+            misses += 1
+            if max_llc_misses and misses >= max_llc_misses:
+                break
+        return trace

@@ -1,0 +1,82 @@
+"""Result records and aggregation for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.utils.stats import geometric_mean
+
+
+@dataclass
+class SimResult:
+    """Outcome of replaying one benchmark against one scheme."""
+
+    benchmark: str
+    scheme: str
+    cycles: float
+    instructions: int
+    llc_misses: int
+    oram_accesses: int
+    tree_accesses: int
+    data_bytes: int = 0
+    posmap_bytes: int = 0
+    plb_hit_rate: float = 0.0
+    mpki: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Data + PosMap bytes moved."""
+        return self.data_bytes + self.posmap_bytes
+
+    @property
+    def bytes_per_access(self) -> float:
+        """Average bytes moved per ORAM access (Fig. 7/8 right axis)."""
+        return self.total_bytes / self.oram_accesses if self.oram_accesses else 0.0
+
+    @property
+    def posmap_byte_fraction(self) -> float:
+        """Share of traffic serving the PosMap (Fig. 3 y-axis)."""
+        return self.posmap_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def slowdown_vs(self, baseline: "SimResult") -> float:
+        """Runtime ratio against a baseline replay of the same trace."""
+        if baseline.cycles == 0:
+            raise ValueError("baseline has zero cycles")
+        return self.cycles / baseline.cycles
+
+
+def slowdown_table(
+    results: Dict[str, Dict[str, SimResult]],
+    baselines: Dict[str, SimResult],
+    schemes: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark slowdown vs insecure, plus the geometric mean row.
+
+    ``results[scheme][benchmark]`` and ``baselines[benchmark]`` follow the
+    runner's layout; the returned mapping is ``table[scheme][benchmark]``
+    with an extra ``"geomean"`` key per scheme (the paper's Avg bars).
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        row: Dict[str, float] = {}
+        for bench, result in results[scheme].items():
+            row[bench] = result.slowdown_vs(baselines[bench])
+        row["geomean"] = geometric_mean([v for k, v in row.items() if k != "geomean"])
+        table[scheme] = row
+    return table
+
+
+def format_table(
+    table: Dict[str, Dict[str, float]], benchmarks: Sequence[str], title: str = ""
+) -> str:
+    """Render a scheme x benchmark table as aligned text."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'scheme':>10} " + " ".join(f"{b:>7}" for b in benchmarks) + f" {'geomean':>8}"
+    lines.append(header)
+    for scheme, row in table.items():
+        cells = " ".join(f"{row.get(b, float('nan')):7.2f}" for b in benchmarks)
+        lines.append(f"{scheme:>10} " + cells + f" {row['geomean']:8.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Experiment orchestration: benchmarks x schemes with trace caching.
+
+One cache simulation per benchmark produces a :class:`MissTrace`; the
+trace is then replayed against every requested scheme (and the insecure
+baseline), so all schemes see byte-identical miss streams — the paper's
+methodology, and the property that makes scheme-vs-scheme ratios
+meaningful at simulation scale.
+
+Scale is controlled by ``misses_per_benchmark``; set the environment
+variable ``REPRO_FULL=1`` (or pass explicit values) for longer runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import ProcessorConfig
+from repro.dram.config import DramConfig
+from repro.frontend.recursive import RecursiveFrontend
+from repro.frontend.unified import PlbFrontend
+from repro.presets import build_frontend
+from repro.proc.hierarchy import CacheHierarchy, MissTrace
+from repro.sim.metrics import SimResult
+from repro.sim.system import insecure_cycles, replay_trace
+from repro.sim.timing import OramTimingModel
+from repro.utils.rng import DeterministicRng
+from repro.workloads.spec import SPEC_BENCHMARKS, benchmark
+
+
+def default_miss_budget() -> int:
+    """Per-benchmark LLC miss budget (env-tunable)."""
+    if os.environ.get("REPRO_FULL"):
+        return 50_000
+    return 6_000
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(n - 1, 1).bit_length() if n > 1 else 1
+
+
+class SimulationRunner:
+    """Caches miss traces and replays them against scheme presets."""
+
+    def __init__(
+        self,
+        proc: ProcessorConfig = ProcessorConfig(),
+        dram: Optional[DramConfig] = None,
+        proc_ghz: float = 1.3,
+        seed: int = 2015,
+        misses_per_benchmark: Optional[int] = None,
+        plb_capacity_bytes: int = 64 * 1024,
+        onchip_entries: int = 2**10,
+    ):
+        self.proc = proc
+        self.dram = dram if dram is not None else DramConfig()
+        self.proc_ghz = proc_ghz
+        self.seed = seed
+        self.misses = (
+            misses_per_benchmark
+            if misses_per_benchmark is not None
+            else default_miss_budget()
+        )
+        self.plb_capacity_bytes = plb_capacity_bytes
+        self.onchip_entries = onchip_entries
+        self._traces: Dict[str, MissTrace] = {}
+
+    # -- traces -----------------------------------------------------------------
+
+    def trace(self, bench_name: str) -> MissTrace:
+        """Miss trace for a benchmark (cached)."""
+        if bench_name not in self._traces:
+            spec = benchmark(bench_name)
+            hierarchy = CacheHierarchy(self.proc)
+            rng = DeterministicRng(self.seed).fork(hash(bench_name) & 0xFFFF)
+            # Warm the caches over ~2.5 working-set sweeps (capped) so the
+            # measured region excludes compulsory misses, mirroring the
+            # paper's 1B-instruction warmup.
+            wss_lines = spec.wss_bytes // self.proc.line_bytes
+            warmup = min(int(2.5 * wss_lines), 900_000)
+            self._traces[bench_name] = hierarchy.run(
+                spec.refs(rng),
+                name=bench_name,
+                max_llc_misses=self.misses,
+                warmup_refs=warmup,
+            )
+        return self._traces[bench_name]
+
+    # -- frontends ----------------------------------------------------------------
+
+    def _blocks_needed(self, bench_name: str, block_bytes: int) -> int:
+        wss = benchmark(bench_name).wss_bytes
+        return _next_pow2(max(wss // block_bytes, 2))
+
+    def build(self, scheme: str, bench_name: str, **overrides):
+        """Instantiate a scheme preset sized for a benchmark's working set."""
+        block_bytes = overrides.pop("block_bytes", self.proc.line_bytes)
+        num_blocks = overrides.pop(
+            "num_blocks", self._blocks_needed(bench_name, block_bytes)
+        )
+        kwargs = dict(
+            num_blocks=num_blocks,
+            block_bytes=block_bytes,
+            rng=DeterministicRng(self.seed ^ 0xA5A5),
+            onchip_entries=overrides.pop("onchip_entries", self.onchip_entries),
+        )
+        if scheme != "R_X8":
+            kwargs["plb_capacity_bytes"] = overrides.pop(
+                "plb_capacity_bytes", self.plb_capacity_bytes
+            )
+        kwargs.update(overrides)
+        return build_frontend(scheme, **kwargs)
+
+    def timing_for(self, frontend) -> OramTimingModel:
+        """Timing model matched to a frontend's tree geometry."""
+        if isinstance(frontend, RecursiveFrontend):
+            return OramTimingModel.for_recursive(
+                frontend.configs, self.dram, self.proc_ghz
+            )
+        return OramTimingModel.for_config(
+            frontend.config, self.dram, self.proc_ghz, pmmac=frontend.pmmac
+            if isinstance(frontend, PlbFrontend)
+            else False,
+        )
+
+    # -- experiments ------------------------------------------------------------------
+
+    def run_one(self, scheme: str, bench_name: str, **overrides) -> SimResult:
+        """Replay one benchmark against one scheme."""
+        trace = self.trace(bench_name)
+        frontend = self.build(scheme, bench_name, **overrides)
+        timing = self.timing_for(frontend)
+        return replay_trace(
+            frontend, trace, timing, proc=self.proc, scheme=scheme
+        )
+
+    def run_insecure(self, bench_name: str) -> SimResult:
+        """Insecure-DRAM baseline for one benchmark."""
+        return insecure_cycles(self.trace(bench_name), self.proc)
+
+    def run_suite(
+        self,
+        schemes: Sequence[str],
+        benchmarks: Optional[Iterable[str]] = None,
+        **overrides,
+    ) -> Dict[str, Dict[str, SimResult]]:
+        """All (scheme, benchmark) pairs; results[scheme][benchmark]."""
+        names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
+        out: Dict[str, Dict[str, SimResult]] = {}
+        for scheme in schemes:
+            out[scheme] = {}
+            for name in names:
+                out[scheme][name] = self.run_one(scheme, name, **overrides)
+        return out
+
+    def baselines(
+        self, benchmarks: Optional[Iterable[str]] = None
+    ) -> Dict[str, SimResult]:
+        """Insecure baselines keyed by benchmark."""
+        names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
+        return {name: self.run_insecure(name) for name in names}

@@ -1,0 +1,82 @@
+"""Per-access ORAM latency composition.
+
+One processor request costs (§7.1.1):
+
+    frontend_latency                 (PLB evict/refill pipeline, once)
+  + n_tree x (tree_latency + backend_latency)
+  + sha3_latency if PMMAC           (verify the block of interest)
+
+where ``n_tree`` is the number of Backend path accesses the Frontend
+issued (1 on a full PLB hit; up to H on a complete miss; plus group-remap
+relocations) and ``tree_latency`` is the DRAM time to read and write one
+path of the Unified (or per-level) tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import FrontendTimings, OramConfig
+from repro.dram.config import DramConfig
+from repro.dram.model import DramModel
+
+
+@dataclass
+class OramTimingModel:
+    """Latency calculator for one ORAM configuration."""
+
+    tree_latency_cycles: float
+    timings: FrontendTimings = FrontendTimings()
+    pmmac: bool = False
+
+    @classmethod
+    def for_config(
+        cls,
+        oram_config: OramConfig,
+        dram_config: Optional[DramConfig] = None,
+        proc_ghz: float = 1.3,
+        pmmac: bool = False,
+        timings: FrontendTimings = FrontendTimings(),
+    ) -> "OramTimingModel":
+        """Derive the expected tree latency from the DRAM model."""
+        model = DramModel(oram_config.levels, oram_config.bucket_bytes, dram_config)
+        return cls(
+            tree_latency_cycles=model.average_oram_latency_proc_cycles(proc_ghz),
+            timings=timings,
+            pmmac=pmmac,
+        )
+
+    @classmethod
+    def for_recursive(
+        cls,
+        configs: Sequence[OramConfig],
+        dram_config: Optional[DramConfig] = None,
+        proc_ghz: float = 1.3,
+        timings: FrontendTimings = FrontendTimings(),
+    ) -> "OramTimingModel":
+        """Average per-tree latency for a multi-tree Recursive ORAM.
+
+        Each level has its own (smaller) tree; the replay engine only
+        reports a total tree-access count, so we weight levels equally —
+        a Recursive access touches every level exactly once.
+        """
+        total = 0.0
+        for cfg in configs:
+            model = DramModel(cfg.levels, cfg.bucket_bytes, dram_config)
+            total += model.average_oram_latency_proc_cycles(proc_ghz)
+        return cls(
+            tree_latency_cycles=total / len(configs),
+            timings=timings,
+            pmmac=False,
+        )
+
+    def miss_latency(self, tree_accesses: int) -> float:
+        """Processor cycles to service one LLC miss/eviction."""
+        t = self.timings
+        latency = t.frontend_latency + tree_accesses * (
+            self.tree_latency_cycles + t.backend_latency
+        )
+        if self.pmmac:
+            latency += t.sha3_latency
+        return latency

@@ -1,0 +1,29 @@
+"""Untrusted external storage: blocks, buckets, and the ORAM tree.
+
+Two storage models share one interface:
+
+- :class:`~repro.storage.tree.TreeStorage` keeps buckets as Python objects
+  (no real encryption) and is the fast substrate for performance studies;
+  bandwidth is accounted using the padded bucket size of
+  :class:`~repro.config.OramConfig`.
+- :class:`~repro.storage.encrypted.EncryptedTreeStorage` serialises buckets
+  to bytes and encrypts them with real one-time pads (bucket-seed or
+  global-seed scheme), exposing the raw ciphertext to the adversary; it
+  backs the privacy/integrity security tests including the §6.4 replay
+  attack.
+"""
+
+from repro.storage.block import Block, DUMMY_ADDR
+from repro.storage.bucket import Bucket
+from repro.storage.encrypted import EncryptedTreeStorage, EncryptionScheme
+from repro.storage.tree import TreeStorage, path_indices
+
+__all__ = [
+    "Block",
+    "DUMMY_ADDR",
+    "Bucket",
+    "TreeStorage",
+    "EncryptedTreeStorage",
+    "EncryptionScheme",
+    "path_indices",
+]

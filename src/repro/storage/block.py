@@ -1,0 +1,37 @@
+"""The unit of ORAM storage: a (address, leaf, data[, mac]) tuple.
+
+Blocks are the processor-visible unit (a cache line, §3.1). Each block in
+the stash or tree carries its current leaf label and block address; PMMAC
+additionally appends a MAC tag which the backend treats as opaque payload
+bits (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Sentinel address used for dummy blocks in serialised buckets.
+DUMMY_ADDR = -1
+
+
+@dataclass
+class Block:
+    """One real data or PosMap block.
+
+    ``addr`` is the full tagged address — for PosMap blocks this encodes
+    the recursion level i and index a_i (the i||a_i tag of §4.1.1) via
+    :mod:`repro.frontend.addrgen`.
+    """
+
+    addr: int
+    leaf: int
+    data: bytes
+    mac: Optional[bytes] = None
+
+    def copy(self) -> "Block":
+        """Independent copy (bytes are immutable, so shallow fields suffice)."""
+        return Block(self.addr, self.leaf, self.data, self.mac)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block(addr={self.addr:#x}, leaf={self.leaf}, |data|={len(self.data)})"

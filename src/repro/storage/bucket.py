@@ -1,0 +1,59 @@
+"""Bucket: a fixed number of block slots, the node type of the ORAM tree."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.storage.block import Block
+
+
+class Bucket:
+    """Z-slot bucket. Empty slots are implicit dummies.
+
+    The plaintext object model keeps only real blocks; the number of
+    dummies is ``capacity - len(blocks)``. Serialisation (for the encrypted
+    storage model) materialises dummies explicitly so all buckets are the
+    same size on the wire, as required for indistinguishability.
+    """
+
+    __slots__ = ("capacity", "blocks", "seed")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("bucket capacity must be positive")
+        self.capacity = capacity
+        self.blocks: List[Block] = []
+        #: Encryption seed (bucket-seed scheme); plaintext-visible metadata.
+        self.seed = 0
+
+    def is_full(self) -> bool:
+        """True when no slot is free."""
+        return len(self.blocks) >= self.capacity
+
+    def add(self, block: Block) -> None:
+        """Place a block into a free slot."""
+        if self.is_full():
+            raise OverflowError("bucket is full")
+        self.blocks.append(block)
+
+    def drain(self) -> List[Block]:
+        """Remove and return all real blocks (path read into stash)."""
+        out = self.blocks
+        self.blocks = []
+        return out
+
+    def find(self, addr: int) -> Optional[Block]:
+        """Return the block with ``addr`` if present."""
+        for block in self.blocks:
+            if block.addr == addr:
+                return block
+        return None
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bucket({len(self.blocks)}/{self.capacity})"

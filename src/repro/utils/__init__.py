@@ -1,0 +1,37 @@
+"""Shared utility layer: bit manipulation, unit parsing, statistics, RNG."""
+
+from repro.utils.bitops import (
+    bit_length,
+    clear_bit,
+    common_prefix_len,
+    extract_bits,
+    is_power_of_two,
+    log2_exact,
+    reverse_bits,
+    set_bit,
+    bit_is_set,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.stats import RunningStats, geometric_mean, histogram
+from repro.utils.units import GiB, KiB, MiB, format_bytes, parse_size
+
+__all__ = [
+    "bit_length",
+    "clear_bit",
+    "common_prefix_len",
+    "extract_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "reverse_bits",
+    "set_bit",
+    "bit_is_set",
+    "DeterministicRng",
+    "RunningStats",
+    "geometric_mean",
+    "histogram",
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "parse_size",
+]

@@ -1,0 +1,59 @@
+"""Byte-size constants, parsing and formatting.
+
+The paper quotes capacities in binary units (8 KB PosMap, 4 GB ORAM, ...).
+All sizes in this library are in bytes unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": KiB,
+    "kib": KiB,
+    "mb": MiB,
+    "mib": MiB,
+    "gb": GiB,
+    "gib": GiB,
+    "tb": TiB,
+    "tib": TiB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string such as ``"64KB"`` or ``"4 GiB"`` to bytes.
+
+    Binary (1024-based) multipliers are used for both KB and KiB spellings,
+    matching the paper's convention.
+    """
+    s = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            if not number:
+                raise ValueError(f"no numeric part in size {text!r}")
+            value = float(number)
+            result = value * _SUFFIXES[suffix]
+            if result != int(result):
+                raise ValueError(f"size {text!r} is not a whole number of bytes")
+            return int(result)
+    if s.isdigit():
+        return int(s)
+    raise ValueError(f"cannot parse size {text!r}")
+
+
+def format_bytes(n: int) -> str:
+    """Format a byte count with the largest suitable binary suffix."""
+    if n < 0:
+        raise ValueError("byte count must be non-negative")
+    for suffix, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if n >= factor:
+            value = n / factor
+            if value == int(value):
+                return f"{int(value)} {suffix}"
+            return f"{value:.2f} {suffix}"
+    return f"{n} B"

@@ -1,0 +1,94 @@
+"""Primitive synthetic address-pattern generators.
+
+Each generator is an infinite iterator of byte addresses confined to a
+working set of ``wss_bytes``. They are the building blocks the SPEC
+stand-ins mix; each captures one archetypal locality class:
+
+- :func:`sequential_stream` — unit-stride scan (libquantum-like);
+- :func:`strided_stream` — constant stride, the §4.1.2 "program B";
+- :func:`uniform_random` — no locality at all;
+- :func:`zipf_random` — heavy-tailed hot set (gcc/perl-like heaps);
+- :func:`pointer_chase` — dependent walk through a random permutation
+  (mcf-like), the worst case for any cache and for the PLB;
+- :func:`hot_cold` — small hot region plus cold uniform traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.utils.rng import DeterministicRng
+
+
+def sequential_stream(
+    wss_bytes: int, rng: DeterministicRng, stride: int = 64
+) -> Iterator[int]:
+    """Unit-stride scan over the working set, wrapping around."""
+    addr = rng.randrange(max(wss_bytes // stride, 1)) * stride
+    while True:
+        yield addr
+        addr = (addr + stride) % wss_bytes
+
+
+def strided_stream(
+    wss_bytes: int, rng: DeterministicRng, stride: int = 1024
+) -> Iterator[int]:
+    """Constant-stride scan (program B of §4.1.2 when stride = X lines)."""
+    addr = rng.randrange(max(wss_bytes // 64, 1)) * 64
+    while True:
+        yield addr
+        addr = (addr + stride) % wss_bytes
+
+
+def uniform_random(wss_bytes: int, rng: DeterministicRng) -> Iterator[int]:
+    """Uniform line-granular addresses — zero locality."""
+    lines = max(wss_bytes // 64, 1)
+    while True:
+        yield rng.randrange(lines) * 64
+
+
+def zipf_random(
+    wss_bytes: int, rng: DeterministicRng, alpha: float = 0.9
+) -> Iterator[int]:
+    """Zipf-distributed line popularity (hot structures, cold tail)."""
+    lines = max(wss_bytes // 64, 1)
+    # A fixed pseudo-random rank->line shuffle keeps hot lines scattered.
+    scramble = 0x9E3779B1
+    while True:
+        rank = rng.zipf(lines, alpha)
+        yield ((rank * scramble) % lines) * 64
+
+
+def pointer_chase(
+    wss_bytes: int, rng: DeterministicRng, node_bytes: int = 64
+) -> Iterator[int]:
+    """Dependent pointer walk over a pseudo-random permutation.
+
+    Uses a multiplicative-congruential permutation of the node space so
+    the walk has full period without materialising the permutation.
+    """
+    nodes = max(wss_bytes // node_bytes, 2)
+    current = rng.randrange(nodes)
+    # Odd multiplier gives a bijection modulo a power of two; otherwise
+    # fall back to an additive constant walk that still defeats caches.
+    mult = 0x5DEECE66D | 1
+    offset = rng.randrange(nodes) | 1
+    while True:
+        yield (current % nodes) * node_bytes
+        current = (current * mult + offset) % nodes
+
+
+def hot_cold(
+    wss_bytes: int,
+    rng: DeterministicRng,
+    hot_fraction: float = 0.05,
+    hot_probability: float = 0.9,
+) -> Iterator[int]:
+    """Hot/cold mixture: a small region absorbs most references."""
+    lines = max(wss_bytes // 64, 1)
+    hot_lines = max(int(lines * hot_fraction), 1)
+    while True:
+        if rng.random() < hot_probability:
+            yield rng.randrange(hot_lines) * 64
+        else:
+            yield (hot_lines + rng.randrange(max(lines - hot_lines, 1))) * 64

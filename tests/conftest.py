@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OramConfig
+from repro.crypto.suite import CryptoSuite
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    """Deterministic RNG; tests that need different streams fork it."""
+    return DeterministicRng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_config() -> OramConfig:
+    """Small tree for fast functional tests (256 blocks, 64 B)."""
+    return OramConfig(num_blocks=256, block_bytes=64)
+
+
+@pytest.fixture
+def tiny_config() -> OramConfig:
+    """Minimal tree (16 blocks) for exhaustive checks."""
+    return OramConfig(num_blocks=16, block_bytes=32)
+
+
+@pytest.fixture
+def crypto() -> CryptoSuite:
+    """Fast crypto suite with a fixed session key."""
+    return CryptoSuite.fast(b"test-session-key")

@@ -1,0 +1,98 @@
+"""Passive observer and active tamperer utilities."""
+
+import pytest
+
+from repro.adversary.observer import (
+    AccessEvent,
+    TraceObserver,
+    distinguish_by_tree_pattern,
+)
+from repro.adversary.tamper import Tamperer
+from repro.config import OramConfig
+from repro.crypto.pad import PadGenerator
+from repro.storage.encrypted import EncryptedTreeStorage
+
+
+class TestObserver:
+    def test_records_reads_and_writes(self):
+        obs = TraceObserver()
+        view = obs.for_tree(0)
+        view.on_path_read(5, [0, 1, 3])
+        view.on_path_write(5, [0, 1, 3])
+        assert obs.events == [AccessEvent(0, "read", 5), AccessEvent(0, "write", 5)]
+
+    def test_tree_sequence_filters_reads(self):
+        obs = TraceObserver()
+        obs.for_tree(1).on_path_read(0, [])
+        obs.for_tree(0).on_path_write(0, [])
+        obs.for_tree(0).on_path_read(2, [])
+        assert obs.tree_sequence() == [1, 0]
+
+    def test_leaf_sequence_per_tree(self):
+        obs = TraceObserver()
+        obs.for_tree(0).on_path_read(3, [])
+        obs.for_tree(1).on_path_read(9, [])
+        obs.for_tree(0).on_path_read(4, [])
+        assert obs.leaf_sequence(0) == [3, 4]
+        assert obs.leaf_sequence(1) == [9]
+
+    def test_leaf_histogram(self):
+        obs = TraceObserver()
+        for leaf in (0, 1, 1, 3):
+            obs.for_tree(0).on_path_read(leaf, [])
+        assert obs.leaf_histogram(0, 4) == [1, 2, 0, 1]
+
+    def test_clear(self):
+        obs = TraceObserver()
+        obs.for_tree(0).on_path_read(0, [])
+        obs.clear()
+        assert len(obs) == 0
+
+    def test_distinguisher(self):
+        assert distinguish_by_tree_pattern([1, 0, 0], [1, 0, 1])
+        assert not distinguish_by_tree_pattern([1, 0, 0], [1, 0, 0, 1])
+
+
+class TestTamperer:
+    @pytest.fixture
+    def storage(self):
+        config = OramConfig(num_blocks=32, block_bytes=32)
+        return EncryptedTreeStorage(config, PadGenerator(b"tamper-key"))
+
+    def test_flip_bit_changes_image(self, storage):
+        tamperer = Tamperer(storage)
+        before = storage.raw_image(0)
+        tamperer.flip_bit(0, 10, 3)
+        after = storage.raw_image(0)
+        assert before != after
+        assert before[10] ^ after[10] == 8
+
+    def test_snapshot_replay_roundtrip(self, storage):
+        tamperer = Tamperer(storage)
+        tamperer.snapshot(tag=1)
+        original = storage.raw_image(0)
+        tamperer.flip_bit(0, 0)
+        tamperer.replay_bucket(0, tag=1)
+        assert storage.raw_image(0) == original
+
+    def test_replay_all(self, storage):
+        tamperer = Tamperer(storage)
+        tamperer.snapshot()
+        images = [storage.raw_image(i) for i in range(4)]
+        for i in range(4):
+            tamperer.flip_bit(i, 5)
+        tamperer.replay_all()
+        assert [storage.raw_image(i) for i in range(4)] == images
+
+    def test_seed_rollback(self, storage):
+        storage.read_path(0)
+        storage.write_path(0)
+        tamperer = Tamperer(storage)
+        seed = tamperer.read_seed(0)
+        new_seed = tamperer.rollback_seed(0, delta=1)
+        assert new_seed == max(seed - 1, 0)
+        assert tamperer.read_seed(0) == new_seed
+
+    def test_rollback_clamps_at_zero(self, storage):
+        tamperer = Tamperer(storage)
+        assert tamperer.rollback_seed(0, delta=10**6) == 0

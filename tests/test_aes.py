@@ -1,0 +1,76 @@
+"""AES-128 correctness: FIPS-197 vectors, roundtrips, structural checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128
+
+
+class TestFipsVectors:
+    """Known-answer tests from FIPS-197 and NIST SP 800-38A."""
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_sp80038a_ecb_block1(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_known_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES128(key).decrypt_block(ciphertext) == expected
+
+
+class TestStructure:
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_wrong_block_size_rejected(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"tiny")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(17))
+
+    def test_deterministic(self):
+        cipher = AES128(bytes(16))
+        block = bytes(range(16))
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        assert AES128(bytes(16)).encrypt_block(block) != AES128(
+            bytes([1] * 16)
+        ).encrypt_block(block)
+
+    def test_avalanche(self):
+        """Flipping one plaintext bit should change ~half the output bits."""
+        cipher = AES128(bytes(range(16)))
+        a = cipher.encrypt_block(bytes(16))
+        flipped = bytes([1] + [0] * 15)
+        b = cipher.encrypt_block(flipped)
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 40 <= diff <= 88
+
+
+class TestRoundtrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_decrypt_encrypt_identity(self, key, block):
+        cipher = AES128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

@@ -1,0 +1,232 @@
+"""Path ORAM Backend: functional correctness and the §3.1 invariant."""
+
+import pytest
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import OramConfig
+from repro.errors import BlockNotFoundError
+from repro.storage.block import Block
+from repro.storage.tree import TreeStorage
+from repro.utils.bitops import common_prefix_len
+from repro.utils.rng import DeterministicRng
+
+
+def make_backend(config, seed=1, allow_missing=True):
+    return PathOramBackend(
+        config, TreeStorage(config), DeterministicRng(seed), allow_missing
+    )
+
+
+class TestReadWrite:
+    def test_fresh_block_reads_zero(self, small_config, rng):
+        backend = make_backend(small_config)
+        leaf = rng.random_leaf(small_config.levels)
+        block = backend.access(Op.READ, 5, leaf, backend.random_leaf())
+        assert block.data == bytes(small_config.block_bytes)
+
+    def test_write_then_read(self, small_config, rng):
+        backend = make_backend(small_config)
+        payload = b"\x42" * small_config.block_bytes
+        l0 = rng.random_leaf(small_config.levels)
+        l1 = backend.random_leaf()
+
+        def write(blk):
+            blk.data = payload
+
+        backend.access(Op.WRITE, 5, l0, l1, update=write)
+        block = backend.access(Op.READ, 5, l1, backend.random_leaf())
+        assert block.data == payload
+
+    def test_missing_block_raises_when_strict(self, small_config):
+        backend = make_backend(small_config, allow_missing=False)
+        with pytest.raises(BlockNotFoundError):
+            backend.access(Op.READ, 5, 0, 0)
+
+    def test_returned_copy_is_defensive(self, small_config, rng):
+        backend = make_backend(small_config)
+        l0 = rng.random_leaf(small_config.levels)
+        l1 = backend.random_leaf()
+        block = backend.access(Op.READ, 5, l0, l1)
+        block.data = b"mutated"
+        again = backend.access(Op.READ, 5, l1, backend.random_leaf())
+        assert again.data == bytes(small_config.block_bytes)
+
+    def test_shadow_consistency_random_ops(self, small_config):
+        """Random read/write stream must match a shadow dict."""
+        backend = make_backend(small_config)
+        rng = DeterministicRng(77)
+        posmap = {}
+        shadow = {}
+        zero = bytes(small_config.block_bytes)
+        for step in range(600):
+            addr = rng.randrange(small_config.num_blocks)
+            leaf = posmap.get(addr)
+            if leaf is None:
+                leaf = rng.random_leaf(small_config.levels)
+            new_leaf = backend.random_leaf()
+            posmap[addr] = new_leaf
+            if rng.random() < 0.5:
+                data = bytes([step % 256]) * small_config.block_bytes
+
+                def write(blk, data=data):
+                    blk.data = data
+
+                backend.access(Op.WRITE, addr, leaf, new_leaf, update=write)
+                shadow[addr] = data
+            else:
+                block = backend.access(Op.READ, addr, leaf, new_leaf)
+                assert block.data == shadow.get(addr, zero)
+
+
+class TestInvariant:
+    def test_block_on_its_path_or_stash(self, tiny_config):
+        """Path ORAM invariant: a block mapped to leaf l lives on path l
+        or in the stash (§3.1.1)."""
+        backend = make_backend(tiny_config)
+        rng = DeterministicRng(5)
+        posmap = {}
+        for step in range(300):
+            addr = rng.randrange(tiny_config.num_blocks)
+            leaf = posmap.get(addr, rng.random_leaf(tiny_config.levels))
+            new_leaf = backend.random_leaf()
+            posmap[addr] = new_leaf
+            backend.access(Op.READ, addr, leaf, new_leaf)
+            # Check the invariant for every mapped block.
+            for a, mapped_leaf in posmap.items():
+                if backend.stash.contains(a):
+                    continue
+                found = False
+                for idx in backend.storage.path_indices(mapped_leaf):
+                    if backend.storage.bucket_at(idx).find(a):
+                        found = True
+                        break
+                assert found, f"block {a} not on path {mapped_leaf} nor stash"
+
+    def test_eviction_respects_leaf_prefix(self, small_config):
+        """Every tree-resident block sits on the path to its leaf."""
+        backend = make_backend(small_config)
+        rng = DeterministicRng(9)
+        posmap = {}
+        for _ in range(300):
+            addr = rng.randrange(small_config.num_blocks)
+            leaf = posmap.get(addr, rng.random_leaf(small_config.levels))
+            new_leaf = backend.random_leaf()
+            posmap[addr] = new_leaf
+            backend.access(Op.READ, addr, leaf, new_leaf)
+        storage = backend.storage
+        levels = small_config.levels
+        for index in range(storage.config.num_buckets):
+            bucket = storage._buckets[index]
+            if bucket is None:
+                continue
+            depth = (index + 1).bit_length() - 1
+            for block in bucket:
+                # The bucket at `index` must lie on the path to block.leaf.
+                path = storage.path_indices(block.leaf)
+                assert index == path[depth]
+
+    def test_no_duplicate_blocks(self, small_config):
+        backend = make_backend(small_config)
+        rng = DeterministicRng(3)
+        posmap = {}
+        for _ in range(200):
+            addr = rng.randrange(32)
+            leaf = posmap.get(addr, rng.random_leaf(small_config.levels))
+            new_leaf = backend.random_leaf()
+            posmap[addr] = new_leaf
+            backend.access(Op.READ, addr, leaf, new_leaf)
+        seen = set()
+        for index in range(backend.storage.config.num_buckets):
+            bucket = backend.storage._buckets[index]
+            if bucket is None:
+                continue
+            for block in bucket:
+                assert block.addr not in seen
+                seen.add(block.addr)
+        for block in backend.stash:
+            assert block.addr not in seen
+            seen.add(block.addr)
+
+
+class TestReadRmvAppend:
+    def test_readrmv_removes(self, small_config, rng):
+        backend = make_backend(small_config)
+        l0 = rng.random_leaf(small_config.levels)
+        l1 = backend.random_leaf()
+        payload = b"\x11" * small_config.block_bytes
+
+        def write(blk):
+            blk.data = payload
+
+        backend.access(Op.WRITE, 7, l0, l1, update=write)
+        removed = backend.access(Op.READRMV, 7, l1, backend.random_leaf())
+        assert removed.data == payload
+        # Block is gone: a fresh read materialises zeroes.
+        again = backend.access(Op.READ, 7, removed.leaf, backend.random_leaf())
+        assert again.data == bytes(small_config.block_bytes)
+
+    def test_append_restores(self, small_config, rng):
+        backend = make_backend(small_config)
+        l0 = rng.random_leaf(small_config.levels)
+        l1 = backend.random_leaf()
+        payload = b"\x22" * small_config.block_bytes
+
+        def write(blk):
+            blk.data = payload
+
+        backend.access(Op.WRITE, 7, l0, l1, update=write)
+        removed = backend.access(Op.READRMV, 7, l1, backend.random_leaf())
+        backend.access(Op.APPEND, 7, append_block=removed)
+        block = backend.access(Op.READ, 7, removed.leaf, backend.random_leaf())
+        assert block.data == payload
+
+    def test_append_without_block_rejected(self, small_config):
+        backend = make_backend(small_config)
+        with pytest.raises(ValueError):
+            backend.access(Op.APPEND, 7)
+
+    def test_append_does_not_touch_tree(self, small_config):
+        backend = make_backend(small_config)
+        before = backend.storage.buckets_read
+        backend.access(Op.APPEND, 9, append_block=Block(9, 0, bytes(64)))
+        assert backend.storage.buckets_read == before
+        assert backend.tree_access_count == 0
+
+    def test_readrmv_append_preserves_net_stash(self, small_config, rng):
+        """Observation 2: append preceded by readrmv keeps occupancy."""
+        backend = make_backend(small_config)
+        # Populate some blocks.
+        posmap = {}
+        for addr in range(20):
+            leaf = rng.random_leaf(small_config.levels)
+            posmap[addr] = backend.random_leaf()
+            backend.access(Op.READ, addr, leaf, posmap[addr])
+        occupancy = backend.stash_occupancy() + backend.storage.occupancy()
+        blk = backend.access(Op.READRMV, 4, posmap[4], backend.random_leaf())
+        backend.access(Op.APPEND, 4, append_block=blk)
+        assert backend.stash_occupancy() + backend.storage.occupancy() == occupancy
+
+
+class TestStashBehaviour:
+    def test_stash_stays_small_z4(self, small_config):
+        """Z=4 keeps the stash tiny under random traffic (§3.1.2)."""
+        backend = make_backend(small_config)
+        rng = DeterministicRng(123)
+        posmap = {}
+        for _ in range(3000):
+            addr = rng.randrange(small_config.num_blocks)
+            leaf = posmap.get(addr, rng.random_leaf(small_config.levels))
+            new_leaf = backend.random_leaf()
+            posmap[addr] = new_leaf
+            backend.access(Op.READ, addr, leaf, new_leaf)
+        assert backend.stash.occupancy_stats.max <= 30
+
+    def test_access_counters(self, small_config, rng):
+        backend = make_backend(small_config)
+        leaf = rng.random_leaf(small_config.levels)
+        backend.access(Op.READ, 1, leaf, backend.random_leaf())
+        backend.access(Op.APPEND, 2, append_block=Block(2, 0, bytes(64)))
+        assert backend.access_count == 2
+        assert backend.tree_access_count == 1
+        assert backend.append_count == 1

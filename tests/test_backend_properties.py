@@ -1,0 +1,114 @@
+"""Property-based tests on the Backend with hypothesis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import OramConfig
+from repro.storage.tree import TreeStorage
+from repro.utils.rng import DeterministicRng
+
+# A step is (addr, write?, payload_byte).
+STEP = st.tuples(
+    st.integers(min_value=0, max_value=63),
+    st.booleans(),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+def build(seed=0):
+    config = OramConfig(num_blocks=64, block_bytes=16)
+    backend = PathOramBackend(config, TreeStorage(config), DeterministicRng(seed))
+    return config, backend
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(STEP, min_size=1, max_size=60), st.integers(min_value=0, max_value=2**16))
+def test_backend_matches_shadow_memory(steps, seed):
+    """Any read/write sequence behaves like an ideal RAM."""
+    config, backend = build(seed)
+    rng = DeterministicRng(seed ^ 0x1234)
+    posmap = {}
+    shadow = {}
+    zero = bytes(config.block_bytes)
+    for addr, is_write, byte in steps:
+        leaf = posmap.get(addr, rng.random_leaf(config.levels))
+        new_leaf = backend.random_leaf()
+        posmap[addr] = new_leaf
+        if is_write:
+            payload = bytes([byte]) * config.block_bytes
+
+            def write(blk, payload=payload):
+                blk.data = payload
+
+            backend.access(Op.WRITE, addr, leaf, new_leaf, update=write)
+            shadow[addr] = payload
+        else:
+            block = backend.access(Op.READ, addr, leaf, new_leaf)
+            assert block.data == shadow.get(addr, zero)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(STEP, min_size=1, max_size=50), st.integers(min_value=0, max_value=2**16))
+def test_block_conservation(steps, seed):
+    """Total real blocks = distinct addresses ever touched."""
+    config, backend = build(seed)
+    rng = DeterministicRng(seed ^ 0x9999)
+    posmap = {}
+    touched = set()
+    for addr, is_write, _ in steps:
+        leaf = posmap.get(addr, rng.random_leaf(config.levels))
+        new_leaf = backend.random_leaf()
+        posmap[addr] = new_leaf
+        backend.access(Op.READ, addr, leaf, new_leaf)
+        touched.add(addr)
+    total = backend.stash_occupancy() + backend.storage.occupancy()
+    assert total == len(touched)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60))
+def test_invariant_holds_under_any_sequence(addrs):
+    """Every mapped block is on its path or in the stash, always."""
+    config, backend = build(3)
+    rng = DeterministicRng(42)
+    posmap = {}
+    for addr in addrs:
+        leaf = posmap.get(addr, rng.random_leaf(config.levels))
+        new_leaf = backend.random_leaf()
+        posmap[addr] = new_leaf
+        backend.access(Op.READ, addr, leaf, new_leaf)
+    for addr, leaf in posmap.items():
+        if backend.stash.contains(addr):
+            continue
+        on_path = any(
+            backend.storage.bucket_at(i).find(addr) is not None
+            for i in backend.storage.path_indices(leaf)
+        )
+        assert on_path
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=5, max_size=40))
+def test_readrmv_append_cycle_preserves_contents(addrs):
+    """Any block can be removed and re-appended without data loss."""
+    config, backend = build(8)
+    rng = DeterministicRng(77)
+    posmap = {}
+    for step, addr in enumerate(addrs):
+        leaf = posmap.get(addr, rng.random_leaf(config.levels))
+        new_leaf = backend.random_leaf()
+        posmap[addr] = new_leaf
+        payload = bytes([step % 256]) * config.block_bytes
+
+        def write(blk, payload=payload):
+            blk.data = payload
+
+        backend.access(Op.WRITE, addr, leaf, new_leaf, update=write)
+        # Immediately cycle it through readrmv/append (PLB-style).
+        cycle_leaf = backend.random_leaf()
+        block = backend.access(Op.READRMV, addr, new_leaf, cycle_leaf)
+        assert block.data == payload
+        backend.access(Op.APPEND, addr, append_block=block)
+        posmap[addr] = cycle_leaf

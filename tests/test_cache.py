@@ -1,0 +1,128 @@
+"""Set-associative cache and two-level hierarchy."""
+
+import pytest
+
+from repro.config import ProcessorConfig
+from repro.proc.cache import Cache
+from repro.proc.hierarchy import CacheHierarchy
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(1024, ways=2, line_bytes=64)
+        hit, _ = cache.access(5, False)
+        assert not hit
+        hit, _ = cache.access(5, False)
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = Cache(2 * 64, ways=2, line_bytes=64)  # one set, two ways
+        cache.access(0, False)
+        cache.access(1, False)
+        cache.access(0, False)  # 1 is now LRU
+        cache.access(2, False)  # evicts 1
+        assert cache.access(0, False)[0]
+        assert not cache.access(1, False)[0]
+
+    def test_dirty_writeback_address(self):
+        cache = Cache(2 * 64, ways=2, line_bytes=64)
+        cache.access(0, True)
+        cache.access(1, False)
+        hit, wb = cache.access(2, False)  # evicts 0, which is dirty
+        assert not hit
+        assert wb == 0
+
+    def test_clean_eviction_no_writeback(self):
+        cache = Cache(2 * 64, ways=2, line_bytes=64)
+        cache.access(0, False)
+        cache.access(1, False)
+        _, wb = cache.access(2, False)
+        assert wb is None
+
+    def test_set_mapping(self):
+        cache = Cache(4 * 64, ways=1, line_bytes=64)  # 4 sets
+        cache.access(0, False)
+        cache.access(1, False)  # different set: no conflict
+        assert cache.access(0, False)[0]
+
+    def test_install_does_not_count_demand(self):
+        cache = Cache(1024, ways=2)
+        cache.install(7, dirty=False)
+        assert cache.stats.accesses == 0
+        assert cache.access(7, False)[0]
+
+    def test_install_dirty_evicts_with_writeback(self):
+        cache = Cache(2 * 64, ways=2)
+        cache.install(0, dirty=True)
+        cache.install(1, dirty=False)
+        wb = cache.install(2, dirty=False)
+        assert wb == 0
+
+    def test_stats(self):
+        cache = Cache(1024, ways=2)
+        cache.access(1, False)
+        cache.access(1, False)
+        cache.access(2, False)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(100, ways=3, line_bytes=64)
+
+    def test_occupancy(self):
+        cache = Cache(1024, ways=2)
+        for i in range(5):
+            cache.access(i, False)
+        assert cache.occupancy() == 5
+
+
+class TestHierarchy:
+    def _refs(self, addresses, write=False):
+        return [(2, write, a) for a in addresses]
+
+    def test_l1_absorbs_repeats(self):
+        h = CacheHierarchy(ProcessorConfig())
+        trace = h.run(self._refs([0] * 100))
+        assert trace.l1_hits == 99
+        assert trace.llc_misses == 1
+
+    def test_l2_catches_l1_conflicts(self):
+        proc = ProcessorConfig()
+        h = CacheHierarchy(proc)
+        # More lines than L1 holds, fewer than L2: second sweep hits L2/L1.
+        lines = (proc.l1_bytes // 64) * 2
+        addrs = [i * 64 for i in range(lines)] * 2
+        trace = h.run(self._refs(addrs))
+        assert trace.llc_misses == lines
+        assert trace.l2_hits > 0
+
+    def test_dirty_evictions_become_write_events(self):
+        proc = ProcessorConfig()
+        h = CacheHierarchy(proc)
+        lines = (proc.l2_bytes // 64) * 2
+        addrs = [i * 64 for i in range(lines)]
+        trace = h.run(self._refs(addrs, write=True))
+        assert any(e.is_write for e in trace.events)
+
+    def test_max_misses_stops_early(self):
+        h = CacheHierarchy(ProcessorConfig())
+        addrs = [i * 64 for i in range(10**6)]
+        trace = h.run(self._refs(addrs), max_llc_misses=50)
+        assert trace.llc_misses == 50
+
+    def test_warmup_not_recorded(self):
+        h = CacheHierarchy(ProcessorConfig())
+        addrs = [i * 64 for i in range(1000)]
+        trace = h.run(self._refs(addrs * 2), warmup_refs=1000)
+        # The second sweep is all L1/L2 hits: no misses recorded.
+        assert trace.llc_misses == 0
+        assert trace.instructions > 0
+
+    def test_mpki(self):
+        h = CacheHierarchy(ProcessorConfig())
+        trace = h.run(self._refs([i * 64 for i in range(100)]))
+        assert trace.mpki == pytest.approx(
+            1000 * trace.llc_misses / trace.instructions
+        )

@@ -1,0 +1,37 @@
+"""CLI dispatch."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "table2", "fig6", "hashbw"):
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_rejected(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_multiple_names(self, capsys):
+        assert main(["compression", "hashbw"]) == 0
+        out = capsys.readouterr().out
+        assert "compressed PosMap" in out
+        assert "68x" in out
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) >= {
+            "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table2", "table3", "hashbw", "compression",
+        }

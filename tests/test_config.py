@@ -1,0 +1,73 @@
+"""OramConfig geometry and derived sizing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import OramConfig
+
+
+class TestGeometry:
+    def test_default_levels_give_half_utilisation(self):
+        """L = log2(N) - 1 means 2^L = N/2 leaves (50% DRAM utilisation)."""
+        cfg = OramConfig(num_blocks=1024)
+        assert cfg.levels == 9
+        assert cfg.num_leaves == 512
+
+    def test_bucket_count(self):
+        cfg = OramConfig(num_blocks=16)
+        assert cfg.num_buckets == 2 ** (cfg.levels + 1) - 1
+
+    def test_explicit_levels_override(self):
+        cfg = OramConfig(num_blocks=1024, levels=12)
+        assert cfg.levels == 12
+        assert cfg.num_leaves == 4096
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            OramConfig(num_blocks=100)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            OramConfig(num_blocks=16, block_bytes=0)
+        with pytest.raises(ValueError):
+            OramConfig(num_blocks=16, blocks_per_bucket=0)
+
+
+class TestByteSizing:
+    def test_table1_bucket_is_320_bytes(self):
+        """Z=4, 64 B blocks, 4+4 B metadata, 8 B seed -> 296 -> 320 B."""
+        cfg = OramConfig(num_blocks=2**26, block_bytes=64)
+        assert cfg.bucket_payload_bytes == 4 * 72 + 8
+        assert cfg.bucket_bytes == 320
+
+    def test_bucket_padded_to_64_byte_multiple(self):
+        cfg = OramConfig(num_blocks=16, block_bytes=50)
+        assert cfg.bucket_bytes % 64 == 0
+        assert cfg.bucket_bytes >= cfg.bucket_payload_bytes
+
+    def test_mac_bytes_grow_bucket(self):
+        plain = OramConfig(num_blocks=16, block_bytes=64)
+        mac = plain.with_mac(14)
+        assert mac.slot_bytes == plain.slot_bytes + 14
+        assert mac.bucket_bytes >= plain.bucket_bytes
+
+    def test_with_mac_preserves_geometry(self):
+        plain = OramConfig(num_blocks=64, block_bytes=64, levels=8)
+        mac = plain.with_mac(10)
+        assert mac.levels == plain.levels
+        assert mac.num_blocks == plain.num_blocks
+
+    def test_path_bytes(self):
+        cfg = OramConfig(num_blocks=16, block_bytes=64)
+        assert cfg.path_bytes == (cfg.levels + 1) * cfg.bucket_bytes
+
+    def test_capacity(self):
+        cfg = OramConfig(num_blocks=2**20, block_bytes=64)
+        assert cfg.capacity_bytes == 64 * 2**20
+
+    @given(st.integers(min_value=2, max_value=16), st.integers(min_value=1, max_value=512))
+    def test_padding_never_shrinks(self, log_blocks, block_bytes):
+        cfg = OramConfig(num_blocks=1 << log_blocks, block_bytes=block_bytes)
+        assert cfg.bucket_bytes >= cfg.bucket_payload_bytes
+        assert cfg.bucket_bytes - cfg.bucket_payload_bytes < 64

@@ -1,0 +1,54 @@
+"""CryptoSuite bundling and key derivation."""
+
+from repro.crypto.mac import Mac
+from repro.crypto.pad import PadGenerator
+from repro.crypto.prf import Prf
+from repro.crypto.suite import CryptoSuite, derive_key
+
+
+class TestDeriveKey:
+    def test_length(self):
+        assert len(derive_key(b"master", "prf")) == 16
+
+    def test_labels_separate(self):
+        assert derive_key(b"master", "prf") != derive_key(b"master", "mac")
+
+    def test_masters_separate(self):
+        assert derive_key(b"m1", "prf") != derive_key(b"m2", "prf")
+
+    def test_deterministic(self):
+        assert derive_key(b"m", "x") == derive_key(b"m", "x")
+
+
+class TestSuites:
+    def test_fast_suite_modes(self):
+        suite = CryptoSuite.fast()
+        assert suite.prf.mode == Prf.MODE_FAST
+        assert suite.mac.mode == Mac.MODE_FAST
+        assert suite.pad.mode == PadGenerator.MODE_FAST
+
+    def test_reference_suite_modes(self):
+        suite = CryptoSuite.reference()
+        assert suite.prf.mode == Prf.MODE_AES
+        assert suite.mac.mode == Mac.MODE_SHA3
+        assert suite.pad.mode == PadGenerator.MODE_AES
+
+    def test_suites_share_interface(self):
+        """Fast and reference suites are drop-in replacements."""
+        for suite in (CryptoSuite.fast(b"k"), CryptoSuite.reference(b"k")):
+            leaf = suite.prf.leaf_for(9, 2, 12)
+            assert 0 <= leaf < 4096
+            tag = suite.mac.block_tag(1, 9, b"data")
+            assert len(tag) == suite.mac.tag_bytes
+            assert len(suite.pad.global_seed_pad(0, 40)) == 40
+
+    def test_distinct_master_keys_distinct_leaves(self):
+        a = CryptoSuite.fast(b"key-a")
+        b = CryptoSuite.fast(b"key-b")
+        leaves_a = [a.prf.leaf_for(i, 0, 20) for i in range(20)]
+        leaves_b = [b.prf.leaf_for(i, 0, 20) for i in range(20)]
+        assert leaves_a != leaves_b
+
+    def test_subkeys_differ_within_suite(self):
+        suite = CryptoSuite.fast(b"master")
+        assert suite.prf.key != suite.mac.key != suite.pad.key

@@ -1,0 +1,126 @@
+"""DRAM timing model and the subtree layout."""
+
+import pytest
+
+from repro.config import OramConfig
+from repro.dram.config import DramConfig
+from repro.dram.layout import SubtreeLayout
+from repro.dram.model import DramModel
+
+
+class TestDramConfig:
+    def test_row_bytes(self):
+        assert DramConfig().row_bytes == 8192
+
+    def test_peak_bandwidth_near_paper(self):
+        """667 MHz DDR x 64-bit = ~10.67 GB/s per channel (§7.1.1)."""
+        per_channel = DramConfig(channels=1).peak_bandwidth_bytes_per_sec
+        assert per_channel == pytest.approx(10.67e9, rel=0.01)
+
+    def test_burst_bytes(self):
+        assert DramConfig().burst_bytes == 64
+
+    def test_cycle_conversion(self):
+        cfg = DramConfig()
+        assert cfg.dram_to_proc_cycles(667, 1.3) == pytest.approx(1300)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ValueError):
+            DramConfig(channels=0)
+
+
+class TestSubtreeLayout:
+    def test_subtree_levels_fit_row(self):
+        layout = SubtreeLayout(levels=20, bucket_bytes=320, dram=DramConfig())
+        # 8192 / 320 = 25 buckets per row: 2^k - 1 <= 25 -> k = 4.
+        assert layout.subtree_levels == 4
+
+    def test_root_subtree_is_zero(self):
+        layout = SubtreeLayout(levels=10, bucket_bytes=320, dram=DramConfig())
+        subtree, index = layout.subtree_of(0, 0)
+        assert subtree == 0 and index == 0
+
+    def test_same_subtree_for_shallow_path(self):
+        """All levels within the first k land in subtree 0."""
+        layout = SubtreeLayout(levels=20, bucket_bytes=320, dram=DramConfig())
+        k = layout.subtree_levels
+        for level in range(k):
+            subtree, _ = layout.subtree_of(level, 12345 % (1 << 20))
+            assert subtree == 0
+
+    def test_distinct_leaves_distinct_deep_subtrees(self):
+        layout = SubtreeLayout(levels=12, bucket_bytes=320, dram=DramConfig())
+        s1, _ = layout.subtree_of(12, 0)
+        s2, _ = layout.subtree_of(12, (1 << 12) - 1)
+        assert s1 != s2
+
+    def test_row_groups_cover_path(self):
+        layout = SubtreeLayout(levels=20, bucket_bytes=320, dram=DramConfig())
+        groups = layout.path_row_groups(777)
+        assert sum(n for _, _, n in groups) == 21
+
+    def test_row_group_count_matches_chunks(self):
+        layout = SubtreeLayout(levels=20, bucket_bytes=320, dram=DramConfig())
+        groups = layout.path_row_groups(0)
+        expected_chunks = -(-21 // layout.subtree_levels)
+        assert len(groups) <= expected_chunks + 1
+
+    def test_level_bounds_checked(self):
+        layout = SubtreeLayout(levels=4, bucket_bytes=320, dram=DramConfig())
+        with pytest.raises(ValueError):
+            layout.subtree_of(5, 0)
+
+
+class TestDramModel:
+    def _model(self, channels=2, levels=25, bucket=320):
+        return DramModel(levels, bucket, DramConfig(channels=channels))
+
+    def test_latency_decreases_with_channels(self):
+        latencies = [
+            self._model(ch).average_oram_latency_proc_cycles(1.3)
+            for ch in (1, 2, 4, 8)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_scaling_is_sublinear(self):
+        """Table 2: 8 channels gain less than 8x (fixed activation cost)."""
+        l1 = self._model(1).average_oram_latency_proc_cycles(1.3)
+        l8 = self._model(8).average_oram_latency_proc_cycles(1.3)
+        assert 2.0 < l1 / l8 < 8.0
+
+    def test_table2_two_channel_point(self):
+        """Within 10% of the paper's 1208 cycles at 2 channels."""
+        latency = self._model(2).average_oram_latency_proc_cycles(1.3)
+        assert latency == pytest.approx(1208, rel=0.10)
+
+    def test_insecure_near_58_cycles(self):
+        latency = self._model(2).insecure_access_cycles(1.3)
+        assert latency == pytest.approx(58, rel=0.10)
+
+    def test_repeat_path_hits_rows(self):
+        model = self._model()
+        first = model.path_access_cycles(5)
+        second = model.path_access_cycles(5)
+        assert second.row_misses <= first.row_misses
+        assert second.dram_cycles <= first.dram_cycles
+
+    def test_oram_access_is_two_paths(self):
+        model = self._model()
+        cycles = model.oram_access_cycles(9)
+        assert cycles > 0
+        assert model.total_accesses == 2
+
+    def test_burst_accounting(self):
+        model = self._model(levels=10, bucket=320)
+        stats = model.path_access_cycles(0)
+        assert stats.bursts == 11 * 5  # 320 B = 5 bursts per bucket
+
+    def test_deeper_tree_costs_more(self):
+        shallow = DramModel(15, 320, DramConfig()).average_path_cycles(64)
+        deep = DramModel(25, 320, DramConfig()).average_path_cycles(64)
+        assert deep > shallow
+
+    def test_bigger_buckets_cost_more(self):
+        small = DramModel(20, 320, DramConfig()).average_path_cycles(64)
+        big = DramModel(20, 384, DramConfig()).average_path_cycles(64)
+        assert big > small

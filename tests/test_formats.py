@@ -1,0 +1,182 @@
+"""PosMap block formats: geometry, remapping, counters, group remaps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prf import Prf
+from repro.errors import ConfigurationError
+from repro.frontend.formats import (
+    CompressedPosMapFormat,
+    FlatCounterPosMapFormat,
+    UncompressedPosMapFormat,
+)
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def prf():
+    return Prf(b"format-test-key")
+
+
+class TestUncompressed:
+    def test_paper_fanout(self):
+        """64-byte blocks with 4-byte leaves give X = 16 (§5.3)."""
+        fmt = UncompressedPosMapFormat(64, levels=20)
+        assert fmt.fanout == 16
+
+    def test_remap_writes_new_leaf(self):
+        fmt = UncompressedPosMapFormat(64, levels=10)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(1)
+        result = fmt.remap(data, 3, 0, rng)
+        assert result.old_leaf == 0
+        assert fmt.leaf_of(bytes(data), 3, 0) == result.new_leaf
+        assert 0 <= result.new_leaf < 1024
+
+    def test_remap_leaves_other_slots_alone(self):
+        fmt = UncompressedPosMapFormat(64, levels=10)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(1)
+        fmt.remap(data, 5, 0, rng)
+        for slot in range(fmt.fanout):
+            if slot != 5:
+                assert fmt.leaf_of(bytes(data), slot, 0) == 0
+
+    def test_no_counters(self):
+        fmt = UncompressedPosMapFormat(64, levels=10)
+        with pytest.raises(ConfigurationError):
+            fmt.counter_of(fmt.initial_block(), 0)
+
+    def test_indivisible_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UncompressedPosMapFormat(63, levels=10)
+
+    def test_leaf_too_wide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UncompressedPosMapFormat(64, levels=32, leaf_bytes=4)
+
+
+class TestFlatCounter:
+    def test_paper_fanout(self):
+        """64-byte blocks with 64-bit counters give X = 8 (§6.2.2)."""
+        fmt = FlatCounterPosMapFormat(64, levels=20, prf=Prf(b"k"))
+        assert fmt.fanout == 8
+
+    def test_remap_increments(self, prf):
+        fmt = FlatCounterPosMapFormat(64, levels=12, prf=prf)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        r1 = fmt.remap(data, 2, 99, rng)
+        r2 = fmt.remap(data, 2, 99, rng)
+        assert (r1.old_counter, r1.new_counter) == (0, 1)
+        assert (r2.old_counter, r2.new_counter) == (1, 2)
+
+    def test_leaf_derived_from_prf(self, prf):
+        fmt = FlatCounterPosMapFormat(64, levels=12, prf=prf)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        result = fmt.remap(data, 0, 7, rng)
+        assert result.old_leaf == prf.leaf_for(7, 0, 12)
+        assert result.new_leaf == prf.leaf_for(7, 1, 12)
+        assert fmt.leaf_of(bytes(data), 0, 7) == result.new_leaf
+
+    def test_no_group_remaps(self, prf):
+        fmt = FlatCounterPosMapFormat(64, levels=12, prf=prf)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        for _ in range(100):
+            assert fmt.remap(data, 1, 5, rng).group_remap_slots == []
+
+
+class TestCompressed:
+    def test_paper_geometry(self, prf):
+        """512-bit block, alpha=64, beta=14 packs X' = 32 (§5.3)."""
+        fmt = CompressedPosMapFormat(64, levels=20, prf=prf)
+        assert fmt.fanout == 32
+        assert fmt.alpha_bits == 64
+        assert fmt.beta_bits == 14
+
+    def test_explicit_fanout_validated(self, prf):
+        with pytest.raises(ConfigurationError):
+            CompressedPosMapFormat(64, levels=20, prf=prf, fanout=33)
+        assert CompressedPosMapFormat(64, levels=20, prf=prf, fanout=16).fanout == 16
+
+    def test_counter_composition(self, prf):
+        fmt = CompressedPosMapFormat(64, levels=12, prf=prf, beta_bits=4)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        for expected in range(1, 10):
+            result = fmt.remap(data, 0, 3, rng)
+            assert result.new_counter == expected
+        assert fmt.group_counter(bytes(data)) == 0
+        assert fmt.individual_counter(bytes(data), 0) == 9
+
+    def test_group_remap_on_rollover(self, prf):
+        """IC hitting 2^beta - 1 bumps GC and resets every IC (§5.2.2)."""
+        beta = 3
+        fmt = CompressedPosMapFormat(64, levels=12, prf=prf, beta_bits=beta)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        # Give slot 1 some history so its old counter is nonzero.
+        fmt.remap(data, 1, 100, rng)
+        fmt.remap(data, 1, 100, rng)
+        result = None
+        for _ in range((1 << beta) - 1):
+            result = fmt.remap(data, 0, 99, rng)
+        assert result.group_remap_slots == []
+        result = fmt.remap(data, 0, 99, rng)  # rollover
+        assert fmt.group_counter(bytes(data)) == 1
+        assert result.new_counter == 1 << beta
+        slots = dict(result.group_remap_slots)
+        assert 0 not in slots
+        assert slots[1] == 2  # old counter of slot 1 preserved for relocation
+        assert len(slots) == fmt.fanout - 1
+        for slot in range(fmt.fanout):
+            assert fmt.individual_counter(bytes(data), slot) == 0
+
+    def test_counters_strictly_increase_across_rollover(self, prf):
+        """The PMMAC freshness argument needs monotone counters (§6.5.1)."""
+        fmt = CompressedPosMapFormat(64, levels=12, prf=prf, beta_bits=3)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        last = -1
+        for _ in range(40):
+            result = fmt.remap(data, 0, 5, rng)
+            assert result.new_counter > last
+            assert result.new_counter > result.old_counter
+            last = result.new_counter
+
+    def test_leaf_for_counter_matches_remap(self, prf):
+        fmt = CompressedPosMapFormat(64, levels=12, prf=prf)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        result = fmt.remap(data, 4, 77, rng)
+        assert fmt.leaf_for_counter(77, result.new_counter) == result.new_leaf
+
+    def test_alpha_overflow_detected(self, prf):
+        fmt = CompressedPosMapFormat(64, levels=12, prf=prf, alpha_bits=1, beta_bits=1, fanout=4)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        fmt.remap(data, 0, 0, rng)
+        fmt.remap(data, 0, 0, rng)  # first group remap: GC 0 -> 1
+        fmt.remap(data, 0, 0, rng)
+        with pytest.raises(ConfigurationError):
+            fmt.remap(data, 0, 0, rng)  # GC 1 -> 2 does not fit in 1 bit
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=200))
+    def test_per_slot_counters_monotone_any_interleaving(self, slots):
+        """Counters never repeat for any slot under any access pattern."""
+        prf = Prf(b"prop-key")
+        fmt = CompressedPosMapFormat(64, levels=10, prf=prf, beta_bits=3, fanout=8)
+        data = bytearray(fmt.initial_block())
+        rng = DeterministicRng(0)
+        last = {}
+        for slot in slots:
+            result = fmt.remap(data, slot, slot, rng)
+            assert result.new_counter > last.get(slot, -1)
+            last[slot] = result.new_counter
+            # Group remaps advance *other* slots' counters too.
+            for other, _old in result.group_remap_slots:
+                last[other] = result.new_counter

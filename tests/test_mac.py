@@ -1,0 +1,81 @@
+"""MAC behaviour: verification, forgery resistance, instrumentation."""
+
+import pytest
+
+from repro.crypto.mac import Mac
+
+
+@pytest.mark.parametrize("mode", [Mac.MODE_SHA3, Mac.MODE_FAST])
+class TestMacModes:
+    def _mac(self, mode, tag_bytes=14):
+        return Mac(b"mac-test-key", mode=mode, tag_bytes=tag_bytes)
+
+    def test_verify_accepts_genuine(self, mode):
+        mac = self._mac(mode)
+        tag = mac.tag(b"message")
+        assert mac.verify(b"message", tag)
+
+    def test_verify_rejects_modified_message(self, mode):
+        mac = self._mac(mode)
+        tag = mac.tag(b"message")
+        assert not mac.verify(b"messagf", tag)
+
+    def test_verify_rejects_modified_tag(self, mode):
+        mac = self._mac(mode)
+        tag = bytearray(mac.tag(b"message"))
+        tag[0] ^= 1
+        assert not mac.verify(b"message", bytes(tag))
+
+    def test_tag_length(self, mode):
+        assert len(self._mac(mode, tag_bytes=10).tag(b"x")) == 10
+
+    def test_keys_separate(self, mode):
+        a = Mac(b"key-a", mode=mode)
+        b = Mac(b"key-b", mode=mode)
+        assert a.tag(b"m") != b.tag(b"m")
+
+    def test_block_tag_binds_counter(self, mode):
+        mac = self._mac(mode)
+        assert mac.block_tag(1, 7, b"d") != mac.block_tag(2, 7, b"d")
+
+    def test_block_tag_binds_address(self, mode):
+        mac = self._mac(mode)
+        assert mac.block_tag(1, 7, b"d") != mac.block_tag(1, 8, b"d")
+
+    def test_block_tag_binds_data(self, mode):
+        mac = self._mac(mode)
+        assert mac.block_tag(1, 7, b"d1") != mac.block_tag(1, 7, b"d2")
+
+    def test_counters_track_bytes(self, mode):
+        mac = self._mac(mode)
+        mac.tag(b"ab")
+        mac.tag(b"cdef")
+        assert mac.call_count == 2
+        assert mac.bytes_hashed == 6
+
+    def test_reset_counters(self, mode):
+        mac = self._mac(mode)
+        mac.tag(b"abc")
+        mac.reset_counters()
+        assert mac.call_count == 0
+        assert mac.bytes_hashed == 0
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Mac(b"k", mode="crc32")
+
+    def test_tag_bytes_bounds(self):
+        with pytest.raises(ValueError):
+            Mac(b"k", tag_bytes=0)
+        with pytest.raises(ValueError):
+            Mac(b"k", tag_bytes=29)
+
+    def test_sha3_mode_is_sha3(self):
+        """Reference mode must actually be SHA3-224(K || m) truncated."""
+        import hashlib
+
+        mac = Mac(b"kk", mode=Mac.MODE_SHA3, tag_bytes=14)
+        expected = hashlib.sha3_224(b"kk" + b"msg").digest()[:14]
+        assert mac.tag(b"msg") == expected

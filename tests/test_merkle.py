@@ -1,0 +1,128 @@
+"""Merkle path verifier: correctness, tamper detection, hash accounting."""
+
+import pytest
+
+from repro.config import OramConfig
+from repro.crypto.mac import Mac
+from repro.errors import IntegrityViolationError
+from repro.integrity.merkle import MerklePathVerifier, serialise_bucket
+from repro.storage.block import Block
+from repro.storage.bucket import Bucket
+from repro.storage.tree import TreeStorage
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def setup():
+    config = OramConfig(num_blocks=64, block_bytes=32)
+    storage = TreeStorage(config)
+    mac = Mac(b"merkle-key", mode=Mac.MODE_FAST)
+    verifier = MerklePathVerifier(
+        config.levels, config.block_bytes, config.blocks_per_bucket, mac
+    )
+    return config, storage, mac, verifier
+
+
+def path_of(storage, leaf):
+    buckets = [b for _, b in storage.read_path(leaf)]
+    return buckets, storage.path_indices(leaf)
+
+
+class TestHonestOperation:
+    def test_empty_tree_verifies(self, setup):
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 0)
+        verifier.verify_path(0, buckets, indices)
+
+    def test_write_then_verify(self, setup):
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 3)
+        buckets[0].add(Block(1, 3, bytes(32)))
+        verifier.update_path(3, buckets, indices)
+        verifier.verify_path(3, buckets, indices)
+
+    def test_many_paths(self, setup):
+        config, storage, mac, verifier = setup
+        rng = DeterministicRng(1)
+        for step in range(60):
+            leaf = rng.random_leaf(config.levels)
+            buckets, indices = path_of(storage, leaf)
+            verifier.verify_path(leaf, buckets, indices)
+            if not buckets[-1].is_full():
+                buckets[-1].add(Block(1000 + step, leaf, bytes(32)))
+            verifier.update_path(leaf, buckets, indices)
+
+    def test_sibling_paths_consistent(self, setup):
+        """Updating one path must keep its sibling verifiable."""
+        config, storage, mac, verifier = setup
+        for leaf in (0, 1, 0, 1):
+            buckets, indices = path_of(storage, leaf)
+            verifier.verify_path(leaf, buckets, indices)
+            verifier.update_path(leaf, buckets, indices)
+
+
+class TestTamperDetection:
+    def test_data_modification_detected(self, setup):
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 5)
+        buckets[2].add(Block(7, 5, b"\x01" * 32))
+        verifier.update_path(5, buckets, indices)
+        # Adversary swaps the block's data.
+        buckets[2].blocks[0].data = b"\x02" * 32
+        with pytest.raises(IntegrityViolationError):
+            verifier.verify_path(5, buckets, indices)
+
+    def test_block_insertion_detected(self, setup):
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 2)
+        verifier.update_path(2, buckets, indices)
+        buckets[1].add(Block(99, 2, bytes(32)))
+        with pytest.raises(IntegrityViolationError):
+            verifier.verify_path(2, buckets, indices)
+
+    def test_replay_detected(self, setup):
+        """Unlike bare MACs, the Merkle root catches whole-path replay."""
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 1)
+        buckets[0].add(Block(3, 1, b"\x0A" * 32))
+        verifier.update_path(1, buckets, indices)
+        stale = [Bucket(config.blocks_per_bucket) for _ in buckets]
+        with pytest.raises(IntegrityViolationError):
+            verifier.verify_path(1, stale, indices)
+
+    def test_cross_path_swap_detected(self, setup):
+        config, storage, mac, verifier = setup
+        b0, i0 = path_of(storage, 0)
+        b0[-1].add(Block(1, 0, b"\x01" * 32))
+        verifier.update_path(0, b0, i0)
+        bl, il = path_of(storage, config.num_leaves - 1)
+        bl[-1].add(Block(2, config.num_leaves - 1, b"\x02" * 32))
+        verifier.update_path(config.num_leaves - 1, bl, il)
+        # Swap the two leaf buckets.
+        b0[-1], bl[-1] = bl[-1], b0[-1]
+        with pytest.raises(IntegrityViolationError):
+            verifier.verify_path(0, b0, i0)
+
+
+class TestHashAccounting:
+    def test_hashes_per_verify_is_path_length(self, setup):
+        """Each verify hashes L+1 nodes — the §6.3 cost."""
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 0)
+        mac.reset_counters()
+        verifier.verify_path(0, buckets, indices)
+        assert mac.call_count == config.levels + 1
+
+    def test_update_costs_the_same(self, setup):
+        config, storage, mac, verifier = setup
+        buckets, indices = path_of(storage, 0)
+        mac.reset_counters()
+        verifier.update_path(0, buckets, indices)
+        assert mac.call_count == config.levels + 1
+
+    def test_serialise_includes_dummies(self, setup):
+        config, *_ = setup
+        empty = serialise_bucket(Bucket(4), 32, 4)
+        partial = Bucket(4)
+        partial.add(Block(1, 0, bytes(32)))
+        assert len(empty) == len(serialise_bucket(partial, 32, 4))

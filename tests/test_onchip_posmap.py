@@ -1,0 +1,97 @@
+"""On-chip PosMap in leaf and counter modes."""
+
+import pytest
+
+from repro.crypto.prf import Prf
+from repro.errors import ConfigurationError
+from repro.frontend.posmap import OnChipPosMap
+from repro.utils.rng import DeterministicRng
+
+
+class TestLeafMode:
+    def _posmap(self):
+        return OnChipPosMap(entries=16, levels=8, rng=DeterministicRng(1))
+
+    def test_first_touch_gets_uniform_leaf(self):
+        pm = self._posmap()
+        leaf, new_leaf, counter = pm.lookup_and_remap(3, 3)
+        assert 0 <= leaf < 256
+        assert 0 <= new_leaf < 256
+        assert counter == 0
+
+    def test_remap_persists(self):
+        pm = self._posmap()
+        _, new_leaf, _ = pm.lookup_and_remap(3, 3)
+        current, _, _ = pm.lookup_and_remap(3, 3)
+        assert current == new_leaf
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            self._posmap().lookup_and_remap(16, 16)
+
+    def test_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            OnChipPosMap(entries=4, levels=4, mode=OnChipPosMap.MODE_LEAF)
+
+    def test_peek_untouched_raises(self):
+        with pytest.raises(KeyError):
+            self._posmap().peek_leaf(5)
+
+    def test_peek_after_touch(self):
+        pm = self._posmap()
+        _, new_leaf, _ = pm.lookup_and_remap(5, 5)
+        assert pm.peek_leaf(5) == new_leaf
+
+    def test_size_bytes_uses_leaf_width(self):
+        pm = OnChipPosMap(entries=1024, levels=16, rng=DeterministicRng(0))
+        assert pm.size_bytes == 1024 * 16 // 8
+
+
+class TestCounterMode:
+    def _posmap(self):
+        return OnChipPosMap(
+            entries=16,
+            levels=8,
+            mode=OnChipPosMap.MODE_COUNTER,
+            prf=Prf(b"onchip-key"),
+        )
+
+    def test_counter_increments(self):
+        pm = self._posmap()
+        pm.lookup_and_remap(2, 0xBEEF)
+        pm.lookup_and_remap(2, 0xBEEF)
+        assert pm.counter(2) == 2
+
+    def test_leaves_follow_prf(self):
+        pm = self._posmap()
+        prf = pm.prf
+        leaf, new_leaf, counter = pm.lookup_and_remap(2, 0xBEEF)
+        assert leaf == prf.leaf_for(0xBEEF, 0, 8)
+        assert new_leaf == prf.leaf_for(0xBEEF, 1, 8)
+        assert counter == 1
+
+    def test_lookup_chain_consistent(self):
+        """The leaf returned now must equal the 'current' leaf next time."""
+        pm = self._posmap()
+        _, expected, _ = pm.lookup_and_remap(7, 42)
+        current, _, _ = pm.lookup_and_remap(7, 42)
+        assert current == expected
+
+    def test_requires_prf(self):
+        with pytest.raises(ConfigurationError):
+            OnChipPosMap(entries=4, levels=4, mode=OnChipPosMap.MODE_COUNTER)
+
+    def test_counter_in_leaf_mode_rejected(self):
+        pm = OnChipPosMap(entries=4, levels=4, rng=DeterministicRng(0))
+        with pytest.raises(ConfigurationError):
+            pm.counter(0)
+
+    def test_size_bytes_uses_counter_width(self):
+        pm = OnChipPosMap(
+            entries=1024, levels=16, mode=OnChipPosMap.MODE_COUNTER, prf=Prf(b"k")
+        )
+        assert pm.size_bytes == 1024 * 8
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnChipPosMap(entries=4, levels=4, mode="magic")

@@ -1,0 +1,115 @@
+"""PLB cache behaviour: hits, eviction, associativity, accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frontend.addrgen import AddressSpace
+from repro.frontend.plb import Plb, PlbEntry
+
+
+def entry(level, index, leaf=0):
+    return PlbEntry(AddressSpace.tag(level, index), bytearray(64), leaf)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        assert plb.lookup(entry(1, 5).tagged_addr) is None
+        plb.insert(entry(1, 5, leaf=7))
+        found = plb.lookup(AddressSpace.tag(1, 5))
+        assert found is not None
+        assert found.leaf == 7
+
+    def test_levels_disambiguated(self):
+        """i||a_i tagging: same index at different levels are distinct."""
+        plb = Plb(capacity_bytes=16 * 64, block_bytes=64)
+        plb.insert(entry(1, 5, leaf=1))
+        plb.insert(entry(2, 5, leaf=2))
+        assert plb.peek(AddressSpace.tag(1, 5)).leaf == 1
+        assert plb.peek(AddressSpace.tag(2, 5)).leaf == 2
+
+    def test_duplicate_insert_rejected(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        plb.insert(entry(1, 5))
+        with pytest.raises(ValueError):
+            plb.insert(entry(1, 5))
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Plb(capacity_bytes=32, block_bytes=64)
+
+    def test_bad_ways_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Plb(capacity_bytes=256, block_bytes=64, ways=0)
+
+    def test_entry_count(self):
+        plb = Plb(capacity_bytes=4 * 64, block_bytes=64)
+        assert plb.num_sets == 4
+
+
+class TestEviction:
+    def test_direct_mapped_conflict_evicts(self):
+        plb = Plb(capacity_bytes=4 * 64, block_bytes=64, ways=1)
+        plb.insert(entry(1, 0, leaf=1))
+        victim = plb.insert(entry(1, 4, leaf=2))  # 4 % 4 == 0: same set
+        assert victim is not None
+        assert victim.leaf == 1
+        assert plb.peek(AddressSpace.tag(1, 0)) is None
+
+    def test_lru_within_set(self):
+        plb = Plb(capacity_bytes=4 * 64, block_bytes=64, ways=2)
+        # Set count = 2; indices 0, 2, 4 all map to set 0.
+        plb.insert(entry(0, 0))
+        plb.insert(entry(0, 2))
+        plb.lookup(AddressSpace.tag(0, 0))  # touch 0: now 2 is LRU
+        victim = plb.insert(entry(0, 4))
+        assert victim.tagged_addr == AddressSpace.tag(0, 2)
+
+    def test_invalidate(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        plb.insert(entry(1, 3))
+        removed = plb.invalidate(AddressSpace.tag(1, 3))
+        assert removed is not None
+        assert plb.peek(AddressSpace.tag(1, 3)) is None
+        assert plb.invalidate(AddressSpace.tag(1, 3)) is None
+
+    def test_full_associative_no_premature_eviction(self):
+        plb = Plb(capacity_bytes=4 * 64, block_bytes=64, ways=4)
+        victims = [plb.insert(entry(0, i)) for i in range(4)]
+        assert all(v is None for v in victims)
+        assert len(plb) == 4
+
+
+class TestAccounting:
+    def test_hit_rate(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        plb.insert(entry(1, 1))
+        plb.lookup(AddressSpace.tag(1, 1))
+        plb.lookup(AddressSpace.tag(1, 2))
+        assert plb.hits == 1
+        assert plb.misses == 1
+        assert plb.hit_rate == 0.5
+
+    def test_peek_and_contains_do_not_count(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        plb.insert(entry(1, 1))
+        plb.peek(AddressSpace.tag(1, 1))
+        plb.contains(AddressSpace.tag(1, 1))
+        assert plb.hits == 0 and plb.misses == 0
+
+    def test_reset_counters_keeps_contents(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        plb.insert(entry(1, 1))
+        plb.lookup(AddressSpace.tag(1, 1))
+        plb.reset_counters()
+        assert plb.hits == 0
+        assert plb.peek(AddressSpace.tag(1, 1)) is not None
+
+    def test_zero_lookups_hit_rate(self):
+        assert Plb(capacity_bytes=256, block_bytes=64).hit_rate == 0.0
+
+    def test_entries_listing(self):
+        plb = Plb(capacity_bytes=8 * 64, block_bytes=64)
+        plb.insert(entry(1, 1))
+        plb.insert(entry(2, 3))
+        assert len(plb.entries()) == 2

@@ -1,0 +1,72 @@
+"""Unit tests for repro.utils.rng."""
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random_leaf(10) for _ in range(50)] == [
+            b.random_leaf(10) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random_leaf(20) for _ in range(20)] != [
+            b.random_leaf(20) for _ in range(20)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork(3)
+        b = DeterministicRng(7).fork(3)
+        assert a.random_bytes(16) == b.random_bytes(16)
+
+    def test_fork_independent_of_parent_use(self):
+        parent1 = DeterministicRng(7)
+        parent1.random()
+        parent2 = DeterministicRng(7)
+        assert parent1.fork(5).randrange(1000) == parent2.fork(5).randrange(1000)
+
+    def test_forks_with_different_salts_differ(self):
+        parent = DeterministicRng(7)
+        assert parent.fork(1).random_bytes(8) != parent.fork(2).random_bytes(8)
+
+
+class TestRanges:
+    def test_random_leaf_in_range(self):
+        rng = DeterministicRng(0)
+        for _ in range(500):
+            assert 0 <= rng.random_leaf(6) < 64
+
+    def test_random_leaf_zero_levels(self):
+        assert DeterministicRng(0).random_leaf(0) == 0
+
+    def test_random_bytes_length(self):
+        rng = DeterministicRng(0)
+        assert len(rng.random_bytes(33)) == 33
+        assert rng.random_bytes(0) == b""
+
+    def test_zipf_in_range(self):
+        rng = DeterministicRng(0)
+        for alpha in (0.5, 1.0, 1.5):
+            for _ in range(200):
+                assert 0 <= rng.zipf(100, alpha) < 100
+
+    def test_zipf_trivial_n(self):
+        assert DeterministicRng(0).zipf(1, 1.0) == 0
+
+    def test_zipf_is_skewed(self):
+        """Low ranks should dominate a Zipf sample."""
+        rng = DeterministicRng(3)
+        draws = [rng.zipf(1000, 1.2) for _ in range(3000)]
+        low = sum(1 for d in draws if d < 100)
+        assert low > len(draws) // 2
+
+    def test_leaf_roughly_uniform(self):
+        rng = DeterministicRng(9)
+        counts = [0] * 16
+        for _ in range(16000):
+            counts[rng.random_leaf(4)] += 1
+        assert min(counts) > 750 and max(counts) < 1250

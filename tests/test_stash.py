@@ -1,0 +1,64 @@
+"""Stash semantics and overflow detection."""
+
+import pytest
+
+from repro.errors import StashOverflowError
+from repro.backend.stash import Stash
+from repro.storage.block import Block
+
+
+class TestStashBasics:
+    def test_add_get_pop(self):
+        stash = Stash(limit=10)
+        stash.add(Block(1, 0, b"x"))
+        assert stash.get(1).data == b"x"
+        assert stash.pop(1).addr == 1
+        assert stash.get(1) is None
+
+    def test_duplicate_rejected(self):
+        stash = Stash(limit=10)
+        stash.add(Block(1, 0, b""))
+        with pytest.raises(ValueError):
+            stash.add(Block(1, 1, b""))
+
+    def test_pop_missing_returns_none(self):
+        assert Stash(limit=5).pop(42) is None
+
+    def test_contains(self):
+        stash = Stash(limit=5)
+        stash.add(Block(7, 0, b""))
+        assert stash.contains(7)
+        assert not stash.contains(8)
+
+    def test_add_all_and_len(self):
+        stash = Stash(limit=10)
+        stash.add_all(Block(i, 0, b"") for i in range(4))
+        assert len(stash) == 4
+
+    def test_remove_many(self):
+        stash = Stash(limit=10)
+        stash.add_all(Block(i, 0, b"") for i in range(4))
+        stash.remove_many([1, 3])
+        assert sorted(b.addr for b in stash.blocks()) == [0, 2]
+
+
+class TestOverflow:
+    def test_limit_enforced(self):
+        stash = Stash(limit=3)
+        stash.add_all(Block(i, 0, b"") for i in range(4))
+        with pytest.raises(StashOverflowError):
+            stash.check_limit()
+
+    def test_at_limit_is_fine(self):
+        stash = Stash(limit=3)
+        stash.add_all(Block(i, 0, b"") for i in range(3))
+        stash.check_limit()
+
+    def test_occupancy_stats_recorded(self):
+        stash = Stash(limit=10)
+        stash.add(Block(1, 0, b""))
+        stash.check_limit()
+        stash.add(Block(2, 0, b""))
+        stash.check_limit()
+        assert stash.occupancy_stats.count == 2
+        assert stash.occupancy_stats.max == 2

@@ -1,0 +1,86 @@
+"""Statistical stash-occupancy study (§3.1.2): Z=4 vs smaller Z.
+
+Path ORAM's stash stays small with overwhelming probability when Z >= 4;
+with Z too small the stash drifts upward. These tests run long random
+workloads and check the distributional claims the security argument
+rests on.
+"""
+
+import pytest
+
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import OramConfig
+from repro.storage.tree import TreeStorage
+from repro.utils.rng import DeterministicRng
+
+
+def run_random_workload(z, accesses=4000, num_blocks=512, seed=1):
+    config = OramConfig(num_blocks=num_blocks, block_bytes=16, blocks_per_bucket=z,
+                        stash_limit=10_000)
+    backend = PathOramBackend(config, TreeStorage(config), DeterministicRng(seed))
+    rng = DeterministicRng(seed + 1)
+    posmap = {}
+    for _ in range(accesses):
+        addr = rng.randrange(num_blocks)
+        leaf = posmap.get(addr, rng.random_leaf(config.levels))
+        new_leaf = backend.random_leaf()
+        posmap[addr] = new_leaf
+        backend.access(Op.READ, addr, leaf, new_leaf)
+    return backend.stash.occupancy_stats
+
+
+class TestZ4:
+    def test_max_occupancy_small(self):
+        stats = run_random_workload(z=4)
+        assert stats.max <= 25
+
+    def test_mean_occupancy_tiny(self):
+        stats = run_random_workload(z=4)
+        assert stats.mean < 5
+
+    def test_never_near_paper_limit(self):
+        """The 200-block stash limit is never approached honestly."""
+        for seed in (1, 2, 3):
+            stats = run_random_workload(z=4, seed=seed)
+            assert stats.max < 100
+
+
+class TestSmallerZ:
+    def test_z2_worse_than_z4(self):
+        z2 = run_random_workload(z=2)
+        z4 = run_random_workload(z=4)
+        assert z2.mean > z4.mean
+
+    def test_z4_vs_z6_diminishing(self):
+        """Beyond Z=4 the improvement is marginal — why the paper uses 4."""
+        z4 = run_random_workload(z=4)
+        z6 = run_random_workload(z=6)
+        assert abs(z4.mean - z6.mean) < 3.0
+
+
+class TestWorstCasePatterns:
+    def test_single_block_hammering(self):
+        """Repeatedly accessing one block must not grow the stash."""
+        config = OramConfig(num_blocks=256, block_bytes=16)
+        backend = PathOramBackend(config, TreeStorage(config), DeterministicRng(5))
+        rng = DeterministicRng(6)
+        leaf = rng.random_leaf(config.levels)
+        for _ in range(2000):
+            new_leaf = backend.random_leaf()
+            backend.access(Op.READ, 7, leaf, new_leaf)
+            leaf = new_leaf
+        assert backend.stash.occupancy_stats.max <= 10
+
+    def test_sequential_scan(self):
+        config = OramConfig(num_blocks=256, block_bytes=16)
+        backend = PathOramBackend(config, TreeStorage(config), DeterministicRng(7))
+        rng = DeterministicRng(8)
+        posmap = {}
+        for i in range(3000):
+            addr = i % 256
+            leaf = posmap.get(addr, rng.random_leaf(config.levels))
+            new_leaf = backend.random_leaf()
+            posmap[addr] = new_leaf
+            backend.access(Op.READ, addr, leaf, new_leaf)
+        assert backend.stash.occupancy_stats.max <= 25

@@ -1,0 +1,109 @@
+"""Unit tests for repro.utils.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStats,
+    chi_square_uniform,
+    geometric_mean,
+    histogram,
+    normalize,
+)
+
+
+class TestGeometricMean:
+    def test_constant(self):
+        assert geometric_mean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestHistogram:
+    def test_counts(self):
+        assert histogram([1, 2, 2, 3, 3, 3]) == {1: 1, 2: 2, 3: 3}
+
+    def test_empty(self):
+        assert histogram([]) == {}
+
+
+class TestChiSquare:
+    def test_uniform_is_small(self):
+        stat, dof = chi_square_uniform([100, 100, 100, 100])
+        assert stat == 0.0
+        assert dof == 3
+
+    def test_skewed_is_large(self):
+        stat, _ = chi_square_uniform([400, 0, 0, 0])
+        assert stat > 100
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([10])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform([0, 0])
+
+
+class TestRunningStats:
+    def test_mean_and_extremes(self):
+        rs = RunningStats()
+        for x in (1.0, 2.0, 3.0):
+            rs.add(x)
+        assert rs.mean == pytest.approx(2.0)
+        assert rs.min == 1.0
+        assert rs.max == 3.0
+        assert rs.count == 3
+
+    def test_variance(self):
+        rs = RunningStats()
+        for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            rs.add(x)
+        assert rs.variance == pytest.approx(32.0 / 7.0)
+        assert rs.stddev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_variance_single_sample_is_zero(self):
+        rs = RunningStats()
+        rs.add(5.0)
+        assert rs.variance == 0.0
+
+    def test_as_dict_keys(self):
+        rs = RunningStats()
+        rs.add(1.0)
+        assert set(rs.as_dict()) == {"count", "mean", "stddev", "min", "max"}
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_matches_direct_computation(self, values):
+        rs = RunningStats()
+        for v in values:
+            rs.add(v)
+        assert rs.mean == pytest.approx(sum(values) / len(values), abs=1e-6)
+        assert rs.max == max(values)
+        assert rs.min == min(values)
+
+
+class TestNormalize:
+    def test_divides(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)

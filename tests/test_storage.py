@@ -1,0 +1,124 @@
+"""Blocks, buckets and the plaintext tree storage."""
+
+import pytest
+
+from repro.config import OramConfig
+from repro.storage.block import Block
+from repro.storage.bucket import Bucket
+from repro.storage.tree import TreeStorage, path_indices
+
+
+class TestBlock:
+    def test_copy_is_independent(self):
+        a = Block(1, 2, b"data", b"mac")
+        b = a.copy()
+        b.leaf = 99
+        assert a.leaf == 2
+        assert b.data == a.data
+
+    def test_defaults(self):
+        blk = Block(1, 2, b"x")
+        assert blk.mac is None
+
+
+class TestBucket:
+    def test_capacity_enforced(self):
+        bucket = Bucket(2)
+        bucket.add(Block(1, 0, b""))
+        bucket.add(Block(2, 0, b""))
+        assert bucket.is_full()
+        with pytest.raises(OverflowError):
+            bucket.add(Block(3, 0, b""))
+
+    def test_drain_empties(self):
+        bucket = Bucket(4)
+        bucket.add(Block(1, 0, b""))
+        drained = bucket.drain()
+        assert len(drained) == 1
+        assert len(bucket) == 0
+
+    def test_find(self):
+        bucket = Bucket(4)
+        bucket.add(Block(5, 1, b"x"))
+        assert bucket.find(5).data == b"x"
+        assert bucket.find(6) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Bucket(0)
+
+    def test_iteration(self):
+        bucket = Bucket(4)
+        for i in range(3):
+            bucket.add(Block(i, 0, b""))
+        assert sorted(b.addr for b in bucket) == [0, 1, 2]
+
+
+class TestPathIndices:
+    def test_root_is_zero(self):
+        for leaf in range(8):
+            assert path_indices(leaf, 3)[0] == 0
+
+    def test_leaf_index(self):
+        # Leaves of a 3-level tree occupy heap indices 7..14.
+        for leaf in range(8):
+            assert path_indices(leaf, 3)[-1] == 7 + leaf
+
+    def test_length(self):
+        assert len(path_indices(0, 5)) == 6
+
+    def test_parent_child_relation(self):
+        for leaf in range(16):
+            idx = path_indices(leaf, 4)
+            for depth in range(1, 5):
+                assert (idx[depth] - 1) // 2 == idx[depth - 1]
+
+    def test_sibling_paths_diverge_at_lsb(self):
+        a = path_indices(0b000, 3)
+        b = path_indices(0b001, 3)
+        assert a[:3] == b[:3]
+        assert a[3] != b[3]
+
+
+class TestTreeStorage:
+    def test_read_path_returns_all_levels(self, small_config):
+        storage = TreeStorage(small_config)
+        path = storage.read_path(0)
+        assert len(path) == small_config.levels + 1
+        assert [level for level, _ in path] == list(range(small_config.levels + 1))
+
+    def test_leaf_bounds_checked(self, small_config):
+        storage = TreeStorage(small_config)
+        with pytest.raises(ValueError):
+            storage.read_path(small_config.num_leaves)
+        with pytest.raises(ValueError):
+            storage.read_path(-1)
+
+    def test_byte_accounting(self, small_config):
+        storage = TreeStorage(small_config)
+        storage.read_path(3)
+        storage.write_path(3)
+        per_path = (small_config.levels + 1) * small_config.bucket_bytes
+        assert storage.bytes_read == per_path
+        assert storage.bytes_written == per_path
+        assert storage.bytes_moved == 2 * per_path
+
+    def test_reset_counters(self, small_config):
+        storage = TreeStorage(small_config)
+        storage.read_path(0)
+        storage.reset_counters()
+        assert storage.bytes_moved == 0
+
+    def test_buckets_persist(self, small_config):
+        storage = TreeStorage(small_config)
+        path = storage.read_path(5)
+        path[0][1].add(Block(42, 5, bytes(64)))
+        storage.write_path(5)
+        again = storage.read_path(5)
+        assert again[0][1].find(42) is not None
+
+    def test_occupancy(self, small_config):
+        storage = TreeStorage(small_config)
+        assert storage.occupancy() == 0
+        storage.bucket_at(0).add(Block(1, 0, bytes(64)))
+        assert storage.occupancy() == 1

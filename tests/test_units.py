@@ -1,0 +1,59 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import GiB, KiB, MiB, format_bytes, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+
+    def test_kb(self):
+        assert parse_size("64KB") == 64 * KiB
+
+    def test_kib(self):
+        assert parse_size("64KiB") == 64 * KiB
+
+    def test_mb_with_space(self):
+        assert parse_size("1 MB") == MiB
+
+    def test_gb_case_insensitive(self):
+        assert parse_size("4gb") == 4 * GiB
+
+    def test_fractional(self):
+        assert parse_size("0.5KB") == 512
+
+    def test_rejects_fractional_bytes(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3 B")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+    def test_rejects_suffix_only(self):
+        with pytest.raises(ValueError):
+            parse_size("KB")
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(100) == "100 B"
+
+    def test_exact_kib(self):
+        assert format_bytes(8 * KiB) == "8 KiB"
+
+    def test_exact_gib(self):
+        assert format_bytes(4 * GiB) == "4 GiB"
+
+    def test_fractional_mib(self):
+        assert format_bytes(MiB + 512 * KiB) == "1.50 MiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_roundtrip(self):
+        for n in (1, KiB, 3 * MiB, 7 * GiB):
+            assert parse_size(format_bytes(n)) == n

@@ -1,0 +1,118 @@
+"""Synthetic pattern generators and the SPEC stand-ins."""
+
+import itertools
+
+import pytest
+
+from repro.utils.rng import DeterministicRng
+from repro.workloads.spec import SPEC_BENCHMARKS, benchmark, benchmark_names
+from repro.workloads.synthetic import (
+    hot_cold,
+    pointer_chase,
+    sequential_stream,
+    strided_stream,
+    uniform_random,
+    zipf_random,
+)
+
+WSS = 1 << 20  # 1 MiB
+
+
+def take(gen, n):
+    return list(itertools.islice(gen, n))
+
+
+class TestPrimitives:
+    def test_all_within_working_set(self):
+        rng = DeterministicRng(1)
+        for factory in (
+            sequential_stream,
+            strided_stream,
+            uniform_random,
+            zipf_random,
+            pointer_chase,
+            hot_cold,
+        ):
+            for addr in take(factory(WSS, rng.fork(id(factory) & 0xFF)), 500):
+                assert 0 <= addr < WSS
+
+    def test_sequential_is_sequential(self):
+        addrs = take(sequential_stream(WSS, DeterministicRng(2), stride=64), 100)
+        deltas = {(b - a) % WSS for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {64}
+
+    def test_strided_stride(self):
+        addrs = take(strided_stream(WSS, DeterministicRng(2), stride=1024), 50)
+        deltas = {(b - a) % WSS for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {1024}
+
+    def test_uniform_covers_space(self):
+        addrs = take(uniform_random(WSS, DeterministicRng(3)), 2000)
+        assert len(set(addrs)) > 1500
+
+    def test_zipf_is_skewed(self):
+        addrs = take(zipf_random(WSS, DeterministicRng(4), alpha=1.2), 3000)
+        top = max(addrs.count(a) for a in set(addrs))
+        assert top > 3  # hot lines repeat
+
+    def test_pointer_chase_is_aperiodic_short_term(self):
+        addrs = take(pointer_chase(WSS, DeterministicRng(5)), 1000)
+        assert len(set(addrs)) > 900
+
+    def test_hot_cold_concentrates(self):
+        addrs = take(
+            hot_cold(WSS, DeterministicRng(6), hot_fraction=0.05, hot_probability=0.9),
+            2000,
+        )
+        hot_limit = int(WSS // 64 * 0.05) * 64
+        hot = sum(1 for a in addrs if a < hot_limit)
+        assert hot > 1600
+
+    def test_line_alignment(self):
+        for factory in (uniform_random, zipf_random, pointer_chase, hot_cold):
+            for addr in take(factory(WSS, DeterministicRng(7)), 100):
+                assert addr % 64 == 0
+
+
+class TestSpecStandIns:
+    def test_all_eleven_present(self):
+        assert len(SPEC_BENCHMARKS) == 11
+        assert set(benchmark_names()) == {
+            "astar", "bzip2", "gcc", "gob", "h264", "hmmer",
+            "libq", "mcf", "omnet", "perl", "sjeng",
+        }
+
+    def test_lookup(self):
+        assert benchmark("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            benchmark("nope")
+
+    def test_refs_format(self):
+        spec = benchmark("gcc")
+        for gap, is_write, addr in take(spec.refs(DeterministicRng(1)), 200):
+            assert gap >= 0
+            assert isinstance(is_write, bool)
+            assert 0 <= addr < spec.wss_bytes
+
+    def test_deterministic(self):
+        spec = benchmark("astar")
+        a = take(spec.refs(DeterministicRng(9)), 100)
+        b = take(spec.refs(DeterministicRng(9)), 100)
+        assert a == b
+
+    def test_write_fraction_respected(self):
+        spec = benchmark("libq")
+        writes = sum(1 for _, w, _ in take(spec.refs(DeterministicRng(2)), 4000) if w)
+        assert writes / 4000 == pytest.approx(spec.write_fraction, abs=0.05)
+
+    def test_wss_ordering_matches_locality_classes(self):
+        """mcf/omnet sweep the largest working sets; hmmer the smallest."""
+        wss = {name: benchmark(name).wss_bytes for name in benchmark_names()}
+        assert wss["mcf"] == max(wss.values())
+        assert wss["hmmer"] == min(wss.values())
+        assert wss["mcf"] > 8 * wss["hmmer"]
+
+    def test_gap_instructions_mean(self):
+        spec = benchmark("sjeng")
+        gaps = [g for g, _, _ in take(spec.refs(DeterministicRng(3)), 4000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(spec.gap_instructions, rel=0.2)
