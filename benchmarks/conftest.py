@@ -13,6 +13,23 @@ import os
 
 import pytest
 
+from repro.sim.trace_cache import CACHE_ENV
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_trace_cache(tmp_path_factory):
+    """Keep benchmark runs off the developer's user-level trace cache.
+
+    Mirrors the fixture in tests/conftest.py (separate conftest scope).
+    """
+    previous = os.environ.get(CACHE_ENV)
+    os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("trace-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_ENV, None)
+    else:
+        os.environ[CACHE_ENV] = previous
+
 
 def full_run() -> bool:
     """True when REPRO_FULL=1 requests paper-scale runs."""

@@ -12,8 +12,28 @@ from repro.backend.path_oram import PathOramBackend
 from repro.config import OramConfig
 from repro.crypto.suite import CryptoSuite
 from repro.presets import build_frontend
+from repro.proc.hierarchy import MissEvent, MissTrace
+from repro.sim.system import replay_trace
+from repro.sim.timing import OramTimingModel
 from repro.storage.tree import TreeStorage
 from repro.utils.rng import DeterministicRng
+
+
+def test_replay_hot_path_throughput(benchmark):
+    """End-to-end replay loop: trace events through a PLB frontend."""
+    frontend = build_frontend("PC_X32", num_blocks=2**12, rng=DeterministicRng(7))
+    timing = OramTimingModel(tree_latency_cycles=1000.0)
+    rng = DeterministicRng(8)
+    trace = MissTrace(name="micro", instructions=200_000, mem_refs=60_000,
+                      l1_hits=50_000, l2_hits=8_000)
+    trace.events = [
+        MissEvent(rng.randrange(2**12), rng.random() < 0.3) for _ in range(500)
+    ]
+
+    def replay_once():
+        replay_trace(frontend, trace, timing, scheme="PC_X32")
+
+    benchmark(replay_once)
 
 
 def test_backend_access_throughput(benchmark):

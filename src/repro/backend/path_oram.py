@@ -28,7 +28,6 @@ from repro.backend.stash import Stash
 from repro.config import OramConfig
 from repro.errors import BlockNotFoundError
 from repro.storage.block import Block
-from repro.utils.bitops import common_prefix_len
 from repro.utils.rng import DeterministicRng
 
 
@@ -64,6 +63,15 @@ class PathOramBackend:
         self.tree_access_count = 0
         self.append_count = 0
         self._zero = bytes(config.block_bytes)
+        # Storages that expose the tuple-free path read (TreeStorage) get
+        # the fast replay path; byte-accurate/verified storages fall back
+        # to the standard (level, bucket) interface.
+        self._read_path_buckets = getattr(storage, "read_path_buckets", None)
+        # Scratch depth-grouping lists reused across evictions (always
+        # left empty between calls) to avoid per-access allocation.
+        self._by_depth: List[List[Block]] = [[] for _ in range(config.levels + 1)]
+        # The stash never replaces its dict, so bind it once for the hot loop.
+        self._stash_blocks = self.stash.blocks_by_addr
 
     # -- public API -----------------------------------------------------------
 
@@ -103,11 +111,23 @@ class PathOramBackend:
             return None
 
         self.tree_access_count += 1
-        path = self.storage.read_path(leaf)
-        for _level, bucket in path:
-            self.stash.add_all(bucket.drain())
+        read_buckets = self._read_path_buckets
+        if read_buckets is not None:
+            path = read_buckets(leaf)
+        else:
+            path = [bucket for _level, bucket in self.storage.read_path(leaf)]
+        stash_blocks = self._stash_blocks
+        for bucket in path:
+            drained = bucket.blocks
+            if drained:
+                bucket.blocks = []
+                for b in drained:
+                    a = b.addr
+                    if a in stash_blocks:
+                        raise ValueError(f"duplicate block {a:#x} in stash")
+                    stash_blocks[a] = b
 
-        block = self.stash.pop(addr)
+        block = stash_blocks.pop(addr, None)
         created_fresh = False
         if block is None:
             if not self.allow_missing:
@@ -125,7 +145,7 @@ class PathOramBackend:
         if op is Op.READRMV:
             result = block  # ownership moves to the Frontend (PLB)
         else:
-            self.stash.add(block)
+            stash_blocks[addr] = block  # was just popped; address is free
             result = block.copy()
 
         self._evict(leaf, path)
@@ -135,26 +155,55 @@ class PathOramBackend:
 
     # -- eviction ---------------------------------------------------------------
 
-    def _evict(self, leaf: int, path) -> None:
-        """Greedy Path ORAM eviction onto ``path`` (deepest level first)."""
+    def _evict(self, leaf: int, path: List) -> None:
+        """Greedy Path ORAM eviction onto ``path`` (deepest level first).
+
+        ``path`` is the list of path buckets indexed by level. The depth
+        computation inlines :func:`~repro.utils.bitops.common_prefix_len`
+        because this loop runs once per stash block per access and
+        dominates replay time; the out-of-range guard is kept (an
+        oversized stash-block leaf would otherwise alias into the wrong
+        depth group and silently corrupt the tree).
+        """
         levels = self.config.levels
         cap = self.config.blocks_per_bucket
+        stash_blocks = self._stash_blocks
         # Group stash blocks by the deepest level they may legally occupy.
-        by_depth: List[List[Block]] = [[] for _ in range(levels + 1)]
-        for block in self.stash:
-            depth = common_prefix_len(block.leaf, leaf, levels)
+        by_depth = self._by_depth
+        for block in stash_blocks.values():
+            xor = block.leaf ^ leaf
+            depth = levels - xor.bit_length()
+            if depth < 0:
+                raise ValueError(
+                    f"leaf label {block.leaf} out of range for {levels}-level tree"
+                )
             by_depth[depth].append(block)
 
-        placed: List[int] = []
+        # ``pool`` carries not-yet-placed blocks toward the root; placement
+        # order (this level's group LIFO, then older leftovers LIFO) matches
+        # the original greedy formulation exactly.
         pool: List[Block] = []
+        pool_extend = pool.extend
+        pool_pop = pool.pop
         for level in range(levels, -1, -1):
-            pool.extend(by_depth[level])
-            bucket = path[level][1]
-            while pool and len(bucket) < cap:
-                block = pool.pop()
-                bucket.add(block)
-                placed.append(block.addr)
-        self.stash.remove_many(placed)
+            candidates = by_depth[level]
+            if not (candidates or pool):
+                continue
+            slots = path[level].blocks
+            free = cap - len(slots)
+            while free > 0 and candidates:
+                block = candidates.pop()
+                slots.append(block)
+                free -= 1
+                del stash_blocks[block.addr]
+            if candidates:
+                pool_extend(candidates)
+                candidates.clear()  # leave the scratch lists empty
+            while free > 0 and pool:
+                block = pool_pop()
+                slots.append(block)
+                free -= 1
+                del stash_blocks[block.addr]
 
     # -- introspection ------------------------------------------------------------
 

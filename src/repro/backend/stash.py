@@ -33,8 +33,22 @@ class Stash:
 
     def add_all(self, blocks: Iterable[Block]) -> None:
         """Insert many blocks (path read)."""
+        store = self._blocks
         for block in blocks:
-            self.add(block)
+            addr = block.addr
+            if addr in store:
+                raise ValueError(f"duplicate block {addr:#x} in stash")
+            store[addr] = block
+
+    @property
+    def blocks_by_addr(self) -> Dict[int, Block]:
+        """Live address->block mapping for the Backend's hot path.
+
+        Mutating this dict bypasses the duplicate-address check in
+        :meth:`add`; callers (the eviction loop) must preserve the
+        one-block-per-address invariant themselves.
+        """
+        return self._blocks
 
     def get(self, addr: int) -> Optional[Block]:
         """Block by address, or None."""

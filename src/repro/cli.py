@@ -5,13 +5,22 @@ Usage::
     python -m repro list
     python -m repro fig6
     python -m repro table2 fig3 hashbw
+    python -m repro --workers 8 fig6 fig7
+    python -m repro --no-trace-cache fig6
     REPRO_FULL=1 python -m repro all
+
+``--workers N`` fans each experiment's (scheme, benchmark) matrix out
+over N processes (equivalent to ``REPRO_WORKERS=N``); results are bitwise
+identical to serial runs. ``--trace-cache DIR`` relocates the on-disk
+miss-trace cache and ``--no-trace-cache`` disables it (equivalent to the
+``REPRO_TRACE_CACHE`` environment variable).
 """
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
 from repro.eval import (
     ablation_plb,
@@ -26,6 +35,8 @@ from repro.eval import (
     table2,
     table3,
 )
+from repro.sim.trace_cache import CACHE_ENV
+from repro.sim.runner import WORKERS_ENV
 
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig3": fig3.main,
@@ -48,23 +59,66 @@ _ORDER = (
 )
 
 
+def _usage_error(message: str) -> int:
+    print(message, file=sys.stderr)
+    print(f"choose from: {', '.join(_ORDER)} or 'all'", file=sys.stderr)
+    return 2
+
+
+def _parse_flags(args: List[str]) -> Optional[List[str]]:
+    """Consume option flags, applying them via the environment.
+
+    Returns the remaining positional arguments, or None after printing an
+    error (exit code 2). Flags map onto the same environment variables the
+    library reads, so every ``run_suite`` call downstream inherits them.
+    """
+    positional: List[str] = []
+    it = iter(args)
+    for arg in it:
+        value: Optional[str] = None
+        if arg == "--workers" or arg.startswith("--workers="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value is None or not value.isdigit() or int(value) < 1:
+                print("--workers requires a positive integer", file=sys.stderr)
+                return None
+            os.environ[WORKERS_ENV] = value
+        elif arg == "--no-trace-cache":
+            os.environ[CACHE_ENV] = "off"
+        elif arg == "--trace-cache" or arg.startswith("--trace-cache="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--trace-cache requires a directory path", file=sys.stderr)
+                return None
+            os.environ[CACHE_ENV] = value
+        elif arg.startswith("--"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            return None
+        else:
+            positional.append(arg)
+    return positional
+
+
 def main(argv=None) -> int:
     """Dispatch experiment names; returns a process exit code."""
-    args = list(sys.argv[1:] if argv is None else argv)
+    args = _parse_flags(list(sys.argv[1:] if argv is None else argv))
+    if args is None:
+        return 2
     if not args or args == ["list"]:
-        print("Available experiments (python -m repro <name> [...]):")
+        print("Available experiments (python -m repro [options] <name> [...]):")
         for name in _ORDER:
             doc = EXPERIMENTS[name].__module__.rsplit(".", 1)[-1]
             print(f"  {name:<13} repro.eval.{doc}")
         print("  all           run everything in order")
+        print("Options:")
+        print("  --workers N        parallel (scheme, benchmark) fan-out")
+        print("  --trace-cache DIR  miss-trace cache location")
+        print("  --no-trace-cache   disable the on-disk trace cache")
         return 0
     if args == ["all"]:
         args = list(_ORDER)
     unknown = [a for a in args if a not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"choose from: {', '.join(_ORDER)} or 'all'", file=sys.stderr)
-        return 2
+        return _usage_error(f"unknown experiment(s): {', '.join(unknown)}")
     for name in args:
         print(f"==== {name} " + "=" * max(60 - len(name), 0))
         EXPERIMENTS[name]()

@@ -11,11 +11,22 @@ miss addresses by construction).
 
 from __future__ import annotations
 
+import struct
+import sys
+import zlib
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
 from repro.config import ProcessorConfig
 from repro.proc.cache import Cache
+
+#: On-disk trace container: magic, format version, flags, name length,
+#: four scalar counters, event count, payload CRC32.
+TRACE_MAGIC = b"RTRC"
+TRACE_VERSION = 1
+_TRACE_HEADER = struct.Struct("<4sHHIqqqqqI")
+_FLAG_COMPRESSED = 1
 
 
 @dataclass(frozen=True)
@@ -46,6 +57,87 @@ class MissTrace:
     def mpki(self) -> float:
         """LLC misses per kilo-instruction."""
         return 1000.0 * self.llc_misses / self.instructions if self.instructions else 0.0
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        """Compact binary image for the on-disk trace cache.
+
+        Each event packs into one little-endian 64-bit word as
+        ``line_addr << 1 | is_write``; the event section is zlib-compressed
+        by default and guarded by a CRC32 so corruption is detected on load.
+        """
+        name_bytes = self.name.encode("utf-8")
+        packed = array("Q", ((e.line_addr << 1) | e.is_write for e in self.events))
+        if sys.byteorder == "big":  # pragma: no cover - LE-canonical format
+            packed.byteswap()
+        payload = packed.tobytes()
+        flags = 0
+        if compress:
+            payload = zlib.compress(payload, 6)
+            flags |= _FLAG_COMPRESSED
+        header = _TRACE_HEADER.pack(
+            TRACE_MAGIC,
+            TRACE_VERSION,
+            flags,
+            len(name_bytes),
+            self.instructions,
+            self.mem_refs,
+            self.l1_hits,
+            self.l2_hits,
+            len(self.events),
+            zlib.crc32(payload),
+        )
+        return header + name_bytes + payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MissTrace":
+        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on corruption."""
+        if len(data) < _TRACE_HEADER.size:
+            raise ValueError("trace image truncated before header")
+        (
+            magic,
+            version,
+            flags,
+            name_len,
+            instructions,
+            mem_refs,
+            l1_hits,
+            l2_hits,
+            num_events,
+            crc,
+        ) = _TRACE_HEADER.unpack_from(data)
+        if magic != TRACE_MAGIC:
+            raise ValueError("bad trace magic")
+        if version != TRACE_VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        body = data[_TRACE_HEADER.size :]
+        if len(body) < name_len:
+            raise ValueError("trace image truncated inside name")
+        name = body[:name_len].decode("utf-8")
+        payload = bytes(body[name_len:])
+        if zlib.crc32(payload) != crc:
+            raise ValueError("trace payload CRC mismatch")
+        if flags & _FLAG_COMPRESSED:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise ValueError(f"trace payload decompression failed: {exc}") from exc
+        if len(payload) != 8 * num_events:
+            raise ValueError("trace event section has wrong length")
+        packed = array("Q")
+        packed.frombytes(payload)
+        if sys.byteorder == "big":  # pragma: no cover - LE-canonical format
+            packed.byteswap()
+        events = [MissEvent(word >> 1, bool(word & 1)) for word in packed]
+        return cls(
+            name=name,
+            instructions=instructions,
+            mem_refs=mem_refs,
+            l1_hits=l1_hits,
+            l2_hits=l2_hits,
+            events=events,
+        )
 
 
 class CacheHierarchy:

@@ -12,6 +12,7 @@ from repro.sim.metrics import SimResult, slowdown_table
 from repro.sim.runner import SimulationRunner
 from repro.sim.system import insecure_cycles, replay_trace
 from repro.sim.timing import OramTimingModel
+from repro.sim.trace_cache import TraceCache
 
 __all__ = [
     "SimResult",
@@ -20,4 +21,5 @@ __all__ = [
     "insecure_cycles",
     "replay_trace",
     "OramTimingModel",
+    "TraceCache",
 ]

@@ -6,6 +6,18 @@ baseline), so all schemes see byte-identical miss streams — the paper's
 methodology, and the property that makes scheme-vs-scheme ratios
 meaningful at simulation scale.
 
+Trace seeding is fully deterministic: the per-benchmark RNG fork salt is
+a CRC32 of the benchmark name, never the salted builtin ``hash`` (which
+varies with ``PYTHONHASHSEED`` and across processes). That determinism
+is what allows two further scale-out layers:
+
+- traces are persisted to an on-disk :class:`TraceCache` keyed by
+  (benchmark, seed, processor config, miss budget, warmup), so repeated
+  invocations — and every worker process — skip cache simulation;
+- ``run_suite`` can fan the (scheme, benchmark) matrix out over a
+  process pool (``workers=`` or ``REPRO_WORKERS``) with results bitwise
+  identical to the serial path.
+
 Scale is controlled by ``misses_per_benchmark``; set the environment
 variable ``REPRO_FULL=1`` (or pass explicit values) for longer runs.
 """
@@ -13,7 +25,10 @@ variable ``REPRO_FULL=1`` (or pass explicit values) for longer runs.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
@@ -24,8 +39,12 @@ from repro.proc.hierarchy import CacheHierarchy, MissTrace
 from repro.sim.metrics import SimResult
 from repro.sim.system import insecure_cycles, replay_trace
 from repro.sim.timing import OramTimingModel
+from repro.sim.trace_cache import TraceCache, default_cache_dir, trace_key
 from repro.utils.rng import DeterministicRng
 from repro.workloads.spec import SPEC_BENCHMARKS, benchmark
+
+#: Environment variable supplying the default ``run_suite`` worker count.
+WORKERS_ENV = "REPRO_WORKERS"
 
 
 def default_miss_budget() -> int:
@@ -35,12 +54,30 @@ def default_miss_budget() -> int:
     return 6_000
 
 
+def default_workers() -> int:
+    """Worker-pool size from ``REPRO_WORKERS`` (defaults to serial)."""
+    try:
+        return max(int(os.environ.get(WORKERS_ENV, "1")), 1)
+    except ValueError:
+        return 1
+
+
+def stable_trace_salt(bench_name: str) -> int:
+    """Process-independent RNG fork salt for a benchmark name.
+
+    The builtin ``hash`` is salted per process (``PYTHONHASHSEED``), which
+    would make traces — and therefore every scheme-vs-scheme ratio — vary
+    between runs; CRC32 is stable everywhere.
+    """
+    return zlib.crc32(bench_name.encode("utf-8")) & 0xFFFF
+
+
 def _next_pow2(n: int) -> int:
     return 1 << max(n - 1, 1).bit_length() if n > 1 else 1
 
 
 class SimulationRunner:
-    """Caches miss traces and replays them against scheme presets."""
+    """Caches miss traces (in memory and on disk) and replays them."""
 
     def __init__(
         self,
@@ -51,6 +88,7 @@ class SimulationRunner:
         misses_per_benchmark: Optional[int] = None,
         plb_capacity_bytes: int = 64 * 1024,
         onchip_entries: int = 2**10,
+        cache_dir: Union[str, Path, None] = "auto",
     ):
         self.proc = proc
         self.dram = dram if dram is not None else DramConfig()
@@ -63,28 +101,51 @@ class SimulationRunner:
         )
         self.plb_capacity_bytes = plb_capacity_bytes
         self.onchip_entries = onchip_entries
+        if cache_dir == "auto":
+            cache_dir = default_cache_dir()
+        self.trace_cache = TraceCache(cache_dir) if cache_dir is not None else None
         self._traces: Dict[str, MissTrace] = {}
 
     # -- traces -----------------------------------------------------------------
 
+    def _warmup_refs(self, bench_name: str) -> int:
+        """Warm the caches over ~2.5 working-set sweeps (capped) so the
+        measured region excludes compulsory misses, mirroring the paper's
+        1B-instruction warmup."""
+        wss_lines = benchmark(bench_name).wss_bytes // self.proc.line_bytes
+        return min(int(2.5 * wss_lines), 900_000)
+
+    def trace_cache_key(self, bench_name: str) -> str:
+        """Disk-cache key for a benchmark under this runner's config."""
+        return trace_key(
+            bench_name, self.seed, self.proc, self.misses, self._warmup_refs(bench_name)
+        )
+
     def trace(self, bench_name: str) -> MissTrace:
-        """Miss trace for a benchmark (cached)."""
-        if bench_name not in self._traces:
-            spec = benchmark(bench_name)
-            hierarchy = CacheHierarchy(self.proc)
-            rng = DeterministicRng(self.seed).fork(hash(bench_name) & 0xFFFF)
-            # Warm the caches over ~2.5 working-set sweeps (capped) so the
-            # measured region excludes compulsory misses, mirroring the
-            # paper's 1B-instruction warmup.
-            wss_lines = spec.wss_bytes // self.proc.line_bytes
-            warmup = min(int(2.5 * wss_lines), 900_000)
-            self._traces[bench_name] = hierarchy.run(
-                spec.refs(rng),
-                name=bench_name,
-                max_llc_misses=self.misses,
-                warmup_refs=warmup,
-            )
-        return self._traces[bench_name]
+        """Miss trace for a benchmark (cached in memory and on disk)."""
+        cached = self._traces.get(bench_name)
+        if cached is not None:
+            return cached
+        spec = benchmark(bench_name)
+        warmup = self._warmup_refs(bench_name)
+        key = self.trace_cache_key(bench_name)
+        if self.trace_cache is not None:
+            loaded = self.trace_cache.load(key)
+            if loaded is not None and loaded.name == bench_name:
+                self._traces[bench_name] = loaded
+                return loaded
+        hierarchy = CacheHierarchy(self.proc)
+        rng = DeterministicRng(self.seed).fork(stable_trace_salt(bench_name))
+        trace = hierarchy.run(
+            spec.refs(rng),
+            name=bench_name,
+            max_llc_misses=self.misses,
+            warmup_refs=warmup,
+        )
+        if self.trace_cache is not None:
+            self.trace_cache.store(key, trace)
+        self._traces[bench_name] = trace
+        return trace
 
     # -- frontends ----------------------------------------------------------------
 
@@ -104,10 +165,14 @@ class SimulationRunner:
             rng=DeterministicRng(self.seed ^ 0xA5A5),
             onchip_entries=overrides.pop("onchip_entries", self.onchip_entries),
         )
+        # Pop unconditionally: suite-wide overrides may carry the PLB size
+        # even when the matrix includes non-PLB schemes (R_X8), whose
+        # factories reject the kwarg.
+        plb_capacity_bytes = overrides.pop(
+            "plb_capacity_bytes", self.plb_capacity_bytes
+        )
         if scheme != "R_X8":
-            kwargs["plb_capacity_bytes"] = overrides.pop(
-                "plb_capacity_bytes", self.plb_capacity_bytes
-            )
+            kwargs["plb_capacity_bytes"] = plb_capacity_bytes
         kwargs.update(overrides)
         return build_frontend(scheme, **kwargs)
 
@@ -138,20 +203,62 @@ class SimulationRunner:
         """Insecure-DRAM baseline for one benchmark."""
         return insecure_cycles(self.trace(bench_name), self.proc)
 
+    def _spawn_payload(self) -> Dict[str, object]:
+        """Constructor kwargs that recreate this runner in a worker process."""
+        return dict(
+            proc=self.proc,
+            dram=self.dram,
+            proc_ghz=self.proc_ghz,
+            seed=self.seed,
+            misses_per_benchmark=self.misses,
+            plb_capacity_bytes=self.plb_capacity_bytes,
+            onchip_entries=self.onchip_entries,
+            cache_dir=self.trace_cache.root if self.trace_cache is not None else None,
+        )
+
     def run_suite(
         self,
         schemes: Sequence[str],
         benchmarks: Optional[Iterable[str]] = None,
+        *,
+        workers: Optional[int] = None,
         **overrides,
     ) -> Dict[str, Dict[str, SimResult]]:
-        """All (scheme, benchmark) pairs; results[scheme][benchmark]."""
+        """All (scheme, benchmark) pairs; results[scheme][benchmark].
+
+        With ``workers > 1`` the matrix is fanned out over a process pool.
+        Every task derives its RNG from the runner seed alone (never from
+        pool scheduling), so the parallel results are bitwise identical to
+        the serial path.
+        """
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
-        out: Dict[str, Dict[str, SimResult]] = {}
-        for scheme in schemes:
-            out[scheme] = {}
-            for name in names:
+        if workers is None:
+            workers = default_workers()
+        tasks = [(scheme, name) for scheme in schemes for name in names]
+        out: Dict[str, Dict[str, SimResult]] = {scheme: {} for scheme in schemes}
+        if workers <= 1 or len(tasks) < 2:
+            for scheme, name in tasks:
                 out[scheme][name] = self.run_one(scheme, name, **overrides)
-        return out
+            return out
+        # Generate (or load) each trace exactly once, then ship the packed
+        # traces to every worker so no process ever re-simulates one.
+        packed_traces = {name: self.trace(name).to_bytes() for name in names}
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            initializer=_worker_init,
+            initargs=(self._spawn_payload(), packed_traces),
+        ) as pool:
+            futures = [
+                pool.submit(_worker_run, scheme, name, overrides)
+                for scheme, name in tasks
+            ]
+            for future in as_completed(futures):
+                scheme, name, result = future.result()
+                out[scheme][name] = result
+        # Restore submission order (dicts preserve insertion order).
+        return {
+            scheme: {name: out[scheme][name] for name in names} for scheme in schemes
+        }
 
     def baselines(
         self, benchmarks: Optional[Iterable[str]] = None
@@ -159,3 +266,25 @@ class SimulationRunner:
         """Insecure baselines keyed by benchmark."""
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
         return {name: self.run_insecure(name) for name in names}
+
+
+# -- worker-process plumbing (module level for picklability) -------------------
+
+_WORKER_RUNNER: Optional[SimulationRunner] = None
+
+
+def _worker_init(
+    payload: Dict[str, object], packed_traces: Dict[str, bytes]
+) -> None:
+    """Build one runner per worker process, pre-seeded with the traces."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = SimulationRunner(**payload)  # type: ignore[arg-type]
+    _WORKER_RUNNER._traces = {
+        name: MissTrace.from_bytes(data) for name, data in packed_traces.items()
+    }
+
+
+def _worker_run(scheme: str, bench_name: str, overrides: Dict[str, object]):
+    """Execute one (scheme, benchmark) cell in the worker's runner."""
+    assert _WORKER_RUNNER is not None, "worker pool not initialised"
+    return scheme, bench_name, _WORKER_RUNNER.run_one(scheme, bench_name, **overrides)

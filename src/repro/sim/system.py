@@ -61,9 +61,17 @@ def replay_trace(
 ) -> SimResult:
     """Feed every LLC miss/eviction through the Frontend and sum latency."""
     if block_bytes is None:
-        block_bytes = getattr(frontend, "config", None).block_bytes if hasattr(
-            frontend, "config"
-        ) else frontend.configs[0].block_bytes
+        config = getattr(frontend, "config", None)
+        if config is not None:
+            block_bytes = config.block_bytes
+        else:
+            configs = getattr(frontend, "configs", None)
+            if not configs:
+                raise TypeError(
+                    f"{type(frontend).__name__} exposes neither 'config' nor "
+                    "'configs'; pass block_bytes explicitly"
+                )
+            block_bytes = configs[0].block_bytes
     lines_per_block = max(block_bytes // proc.line_bytes, 1)
     payload = bytes(block_bytes)
     cycles = base_cycles(trace, proc)

@@ -1,0 +1,131 @@
+"""Persistent on-disk cache of :class:`~repro.proc.hierarchy.MissTrace`.
+
+Generating a miss trace means driving the two-level cache hierarchy over
+hundreds of thousands of synthetic references — by far the most expensive
+step of an experiment, and one whose output is fully determined by the
+(benchmark, seed, processor config, miss budget, warmup) tuple. This cache
+keys the serialized trace on exactly that tuple so repeated invocations —
+including every worker of a parallel ``run_suite`` — skip cache simulation
+entirely.
+
+Robustness rules:
+
+- entries are written atomically (temp file + ``os.replace``) so a crashed
+  or concurrent writer never leaves a half-written entry visible;
+- a corrupted, truncated, or version-skewed entry is treated as a miss
+  (and unlinked best-effort), falling back to recomputation;
+- an unwritable cache directory silently disables the cache rather than
+  failing the experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.config import ProcessorConfig
+from repro.proc.hierarchy import TRACE_VERSION, MissTrace
+
+#: Environment variable controlling the default cache location. Unset means
+#: the per-user default; a path overrides it; ``0``/``off``/``none`` disables.
+CACHE_ENV = "REPRO_TRACE_CACHE"
+
+_DISABLED_VALUES = {"0", "off", "none", "disable", "disabled"}
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Resolve the cache directory from the environment (None = disabled)."""
+    value = os.environ.get(CACHE_ENV)
+    if value is None:
+        return Path.home() / ".cache" / "repro" / "traces"
+    if value.strip().lower() in _DISABLED_VALUES or not value.strip():
+        return None
+    return Path(value)
+
+
+def trace_key(
+    bench_name: str,
+    seed: int,
+    proc: ProcessorConfig,
+    max_llc_misses: int,
+    warmup_refs: int,
+) -> str:
+    """Stable digest of everything that determines a trace's contents.
+
+    The processor config is canonicalised field-by-field (sorted) so the
+    key is independent of dataclass field ordering. The trace format
+    version and package version are mixed in so format changes — and
+    releases that may alter workload generation — invalidate old entries.
+    """
+    import repro
+
+    parts = [
+        f"format={TRACE_VERSION}",
+        f"repro={getattr(repro, '__version__', '0')}",
+        f"bench={bench_name}",
+        f"seed={seed}",
+        f"misses={max_llc_misses}",
+        f"warmup={warmup_refs}",
+    ]
+    for key, value in sorted(dataclasses.asdict(proc).items()):
+        parts.append(f"proc.{key}={value!r}")
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:40]
+
+
+class TraceCache:
+    """Directory of serialized miss traces keyed by :func:`trace_key`."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        # Hit/miss/store counters for tests and diagnostics.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry location for a key."""
+        return self.root / f"{key}.trace"
+
+    def load(self, key: str) -> Optional[MissTrace]:
+        """Return the cached trace, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            trace = MissTrace.from_bytes(data)
+        except ValueError:
+            # Corrupted or stale-format entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store(self, key: str, trace: MissTrace) -> bool:
+        """Atomically persist a trace; returns False if the dir is unusable."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(trace.to_bytes())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True

@@ -11,7 +11,7 @@ encrypted in the real system).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import OramConfig
 from repro.storage.bucket import Bucket
@@ -22,6 +22,13 @@ def path_indices(leaf: int, levels: int) -> List[int]:
     return [(1 << d) - 1 + (leaf >> (levels - d)) for d in range(levels + 1)]
 
 
+#: Per-storage cap on memoised path entries. Small trees (the replay
+#: hot path) fit entirely; on paper-scale trees, where uniform leaf
+#: remapping makes hits rare anyway, the caches cycle instead of
+#: growing with every distinct leaf ever touched.
+PATH_CACHE_LIMIT = 1 << 15
+
+
 class TreeStorage:
     """Untrusted external memory holding the ORAM tree as live objects."""
 
@@ -29,6 +36,12 @@ class TreeStorage:
         self.config = config
         self.observer = observer
         self._buckets: List[Optional[Bucket]] = [None] * config.num_buckets
+        # Replay touches the same leaves repeatedly; memoise each path's
+        # heap indices (immutable tuples) and its materialised bucket list.
+        # Both are bounded by the number of leaves ever touched, and the
+        # bucket lists stay valid because buckets are created exactly once.
+        self._path_cache: Dict[int, Tuple[int, ...]] = {}
+        self._bucket_path_cache: Dict[int, List[Bucket]] = {}
         # Bandwidth accounting (logical bytes at the padded bucket size).
         self.buckets_read = 0
         self.buckets_written = 0
@@ -43,25 +56,62 @@ class TreeStorage:
             self._buckets[index] = bucket
         return bucket
 
+    def _indices(self, leaf: int) -> Tuple[int, ...]:
+        """Memoised heap indices along the path to ``leaf``."""
+        cached = self._path_cache.get(leaf)
+        if cached is None:
+            if not 0 <= leaf < self.config.num_leaves:
+                raise ValueError(f"leaf {leaf} out of range")
+            levels = self.config.levels
+            cached = tuple(
+                (1 << d) - 1 + (leaf >> (levels - d)) for d in range(levels + 1)
+            )
+            if len(self._path_cache) >= PATH_CACHE_LIMIT:
+                self._path_cache.clear()
+            self._path_cache[leaf] = cached
+        return cached
+
     def path_indices(self, leaf: int) -> List[int]:
         """Heap indices along the path to ``leaf``."""
-        if not 0 <= leaf < self.config.num_leaves:
-            raise ValueError(f"leaf {leaf} out of range")
-        return path_indices(leaf, self.config.levels)
+        return list(self._indices(leaf))
 
     # -- whole-path operations ------------------------------------------------
 
+    def read_path_buckets(self, leaf: int) -> List[Bucket]:
+        """Read all buckets root->leaf; index in the list is the level.
+
+        Hot-path variant of :meth:`read_path` that skips the (level, bucket)
+        tuple packaging; the Backend detects and prefers it. The returned
+        list is cached and shared — callers may mutate the buckets but must
+        not mutate the list itself.
+        """
+        path = self._bucket_path_cache.get(leaf)
+        if path is None:
+            indices = self._indices(leaf)
+            buckets = self._buckets
+            capacity = self.config.blocks_per_bucket
+            path = []
+            for idx in indices:
+                bucket = buckets[idx]
+                if bucket is None:
+                    bucket = Bucket(capacity)
+                    buckets[idx] = bucket
+                path.append(bucket)
+            if len(self._bucket_path_cache) >= PATH_CACHE_LIMIT:
+                self._bucket_path_cache.clear()
+            self._bucket_path_cache[leaf] = path
+        self.buckets_read += len(path)
+        if self.observer is not None:
+            self.observer.on_path_read(leaf, self._indices(leaf))
+        return path
+
     def read_path(self, leaf: int) -> List[Tuple[int, Bucket]]:
         """Read all buckets root->leaf; returns (level, bucket) pairs."""
-        indices = self.path_indices(leaf)
-        self.buckets_read += len(indices)
-        if self.observer is not None:
-            self.observer.on_path_read(leaf, indices)
-        return [(level, self.bucket_at(idx)) for level, idx in enumerate(indices)]
+        return list(enumerate(self.read_path_buckets(leaf)))
 
     def write_path(self, leaf: int) -> None:
         """Account for writing the path back (contents already mutated)."""
-        indices = self.path_indices(leaf)
+        indices = self._indices(leaf)
         self.buckets_written += len(indices)
         if self.observer is not None:
             self.observer.on_path_write(leaf, indices)

@@ -17,10 +17,13 @@ class DeterministicRng:
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
         self.seed = seed
+        # Bound-method fast path: leaf remapping calls this once per ORAM
+        # access, so skip the extra attribute hop through self._rng.
+        self._getrandbits = self._rng.getrandbits
 
     def random_leaf(self, num_levels: int) -> int:
         """Uniform leaf label in [0, 2**num_levels)."""
-        return self._rng.getrandbits(num_levels) if num_levels > 0 else 0
+        return self._getrandbits(num_levels) if num_levels > 0 else 0
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in [lo, hi] inclusive."""
@@ -36,7 +39,7 @@ class DeterministicRng:
 
     def getrandbits(self, k: int) -> int:
         """Uniform ``k``-bit integer."""
-        return self._rng.getrandbits(k) if k > 0 else 0
+        return self._getrandbits(k) if k > 0 else 0
 
     def random_bytes(self, n: int) -> bytes:
         """``n`` uniformly random bytes."""

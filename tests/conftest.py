@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import OramConfig
 from repro.crypto.suite import CryptoSuite
+from repro.sim.trace_cache import CACHE_ENV
 from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_trace_cache(tmp_path_factory):
+    """Point the on-disk miss-trace cache at a per-session temp dir.
+
+    Keeps tests from reading (or polluting) the developer's user-level
+    cache while still exercising the disk-cache code paths. Mirrored in
+    benchmarks/conftest.py, which is a separate conftest scope.
+    """
+    previous = os.environ.get(CACHE_ENV)
+    os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("trace-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_ENV, None)
+    else:
+        os.environ[CACHE_ENV] = previous
 
 
 @pytest.fixture

@@ -230,3 +230,14 @@ class TestStashBehaviour:
         assert backend.access_count == 2
         assert backend.tree_access_count == 1
         assert backend.append_count == 1
+
+
+class TestEvictionGuards:
+    def test_oversized_stash_leaf_rejected(self, small_config):
+        """An out-of-range block leaf must raise, not alias into a wrong
+        depth group and silently corrupt the tree (hot-path regression)."""
+        backend = make_backend(small_config)
+        bogus = Block(99, 1 << (small_config.levels + 2), bytes(64))
+        backend.stash.add(bogus)
+        with pytest.raises(ValueError, match="out of range"):
+            backend.access(Op.READ, 1, 0, backend.random_leaf())

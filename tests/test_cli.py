@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.sim.runner import WORKERS_ENV
+from repro.sim.trace_cache import CACHE_ENV
 
 
 class TestCli:
@@ -35,3 +37,51 @@ class TestCli:
             "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
             "table2", "table3", "hashbw", "compression",
         }
+
+
+class TestCliFlags:
+    def test_workers_flag_sets_env(self, capsys, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert main(["--workers", "4", "table2"]) == 0
+        assert capsys.readouterr().out  # experiment still ran
+        import os
+
+        assert os.environ.get(WORKERS_ENV) == "4"
+
+    def test_workers_equals_form(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert main(["--workers=2", "table2"]) == 0
+        import os
+
+        assert os.environ.get(WORKERS_ENV) == "2"
+
+    def test_workers_rejects_bad_value(self, capsys):
+        assert main(["--workers", "zero", "table2"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_rejects_missing_value(self, capsys):
+        assert main(["table2", "--workers"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_no_trace_cache_flag(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert main(["--no-trace-cache", "table2"]) == 0
+        import os
+
+        assert os.environ.get(CACHE_ENV) == "off"
+
+    def test_trace_cache_dir_flag(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert main([f"--trace-cache={tmp_path}", "table2"]) == 0
+        import os
+
+        assert os.environ.get(CACHE_ENV) == str(tmp_path)
+
+    def test_unknown_option_rejected(self, capsys):
+        assert main(["--frobnicate", "table2"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_list_mentions_options(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "--workers" in out and "--no-trace-cache" in out

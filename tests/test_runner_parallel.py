@@ -1,0 +1,148 @@
+"""Parallel ``run_suite`` equivalence and cross-process determinism.
+
+The paper's methodology requires every scheme to replay byte-identical
+miss streams; these tests pin down the two properties that guarantee it
+at scale: trace seeding independent of ``PYTHONHASHSEED`` (subprocess
+based), and worker-pool fan-out that is bitwise identical to the serial
+path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.sim.runner import (
+    SimulationRunner,
+    default_workers,
+    stable_trace_salt,
+)
+
+SCHEMES = ["R_X8", "PC_X32"]
+BENCHES = ["gob", "hmmer"]
+MISSES = 200
+
+_SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+
+#: Runs one small experiment and prints a JSON fingerprint of the trace
+#: and the result; executed under different PYTHONHASHSEED values.
+_FINGERPRINT_SCRIPT = """
+import hashlib, json
+from repro.sim.runner import SimulationRunner
+
+runner = SimulationRunner(misses_per_benchmark=200, cache_dir=None)
+result = runner.run_one("PC_X32", "gob")
+trace = runner.trace("gob")
+print(json.dumps({
+    "cycles": result.cycles,
+    "tree_accesses": result.tree_accesses,
+    "events": len(trace.events),
+    "trace_sha": hashlib.sha256(trace.to_bytes(compress=False)).hexdigest(),
+}))
+"""
+
+
+def _fingerprint_with_hashseed(hashseed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = _SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=300,
+    )
+    return json.loads(out.stdout)
+
+
+class TestDeterministicSeeding:
+    def test_salt_is_process_independent(self):
+        # Locked literals: CRC32-based, never the salted builtin hash().
+        assert stable_trace_salt("gob") == zlib.crc32(b"gob") & 0xFFFF
+        assert stable_trace_salt("gob") == 29611
+        assert stable_trace_salt("mcf") != stable_trace_salt("gob")
+
+    @pytest.mark.slow
+    def test_identical_across_hashseed_processes(self):
+        """Traces and SimResults must not depend on PYTHONHASHSEED."""
+        a = _fingerprint_with_hashseed("0")
+        b = _fingerprint_with_hashseed("31337")
+        assert a == b
+
+
+class TestParallelSuite:
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("suite-cache")
+
+    @pytest.fixture(scope="class")
+    def serial(self, cache_dir):
+        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        return runner.run_suite(SCHEMES, BENCHES)
+
+    def test_parallel_bitwise_matches_serial(self, cache_dir, serial):
+        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        parallel = runner.run_suite(SCHEMES, BENCHES, workers=3)
+        # SimResult is a dataclass: == is exact field (float-bit) equality.
+        assert parallel == serial
+
+    def test_parallel_preserves_layout(self, cache_dir, serial):
+        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        parallel = runner.run_suite(SCHEMES, BENCHES, workers=2)
+        assert list(parallel) == SCHEMES
+        for scheme in SCHEMES:
+            assert list(parallel[scheme]) == BENCHES
+
+    def test_parallel_with_overrides_matches_serial(self, cache_dir):
+        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        serial = runner.run_suite(["PC_X32"], BENCHES, plb_capacity_bytes=8 * 1024)
+        parallel = runner.run_suite(
+            ["PC_X32"], BENCHES, workers=2, plb_capacity_bytes=8 * 1024
+        )
+        assert parallel == serial
+
+    def test_parallel_without_disk_cache(self, serial):
+        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=None)
+        parallel = runner.run_suite(SCHEMES, BENCHES, workers=2)
+        assert parallel == serial
+
+    def test_workers_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert default_workers() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert default_workers() == 1
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() == 1
+
+
+class TestBuildOverrides:
+    """`plb_capacity_bytes` must be dropped, not crash, for non-PLB schemes."""
+
+    @pytest.fixture(scope="class")
+    def runner(self, tmp_path_factory):
+        return SimulationRunner(
+            misses_per_benchmark=MISSES,
+            cache_dir=tmp_path_factory.mktemp("build-cache"),
+        )
+
+    def test_r_x8_accepts_plb_capacity_override(self, runner):
+        frontend = runner.build("R_X8", "gob", plb_capacity_bytes=16 * 1024)
+        assert frontend is not None  # previously raised TypeError
+
+    def test_plb_scheme_uses_plb_capacity_override(self, runner):
+        frontend = runner.build("PC_X32", "gob", plb_capacity_bytes=16 * 1024)
+        assert frontend.plb.capacity_bytes == 16 * 1024
+
+    def test_suite_wide_override_spans_both_frontend_kinds(self, runner):
+        results = runner.run_suite(
+            ["R_X8", "PC_X32"], ["gob"], plb_capacity_bytes=32 * 1024
+        )
+        assert results["R_X8"]["gob"].oram_accesses > 0
+        assert results["PC_X32"]["gob"].oram_accesses > 0

@@ -78,6 +78,43 @@ class TestReplay:
         assert r.bytes_per_access == 1000.0
         assert r.posmap_byte_fraction == 0.25
 
+    def test_block_size_probe_single_config(self):
+        """Frontends exposing `config` are probed without touching `configs`."""
+        from repro.presets import pc_x32
+        from repro.utils.rng import DeterministicRng
+
+        frontend = pc_x32(num_blocks=2**10, rng=DeterministicRng(1),
+                          onchip_entries=16)
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        result = replay_trace(frontend, tiny_trace(), timing)
+        assert result.oram_accesses > 0
+
+    def test_block_size_probe_recursive_configs(self):
+        from repro.presets import r_x8
+        from repro.utils.rng import DeterministicRng
+
+        frontend = r_x8(num_blocks=2**10, rng=DeterministicRng(1),
+                        onchip_entries=16)
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        result = replay_trace(frontend, tiny_trace(), timing)
+        assert result.oram_accesses > 0
+
+    def test_block_size_probe_rejects_configless_frontend(self):
+        class NoConfig:
+            pass
+
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        with pytest.raises(TypeError, match="neither 'config' nor 'configs'"):
+            replay_trace(NoConfig(), tiny_trace(), timing)
+
+    def test_block_size_probe_rejects_empty_configs(self):
+        class EmptyConfigs:
+            configs = []
+
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        with pytest.raises(TypeError, match="neither 'config' nor 'configs'"):
+            replay_trace(EmptyConfigs(), tiny_trace(), timing)
+
 
 class TestRunner:
     @pytest.fixture(scope="class")
