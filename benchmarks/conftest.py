@@ -13,22 +13,29 @@ import os
 
 import pytest
 
+from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
 
 
 @pytest.fixture(autouse=True, scope="session")
-def _hermetic_trace_cache(tmp_path_factory):
-    """Keep benchmark runs off the developer's user-level trace cache.
+def _hermetic_caches(tmp_path_factory):
+    """Keep benchmark runs off the developer's user-level caches.
 
     Mirrors the fixture in tests/conftest.py (separate conftest scope).
+    Benchmarks measure real replay work, so the result cache in
+    particular must never serve a cell from a previous run.
     """
-    previous = os.environ.get(CACHE_ENV)
+    previous = {
+        env: os.environ.get(env) for env in (CACHE_ENV, RESULT_CACHE_ENV)
+    }
     os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("trace-cache"))
+    os.environ[RESULT_CACHE_ENV] = str(tmp_path_factory.mktemp("result-cache"))
     yield
-    if previous is None:
-        os.environ.pop(CACHE_ENV, None)
-    else:
-        os.environ[CACHE_ENV] = previous
+    for env, value in previous.items():
+        if value is None:
+            os.environ.pop(env, None)
+        else:
+            os.environ[env] = value
 
 
 def full_run() -> bool:

@@ -36,6 +36,28 @@ def test_replay_hot_path_throughput(benchmark):
     benchmark(replay_once)
 
 
+@pytest.mark.parametrize("scheme", ["P_X16", "PIC_X32"])
+@pytest.mark.parametrize("storage", ["object", "array"])
+def test_replay_throughput_by_storage(benchmark, scheme, storage):
+    """Replay throughput per storage backend.
+
+    Reuses the `repro bench` trace constructor so this pytest-benchmark
+    cell and the CI BENCH_replay.json artifact measure the same workload.
+    """
+    from repro.eval.bench import BENCH_BLOCKS, bench_trace
+
+    frontend = build_frontend(
+        scheme, num_blocks=BENCH_BLOCKS, rng=DeterministicRng(7), storage=storage
+    )
+    timing = OramTimingModel(tree_latency_cycles=1000.0)
+    trace = bench_trace(500)
+
+    def replay_once():
+        replay_trace(frontend, trace, timing, scheme=scheme)
+
+    benchmark(replay_once)
+
+
 def test_backend_access_throughput(benchmark):
     config = OramConfig(num_blocks=2**12, block_bytes=64)
     backend = PathOramBackend(config, TreeStorage(config), DeterministicRng(1))

@@ -70,6 +70,12 @@ class PathOramBackend:
         # Scratch depth-grouping lists reused across evictions (always
         # left empty between calls) to avoid per-access allocation.
         self._by_depth: List[List[Block]] = [[] for _ in range(config.levels + 1)]
+        # Scratch list of the drained per-bucket block lists, in path order;
+        # only consulted when eviction leaves blocks behind (rare).
+        self._drained_lists: List[List[Block]] = []
+        # Scratch snapshot of stash-resident blocks in dict order (same
+        # slow-path reconciliation; always cleared between calls).
+        self._resident_scratch: List[Block] = []
         # The stash never replaces its dict, so bind it once for the hot loop.
         self._stash_blocks = self.stash.blocks_by_addr
 
@@ -116,72 +122,98 @@ class PathOramBackend:
             path = read_buckets(leaf)
         else:
             path = [bucket for _level, bucket in self.storage.read_path(leaf)]
-        stash_blocks = self._stash_blocks
-        for bucket in path:
-            drained = bucket.blocks
-            if drained:
-                bucket.blocks = []
-                for b in drained:
-                    a = b.addr
-                    if a in stash_blocks:
-                        raise ValueError(f"duplicate block {a:#x} in stash")
-                    stash_blocks[a] = b
 
-        block = stash_blocks.pop(addr, None)
-        created_fresh = False
-        if block is None:
-            if not self.allow_missing:
-                raise BlockNotFoundError(
-                    f"block {addr:#x} absent from path {leaf} and stash"
-                )
-            block = Block(addr, new_leaf, self._zero, None)
-            created_fresh = True
-
-        block.leaf = new_leaf
-        if update is not None:
-            update(block)
-
-        result: Optional[Block]
-        if op is Op.READRMV:
-            result = block  # ownership moves to the Frontend (PLB)
-        else:
-            stash_blocks[addr] = block  # was just popped; address is free
-            result = block.copy()
-
-        self._evict(leaf, path)
-        self.storage.write_path(leaf)
-        self.stash.check_limit()
-        return result
-
-    # -- eviction ---------------------------------------------------------------
-
-    def _evict(self, leaf: int, path: List) -> None:
-        """Greedy Path ORAM eviction onto ``path`` (deepest level first).
-
-        ``path`` is the list of path buckets indexed by level. The depth
-        computation inlines :func:`~repro.utils.bitops.common_prefix_len`
-        because this loop runs once per stash block per access and
-        dominates replay time; the out-of-range guard is kept (an
-        oversized stash-block leaf would otherwise alias into the wrong
-        depth group and silently corrupt the tree).
-        """
+        # Fused drain + greedy eviction. Path blocks are grouped by legal
+        # eviction depth as they are drained and only ever enter the stash
+        # dict if they survive eviction (rare), eliminating two dict
+        # operations per block on the dominant loop of replay. Grouping
+        # order — resident stash blocks in insertion order, then drained
+        # blocks root->leaf, then the (remapped) block of interest last —
+        # and the LIFO candidate/pool placement below are exactly the
+        # classic formulation run over a merged stash, so stash contents,
+        # bucket contents and occupancy statistics are bit-identical to it.
         levels = self.config.levels
         cap = self.config.blocks_per_bucket
         stash_blocks = self._stash_blocks
-        # Group stash blocks by the deepest level they may legally occupy.
         by_depth = self._by_depth
-        for block in stash_blocks.values():
-            xor = block.leaf ^ leaf
-            depth = levels - xor.bit_length()
-            if depth < 0:
-                raise ValueError(
-                    f"leaf label {block.leaf} out of range for {levels}-level tree"
-                )
-            by_depth[depth].append(block)
 
-        # ``pool`` carries not-yet-placed blocks toward the root; placement
-        # order (this level's group LIFO, then older leftovers LIFO) matches
-        # the original greedy formulation exactly.
+        block = stash_blocks.pop(addr, None)
+        resident = self._resident_scratch
+        drained_lists = self._drained_lists
+        created_fresh = False
+        try:
+            for b in stash_blocks.values():
+                depth = levels - (b.leaf ^ leaf).bit_length()
+                if depth < 0:
+                    raise ValueError(
+                        f"leaf label {b.leaf} out of range for {levels}-level tree"
+                    )
+                by_depth[depth].append(b)
+                resident.append(b)
+
+            for bucket in path:
+                drained = bucket.blocks
+                if drained:
+                    bucket.blocks = []
+                    drained_lists.append(drained)
+                    for b in drained:
+                        a = b.addr
+                        if a == addr:
+                            if block is not None:
+                                raise ValueError(
+                                    f"duplicate block {a:#x} in stash"
+                                )
+                            block = b
+                            continue
+                        # Stash-vs-path duplicate guard (a storage aliasing
+                        # bug would corrupt the tree silently otherwise).
+                        # Path-vs-path duplicates of a non-accessed address
+                        # are not detectable without a per-access set; the
+                        # Stash.add check still covers the APPEND path.
+                        if a in stash_blocks:
+                            raise ValueError(f"duplicate block {a:#x} in stash")
+                        depth = levels - (b.leaf ^ leaf).bit_length()
+                        if depth < 0:
+                            raise ValueError(
+                                f"leaf label {b.leaf} out of range for "
+                                f"{levels}-level tree"
+                            )
+                        by_depth[depth].append(b)
+
+            if block is None:
+                if not self.allow_missing:
+                    raise BlockNotFoundError(
+                        f"block {addr:#x} absent from path {leaf} and stash"
+                    )
+                block = Block(addr, new_leaf, self._zero, None)
+                created_fresh = True
+
+            block.leaf = new_leaf
+            if update is not None:
+                update(block)
+
+            result: Optional[Block]
+            if op is Op.READRMV:
+                result = block  # ownership moves to the Frontend (PLB)
+            else:
+                depth = levels - (block.leaf ^ leaf).bit_length()
+                if depth < 0:
+                    raise ValueError(
+                        f"leaf label {block.leaf} out of range for "
+                        f"{levels}-level tree"
+                    )
+                by_depth[depth].append(block)  # grouped last, like a re-insert
+                result = block.copy()
+        except Exception:
+            # A freshly materialised zero block never existed before this
+            # access, so it is not restored (matching the merged-stash
+            # formulation, where it would only enter the stash later).
+            self._restore_on_error(None if created_fresh else block, addr)
+            raise
+
+        # Greedy placement, deepest level first; candidates LIFO, then the
+        # pool of deeper leftovers LIFO. Stash membership is reconciled
+        # wholesale afterwards instead of per placed block.
         pool: List[Block] = []
         pool_extend = pool.extend
         pool_pop = pool.pop
@@ -192,18 +224,60 @@ class PathOramBackend:
             slots = path[level].blocks
             free = cap - len(slots)
             while free > 0 and candidates:
-                block = candidates.pop()
-                slots.append(block)
+                slots.append(candidates.pop())
                 free -= 1
-                del stash_blocks[block.addr]
             if candidates:
                 pool_extend(candidates)
                 candidates.clear()  # leave the scratch lists empty
             while free > 0 and pool:
-                block = pool_pop()
-                slots.append(block)
+                slots.append(pool_pop())
                 free -= 1
-                del stash_blocks[block.addr]
+
+        if pool:
+            # Slow path: some blocks stay behind. Rebuild the stash dict in
+            # original merge order — resident survivors first (their
+            # original relative order), drained survivors in drain order,
+            # the block of interest last — so future grouping order matches
+            # the merged-stash semantics exactly.
+            leftover = {id(b) for b in pool}
+            stash_blocks.clear()
+            for b in resident:
+                if id(b) in leftover:
+                    stash_blocks[b.addr] = b
+            for drained in drained_lists:
+                for b in drained:
+                    if id(b) in leftover and b is not block:
+                        stash_blocks[b.addr] = b
+            if op is not Op.READRMV and id(block) in leftover:
+                stash_blocks[addr] = block
+        elif stash_blocks:
+            # Common fast path: everything was placed back onto the path.
+            stash_blocks.clear()
+        resident.clear()
+        drained_lists.clear()
+
+        self.storage.write_path(leaf)
+        self.stash.check_limit()
+        return result
+
+    def _restore_on_error(self, block: Optional[Block], addr: int) -> None:
+        """Undo a half-finished access so no block is lost.
+
+        Every drained block returns to the stash (the path buckets were
+        already emptied), the popped/created block of interest is
+        re-inserted, and the scratch lists are cleared — so the backend
+        remains usable after a caller catches the exception.
+        """
+        stash_blocks = self._stash_blocks
+        for group in self._by_depth:
+            group.clear()
+        for drained in self._drained_lists:
+            for b in drained:
+                stash_blocks[b.addr] = b
+        self._drained_lists.clear()
+        self._resident_scratch.clear()
+        if block is not None and addr not in stash_blocks:
+            stash_blocks[addr] = block
 
     # -- introspection ------------------------------------------------------------
 

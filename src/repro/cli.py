@@ -7,13 +7,18 @@ Usage::
     python -m repro table2 fig3 hashbw
     python -m repro --workers 8 fig6 fig7
     python -m repro --no-trace-cache fig6
+    python -m repro --storage array bench
     REPRO_FULL=1 python -m repro all
 
 ``--workers N`` fans each experiment's (scheme, benchmark) matrix out
 over N processes (equivalent to ``REPRO_WORKERS=N``); results are bitwise
-identical to serial runs. ``--trace-cache DIR`` relocates the on-disk
-miss-trace cache and ``--no-trace-cache`` disables it (equivalent to the
-``REPRO_TRACE_CACHE`` environment variable).
+identical to serial runs. ``--trace-cache DIR`` / ``--no-trace-cache``
+control the on-disk miss-trace cache (``REPRO_TRACE_CACHE``), and
+``--result-cache DIR`` / ``--no-result-cache`` the on-disk replay-result
+cache (``REPRO_RESULT_CACHE``) that makes repeated runs incremental.
+``--storage array`` selects the array-backed tree storage
+(``REPRO_STORAGE``). ``bench`` is the replay-throughput microbenchmark
+(writes ``BENCH_replay.json``); it runs only when named explicitly.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.eval import (
     ablation_plb,
+    bench,
     compression,
     fig3,
     fig5,
@@ -35,8 +41,10 @@ from repro.eval import (
     table2,
     table3,
 )
+from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
 from repro.sim.runner import WORKERS_ENV
+from repro.storage.array_tree import STORAGE_ENV
 
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig3": fig3.main,
@@ -50,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "hashbw": hashbw.main,
     "compression": compression.main,
     "ablation-plb": ablation_plb.main,
+    "bench": bench.main,
 }
 
 #: Cheap, purely analytic experiments run first under ``all``.
@@ -61,7 +70,9 @@ _ORDER = (
 
 def _usage_error(message: str) -> int:
     print(message, file=sys.stderr)
-    print(f"choose from: {', '.join(_ORDER)} or 'all'", file=sys.stderr)
+    print(
+        f"choose from: {', '.join(_ORDER)}, 'bench' or 'all'", file=sys.stderr
+    )
     return 2
 
 
@@ -90,6 +101,20 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
                 print("--trace-cache requires a directory path", file=sys.stderr)
                 return None
             os.environ[CACHE_ENV] = value
+        elif arg == "--no-result-cache":
+            os.environ[RESULT_CACHE_ENV] = "off"
+        elif arg == "--result-cache" or arg.startswith("--result-cache="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--result-cache requires a directory path", file=sys.stderr)
+                return None
+            os.environ[RESULT_CACHE_ENV] = value
+        elif arg == "--storage" or arg.startswith("--storage="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value not in ("object", "array"):
+                print("--storage requires 'object' or 'array'", file=sys.stderr)
+                return None
+            os.environ[STORAGE_ENV] = value
         elif arg.startswith("--"):
             print(f"unknown option {arg}", file=sys.stderr)
             return None
@@ -109,10 +134,14 @@ def main(argv=None) -> int:
             doc = EXPERIMENTS[name].__module__.rsplit(".", 1)[-1]
             print(f"  {name:<13} repro.eval.{doc}")
         print("  all           run everything in order")
+        print("  bench         replay-throughput microbenchmark (BENCH_replay.json)")
         print("Options:")
-        print("  --workers N        parallel (scheme, benchmark) fan-out")
-        print("  --trace-cache DIR  miss-trace cache location")
-        print("  --no-trace-cache   disable the on-disk trace cache")
+        print("  --workers N         parallel (scheme, benchmark) fan-out")
+        print("  --trace-cache DIR   miss-trace cache location")
+        print("  --no-trace-cache    disable the on-disk trace cache")
+        print("  --result-cache DIR  replay-result cache location")
+        print("  --no-result-cache   disable the on-disk result cache")
+        print("  --storage KIND      tree storage backend: object | array")
         return 0
     if args == ["all"]:
         args = list(_ORDER)

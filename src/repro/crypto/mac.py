@@ -30,15 +30,19 @@ class Mac:
         self.tag_bytes = tag_bytes
         self.call_count = 0
         self.bytes_hashed = 0
+        if mode == self.MODE_FAST:
+            # Pre-keyed hash state (see Prf): copy() skips the per-call
+            # key-block compression; digests are byte-identical.
+            self._keyed_state = hashlib.blake2b(key=key, digest_size=tag_bytes)
 
     def tag(self, message: bytes) -> bytes:
         """Compute the truncated MAC tag of ``message``."""
         self.call_count += 1
         self.bytes_hashed += len(message)
         if self.mode == self.MODE_FAST:
-            return hashlib.blake2b(
-                message, key=self.key, digest_size=self.tag_bytes
-            ).digest()
+            state = self._keyed_state.copy()
+            state.update(message)
+            return state.digest()
         # Keyed SHA3: SHA3-224(K || m). SHA3 is not length-extendable, so the
         # simple prefix construction is a secure MAC.
         digest = hashlib.sha3_224(self.key + message).digest()

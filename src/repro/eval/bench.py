@@ -1,0 +1,124 @@
+"""Replay-throughput microbenchmark (``python -m repro bench``).
+
+Not a paper figure: this harness measures the *simulator's own* hot path
+— end-to-end ``replay_trace`` accesses/second per scheme and storage
+backend on a fixed, seeded synthetic trace — and writes the numbers to
+``BENCH_replay.json`` so they can be tracked across commits (CI uploads
+the file as an artifact; there is no hard timing gate).
+
+The trace and every frontend are deterministically seeded, so run-to-run
+variation is machine noise only; each cell reports the best of
+``repeats`` runs to suppress it.
+
+Environment knobs: ``REPRO_BENCH_EVENTS`` (trace length, default 4000),
+``REPRO_BENCH_REPEATS`` (default 3), ``REPRO_BENCH_OUT`` (output path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+import repro
+from repro.presets import SCHEMES, build_frontend
+from repro.proc.hierarchy import MissEvent, MissTrace
+from repro.sim.system import replay_trace
+from repro.sim.timing import OramTimingModel
+from repro.utils.rng import DeterministicRng
+
+#: Tree size for the benchmark frontends (2^12 data blocks).
+BENCH_BLOCKS = 2**12
+
+#: Storage backends measured for every scheme.
+BENCH_STORAGES = ("object", "array")
+
+DEFAULT_EVENTS = 4000
+DEFAULT_REPEATS = 3
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return max(int(os.environ.get(name, "")), 1)
+    except ValueError:
+        return default
+
+
+def bench_trace(events: int) -> MissTrace:
+    """Fixed synthetic miss trace (seeded, uniform with 30% writes)."""
+    rng = DeterministicRng(8)
+    trace = MissTrace(
+        name="bench",
+        instructions=200_000,
+        mem_refs=60_000,
+        l1_hits=50_000,
+        l2_hits=8_000,
+    )
+    trace.events = [
+        MissEvent(rng.randrange(BENCH_BLOCKS), rng.random() < 0.3)
+        for _ in range(events)
+    ]
+    return trace
+
+
+def bench_cell(scheme: str, storage: str, trace: MissTrace, repeats: int) -> Dict:
+    """Best-of-``repeats`` replay throughput for one (scheme, storage)."""
+    timing = OramTimingModel(tree_latency_cycles=1000.0)
+    best = float("inf")
+    for _ in range(repeats):
+        frontend = build_frontend(
+            scheme, num_blocks=BENCH_BLOCKS, rng=DeterministicRng(7), storage=storage
+        )
+        start = time.perf_counter()
+        replay_trace(frontend, trace, timing, scheme=scheme)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "scheme": scheme,
+        "storage": storage,
+        "events": len(trace.events),
+        "seconds": best,
+        "accesses_per_sec": len(trace.events) / best if best > 0 else 0.0,
+    }
+
+
+def run_bench(
+    events: Optional[int] = None,
+    repeats: Optional[int] = None,
+    out_path: Optional[str] = None,
+) -> Dict:
+    """Run the full scheme x storage matrix; returns the report dict."""
+    events = events if events is not None else _env_int("REPRO_BENCH_EVENTS", DEFAULT_EVENTS)
+    repeats = repeats if repeats is not None else _env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS)
+    trace = bench_trace(events)
+    cells: List[Dict] = []
+    print(f"replay microbenchmark: {events} events, best of {repeats}")
+    print(f"{'scheme':>10} {'storage':>8} {'acc/s':>10}")
+    for scheme in SCHEMES:
+        for storage in BENCH_STORAGES:
+            cell = bench_cell(scheme, storage, trace, repeats)
+            cells.append(cell)
+            print(f"{scheme:>10} {storage:>8} {cell['accesses_per_sec']:>10.0f}")
+    report = {
+        "kind": "replay_throughput",
+        "version": getattr(repro, "__version__", "0"),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "events": events,
+        "repeats": repeats,
+        "results": cells,
+    }
+    path = out_path if out_path is not None else os.environ.get(
+        "REPRO_BENCH_OUT", "BENCH_replay.json"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}")
+    return report
+
+
+def main() -> None:
+    """CLI entry point."""
+    run_bench()

@@ -15,7 +15,7 @@ from typing import Optional
 from repro.backend.ops import Op
 
 
-@dataclass
+@dataclass(slots=True)
 class FrontendStats:
     """Counters accumulated across the life of a Frontend."""
 
@@ -43,7 +43,7 @@ class FrontendStats:
         return self.posmap_tree_accesses / total if total else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one Frontend access, for the timing model."""
 

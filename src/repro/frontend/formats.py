@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.utils.rng import DeterministicRng
 
 
-@dataclass
+@dataclass(slots=True)
 class RemapResult:
     """Outcome of remapping one child entry inside a PosMap block."""
 
@@ -74,10 +74,13 @@ class UncompressedPosMapFormat:
         self, data: bytearray, slot: int, child_addr: int, rng: DeterministicRng
     ) -> RemapResult:
         """Replace the slot's leaf with a fresh uniform label."""
-        old = self.leaf_of(bytes(data), slot, child_addr)
-        new = rng.random_leaf(self.levels)
         off = slot * self.leaf_bytes
-        data[off : off + self.leaf_bytes] = new.to_bytes(self.leaf_bytes, "little")
+        end = off + self.leaf_bytes
+        # Read the old label straight from the mutable block — no
+        # whole-block copy on the replay hot path.
+        old = int.from_bytes(data[off:end], "little")
+        new = rng.random_leaf(self.levels)
+        data[off:end] = new.to_bytes(self.leaf_bytes, "little")
         return RemapResult(old_leaf=old, new_leaf=new)
 
     def initial_block(self) -> bytes:
@@ -113,9 +116,11 @@ class FlatCounterPosMapFormat:
         self, data: bytearray, slot: int, child_addr: int, rng: DeterministicRng
     ) -> RemapResult:
         """Increment the child's counter; derive old and new leaves."""
-        old_c = self.counter_of(bytes(data), slot)
-        new_c = old_c + 1
         off = slot * self.counter_bytes
+        # Read the counter straight out of the mutable block: no whole-block
+        # copy on the replay hot path.
+        old_c = int.from_bytes(data[off : off + self.counter_bytes], "little")
+        new_c = old_c + 1
         data[off : off + self.counter_bytes] = new_c.to_bytes(self.counter_bytes, "little")
         return RemapResult(
             old_leaf=self.prf.leaf_for(child_addr, old_c, self.levels),
@@ -201,32 +206,46 @@ class CompressedPosMapFormat:
     def remap(
         self, data: bytearray, slot: int, child_addr: int, rng: DeterministicRng
     ) -> RemapResult:
-        """Increment IC_slot, performing a group remap on rollover."""
-        value = self._unpack(bytes(data))
-        gc = value & ((1 << self.alpha_bits) - 1)
-        ic_shift = self.alpha_bits + slot * self.beta_bits
-        ic = (value >> ic_shift) & self._ic_mask
-        old_counter = (gc << self.beta_bits) | ic
+        """Increment IC_slot, performing a group remap on rollover.
+
+        The common (no-rollover) case touches only the few bytes spanning
+        GC and the addressed IC field — an IC increment cannot carry out of
+        its β-bit field, so the byte-exact result matches rewriting the
+        whole block from its integer image. The rare rollover keeps the
+        straightforward whole-block path.
+        """
+        alpha = self.alpha_bits
+        beta = self.beta_bits
+        gc = int.from_bytes(data[: (alpha + 7) >> 3], "little") & ((1 << alpha) - 1)
+        ic_shift = alpha + slot * beta
+        byte_off = ic_shift >> 3
+        bit_off = ic_shift & 7
+        window = data[byte_off : byte_off + ((bit_off + beta + 7) >> 3)]
+        word = int.from_bytes(window, "little")
+        ic = (word >> bit_off) & self._ic_mask
+        old_counter = (gc << beta) | ic
 
         if ic < self._ic_mask:
-            new_value = value + (1 << ic_shift)
+            word += 1 << bit_off
+            data[byte_off : byte_off + len(window)] = word.to_bytes(
+                len(window), "little"
+            )
             new_counter = old_counter + 1
             group_slots: List[Tuple[int, int]] = []
         else:
             # Group remap: GC += 1, every IC (including this one) resets.
+            value = int.from_bytes(data, "little")
             new_gc = gc + 1
-            if new_gc >= (1 << self.alpha_bits):
+            if new_gc >= (1 << alpha):
                 raise ConfigurationError("group counter overflow (alpha too small)")
             group_slots = []
             for s in range(self.fanout):
                 if s == slot:
                     continue
-                ic_s = (value >> (self.alpha_bits + s * self.beta_bits)) & self._ic_mask
-                group_slots.append((s, (gc << self.beta_bits) | ic_s))
-            new_value = new_gc  # all ICs zero
-            new_counter = new_gc << self.beta_bits
-
-        data[:] = new_value.to_bytes(self.block_bytes, "little")
+                ic_s = (value >> (alpha + s * beta)) & self._ic_mask
+                group_slots.append((s, (gc << beta) | ic_s))
+            new_counter = new_gc << beta
+            data[:] = new_gc.to_bytes(self.block_bytes, "little")  # all ICs zero
         return RemapResult(
             old_leaf=self.prf.leaf_for(child_addr, old_counter, self.levels),
             new_leaf=self.prf.leaf_for(child_addr, new_counter, self.levels),

@@ -9,17 +9,24 @@ the block on eviction).
 The default geometry is direct-mapped, which the paper adopts after
 finding full associativity buys <= 10% (§7.1.3); ``ways`` > 1 gives a
 set-associative LRU variant for the design-space experiments.
+
+Implementation note: the PLB lookup loop runs once per recursion level per
+processor request, making it one of the replay engine's hottest paths. A
+flat dict keyed by tagged address backs every lookup in O(1); the per-set
+lists exist only to model the geometry — victim selection, way conflicts
+and LRU ordering are decided there, so hit/miss/eviction sequences are
+identical to a straight set-scan implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 
 
-@dataclass
+@dataclass(slots=True)
 class PlbEntry:
     """One PosMap block resident in the PLB."""
 
@@ -49,6 +56,9 @@ class Plb:
         self.ways = ways
         self.num_sets = total // ways
         self._sets: List[List[PlbEntry]] = [[] for _ in range(self.num_sets)]
+        #: Tag index over all resident entries; the hot-path lookup never
+        #: touches the set lists.
+        self._index: Dict[int, PlbEntry] = {}
         self._clock = 0
         self.hits = 0
         self.misses = 0
@@ -64,54 +74,51 @@ class Plb:
     def lookup(self, tagged_addr: int) -> Optional[PlbEntry]:
         """Return the resident entry for i||a_i, updating LRU state."""
         self._clock += 1
-        for entry in self._sets[self._set_index(tagged_addr)]:
-            if entry.tagged_addr == tagged_addr:
-                entry.last_use = self._clock
-                self.hits += 1
-                return entry
+        entry = self._index.get(tagged_addr)
+        if entry is not None:
+            entry.last_use = self._clock
+            self.hits += 1
+            return entry
         self.misses += 1
         return None
 
     def contains(self, tagged_addr: int) -> bool:
         """Membership test without touching hit/miss counters."""
-        return any(
-            e.tagged_addr == tagged_addr
-            for e in self._sets[self._set_index(tagged_addr)]
-        )
+        return tagged_addr in self._index
 
     def peek(self, tagged_addr: int) -> Optional[PlbEntry]:
         """Entry lookup without LRU/statistics side effects."""
-        for entry in self._sets[self._set_index(tagged_addr)]:
-            if entry.tagged_addr == tagged_addr:
-                return entry
-        return None
+        return self._index.get(tagged_addr)
 
     def insert(self, entry: PlbEntry) -> Optional[PlbEntry]:
         """Insert a refilled block; returns the evicted victim, if any."""
         self._clock += 1
         entry.last_use = self._clock
+        if entry.tagged_addr in self._index:
+            raise ValueError("block already resident in PLB")
         bucket = self._sets[self._set_index(entry.tagged_addr)]
-        for existing in bucket:
-            if existing.tagged_addr == entry.tagged_addr:
-                raise ValueError("block already resident in PLB")
         if len(bucket) < self.ways:
             bucket.append(entry)
+            self._index[entry.tagged_addr] = entry
             return None
         victim_pos = min(range(len(bucket)), key=lambda i: bucket[i].last_use)
         victim = bucket[victim_pos]
         bucket[victim_pos] = entry
+        del self._index[victim.tagged_addr]
+        self._index[entry.tagged_addr] = entry
         return victim
 
     def invalidate(self, tagged_addr: int) -> Optional[PlbEntry]:
         """Remove and return an entry (used by flush-style tests)."""
+        entry = self._index.pop(tagged_addr, None)
+        if entry is None:
+            return None
         bucket = self._sets[self._set_index(tagged_addr)]
-        for pos, entry in enumerate(bucket):
-            if entry.tagged_addr == tagged_addr:
-                return bucket.pop(pos)
-        return None
+        bucket.remove(entry)
+        return entry
 
     def entries(self) -> List[PlbEntry]:
-        """All resident entries."""
+        """All resident entries (set order, insertion order within a set)."""
         return [e for bucket in self._sets for e in bucket]
 
     @property
@@ -126,4 +133,4 @@ class Plb:
         self.misses = 0
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._sets)
+        return len(self._index)

@@ -25,7 +25,7 @@ from repro.frontend.addrgen import AddressSpace, levels_needed
 from repro.frontend.base import AccessResult, Frontend
 from repro.frontend.formats import UncompressedPosMapFormat
 from repro.frontend.posmap import OnChipPosMap
-from repro.storage.tree import TreeStorage
+from repro.storage.array_tree import default_storage_backend, make_storage
 from repro.utils.rng import DeterministicRng
 
 
@@ -46,6 +46,7 @@ class RecursiveFrontend(Frontend):
         onchip_entries: int = 2**16,
         rng: Optional[DeterministicRng] = None,
         observer=None,
+        storage: Optional[str] = None,
     ):
         super().__init__()
         self.rng = rng if rng is not None else DeterministicRng(0)
@@ -54,6 +55,7 @@ class RecursiveFrontend(Frontend):
             raise ConfigurationError("PosMap block too small for its entries")
         self.num_levels = levels_needed(num_blocks, fanout, onchip_entries)
         self.space = AddressSpace(num_blocks, fanout, self.num_levels)
+        storage_kind = storage if storage is not None else default_storage_backend()
 
         self.configs: List[OramConfig] = []
         self.backends: List[PathOramBackend] = []
@@ -68,9 +70,9 @@ class RecursiveFrontend(Frontend):
                 leaf_bytes=leaf_bytes,
             )
             view = observer.for_tree(level) if observer is not None else None
-            storage = TreeStorage(cfg, observer=view)
+            tree = make_storage(storage_kind, cfg, observer=view)
             self.configs.append(cfg)
-            self.backends.append(PathOramBackend(cfg, storage, self.rng.fork(level)))
+            self.backends.append(PathOramBackend(cfg, tree, self.rng.fork(level)))
             self._touched.append(bytearray((self.space.level_blocks(level) + 7) // 8))
         # A PosMap block at level i stores leaves of tree i-1, so each
         # level's format emits labels sized for the tree *below* it.

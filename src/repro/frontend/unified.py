@@ -26,7 +26,7 @@ same Backend implementation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.ops import Op
 from repro.backend.path_oram import PathOramBackend
@@ -49,6 +49,12 @@ from repro.utils.rng import DeterministicRng
 
 def _next_pow2(n: int) -> int:
     return 1 << max(n - 1, 1).bit_length() if n > 1 else 1
+
+
+#: Per-frontend cap on memoised (chain, tags) entries. Replay working sets
+#: fit comfortably; on paper-scale sweeps the cache cycles instead of
+#: growing with every distinct address ever touched.
+CHAIN_CACHE_LIMIT = 1 << 16
 
 
 class PlbFrontend(Frontend):
@@ -123,6 +129,11 @@ class PlbFrontend(Frontend):
             prf=self.crypto.prf,
         )
         self.plb = Plb(plb_capacity_bytes, block_bytes, ways=plb_ways)
+        # Memoised tag-chain arithmetic: addr -> (chain, tags). The chain
+        # and every level's i||a_i tag are pure functions of the address,
+        # so the PLB lookup loop does no redundant tag arithmetic on the
+        # replay hot path.
+        self._chain_cache: Dict[int, Tuple[List[int], Tuple[int, ...]]] = {}
         # First-touch bitmap per level for leaf-mode entries (see
         # OnChipPosMap docstring); counter formats need none — zero
         # counters reproduce factory state exactly.
@@ -220,16 +231,20 @@ class PlbFrontend(Frontend):
     # -- child remap through a parent entry ----------------------------------------------
 
     def _remap_child(
-        self, parent: Optional[PlbEntry], level: int, chain: List[int]
+        self,
+        parent: Optional[PlbEntry],
+        level: int,
+        chain: Sequence[int],
+        tagged: int,
     ) -> Tuple[int, int, int, int]:
         """Remap the entry for block (level, chain[level]) in its parent.
 
         Returns (current_leaf, new_leaf, old_counter, new_counter). The
         parent is a PLB entry, or None for the on-chip PosMap (top level
-        only). Handles compressed-format group remaps inline.
+        only); ``tagged`` is the precomputed i||a_i tag of the child.
+        Handles compressed-format group remaps inline.
         """
         index = chain[level]
-        tagged = self.space.tag(level, index)
         if parent is None:
             if level != self.space_levels - 1:
                 raise ConfigurationError("only the top level resolves on-chip")
@@ -284,11 +299,10 @@ class PlbFrontend(Frontend):
     # -- PLB refill / eviction ----------------------------------------------------------
 
     def _refill_plb(
-        self, level: int, chain: List[int], leaf: int, new_leaf: int,
+        self, tagged: int, leaf: int, new_leaf: int,
         old_counter: int, new_counter: int,
     ) -> PlbEntry:
-        """readrmv PosMap block (level, chain[level]) and install it."""
-        tagged = self.space.tag(level, chain[level])
+        """readrmv the PosMap block ``tagged`` and install it in the PLB."""
         block = self.backend.access(Op.READRMV, tagged, leaf, new_leaf)
         self.stats.posmap_tree_accesses += 1
         self.stats.plb_refills += 1
@@ -326,43 +340,65 @@ class PlbFrontend(Frontend):
             raise ConfigurationError("processor requests are READ or WRITE")
         if op is Op.WRITE and (data is None or len(data) != self.config.block_bytes):
             raise ValueError("WRITE requires a full block of data")
-        self.stats.accesses += 1
-        start_posmap = self.stats.posmap_tree_accesses
-        chain = self.space.chain(addr)
+        stats = self.stats
+        stats.accesses += 1
+        start_posmap = stats.posmap_tree_accesses
         levels = self.space_levels
+        cached = self._chain_cache.get(addr)
+        if cached is None:
+            chain = self.space.chain(addr)
+            tag = self.space.tag
+            tags = tuple(tag(i, chain[i]) for i in range(levels))
+            if len(self._chain_cache) >= CHAIN_CACHE_LIMIT:
+                self._chain_cache.clear()
+            self._chain_cache[addr] = cached = (chain, tags)
+        chain, tags = cached
 
         # Step 1: PLB lookup loop.
         parent: Optional[PlbEntry] = None
         hit_level = levels - 1
+        plb_lookup = self.plb.lookup
         for i in range(levels - 1):
-            entry = self.plb.lookup(self.space.tag(i + 1, chain[i + 1]))
+            entry = plb_lookup(tags[i + 1])
             if entry is not None:
                 parent = entry
                 hit_level = i
                 break
-        if hit_level == 0 or (levels == 1):
-            self.stats.plb_hits += 1
-        else:
-            self.stats.plb_misses += 1
+        if levels > 1:
+            # With a single recursion level no PLB lookup occurs, so the
+            # access counts toward neither hits nor misses (the hit rate
+            # is a property of actual lookups only).
+            if hit_level == 0:
+                stats.plb_hits += 1
+            else:
+                stats.plb_misses += 1
 
         # Step 2: fetch missing PosMap blocks, deepest level first.
         for level in range(hit_level, 0, -1):
-            leaf, new_leaf, old_c, new_c = self._remap_child(parent, level, chain)
-            parent = self._refill_plb(level, chain, leaf, new_leaf, old_c, new_c)
+            leaf, new_leaf, old_c, new_c = self._remap_child(
+                parent, level, chain, tags[level]
+            )
+            parent = self._refill_plb(tags[level], leaf, new_leaf, old_c, new_c)
 
         # Step 3: data block access.
-        leaf, new_leaf, old_c, new_c = self._remap_child(parent, 0, chain)
-        frontend = self
+        leaf, new_leaf, old_c, new_c = self._remap_child(parent, 0, chain, tags[0])
+        if self.pmmac or op is Op.WRITE:
+            frontend = self
 
-        def update(block) -> None:
-            frontend._verify(block, addr, old_c)
-            if op is Op.WRITE:
-                block.data = data
-            block.mac = frontend._seal(addr, new_c, block.data)
+            def update(block) -> None:
+                frontend._verify(block, addr, old_c)
+                if op is Op.WRITE:
+                    block.data = data
+                block.mac = frontend._seal(addr, new_c, block.data)
 
-        result_block = self.backend.access(op, addr, leaf, new_leaf, update=update)
-        self.stats.data_tree_accesses += 1
-        posmap_accesses = self.stats.posmap_tree_accesses - start_posmap
+            result_block = self.backend.access(
+                op, addr, leaf, new_leaf, update=update
+            )
+        else:
+            # Non-PMMAC READ: nothing to verify, overwrite or seal.
+            result_block = self.backend.access(op, addr, leaf, new_leaf)
+        stats.data_tree_accesses += 1
+        posmap_accesses = stats.posmap_tree_accesses - start_posmap
         return AccessResult(
             data=result_block.data if op is Op.READ else (data or b""),
             tree_accesses=posmap_accesses + 1,

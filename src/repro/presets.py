@@ -24,10 +24,24 @@ from repro.crypto.suite import CryptoSuite
 from repro.frontend.linear import LinearFrontend
 from repro.frontend.recursive import RecursiveFrontend
 from repro.frontend.unified import PlbFrontend
+from repro.storage.array_tree import default_storage_backend, make_storage_factory
 from repro.utils.rng import DeterministicRng
 
 #: Scheme names usable with :func:`build_frontend`.
 SCHEMES = ("R_X8", "P_X16", "PC_X32", "PI_X8", "PIC_X32")
+
+
+def _resolve_storage_factory(storage: Optional[str]):
+    """Map a preset ``storage`` kwarg (or ``REPRO_STORAGE``) to a factory.
+
+    ``None``/``"object"`` return None so the frontend keeps its built-in
+    default (plain :class:`TreeStorage`) — byte-for-byte the historical
+    construction path.
+    """
+    resolved = storage if storage is not None else default_storage_backend()
+    if resolved in ("object", "tree"):
+        return None
+    return make_storage_factory(resolved)
 
 
 def r_x8(
@@ -37,6 +51,7 @@ def r_x8(
     onchip_entries: int = 2**11,
     rng: Optional[DeterministicRng] = None,
     observer=None,
+    storage: Optional[str] = None,
 ) -> RecursiveFrontend:
     """Recursive ORAM baseline with X=8 (32-byte PosMap blocks, [26])."""
     return RecursiveFrontend(
@@ -47,6 +62,7 @@ def r_x8(
         onchip_entries=onchip_entries,
         rng=rng,
         observer=observer,
+        storage=storage,
     )
 
 
@@ -62,6 +78,7 @@ def _plb_frontend(
     observer,
     crypto: Optional[CryptoSuite],
     plb_ways: int = 1,
+    storage: Optional[str] = None,
 ) -> PlbFrontend:
     return PlbFrontend(
         num_blocks=num_blocks,
@@ -75,6 +92,7 @@ def _plb_frontend(
         rng=rng,
         observer=observer,
         crypto=crypto,
+        storage_factory=_resolve_storage_factory(storage),
     )
 
 
@@ -88,11 +106,13 @@ def p_x16(
     observer=None,
     crypto: Optional[CryptoSuite] = None,
     plb_ways: int = 1,
+    storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + Unified tree with the uncompressed PosMap (X=16 at 64 B)."""
     return _plb_frontend(
         "uncompressed", False, num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+        storage,
     )
 
 
@@ -106,11 +126,13 @@ def pc_x32(
     observer=None,
     crypto: Optional[CryptoSuite] = None,
     plb_ways: int = 1,
+    storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + compressed PosMap (X=32 for 64 B blocks; §5.3)."""
     return _plb_frontend(
         "compressed", False, num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+        storage,
     )
 
 
@@ -124,11 +146,13 @@ def pi_x8(
     observer=None,
     crypto: Optional[CryptoSuite] = None,
     plb_ways: int = 1,
+    storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + PMMAC with flat 64-bit counters (X=8; §6.2.2)."""
     return _plb_frontend(
         "flat", True, num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+        storage,
     )
 
 
@@ -142,11 +166,13 @@ def pic_x32(
     observer=None,
     crypto: Optional[CryptoSuite] = None,
     plb_ways: int = 1,
+    storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + compressed PosMap + PMMAC — the paper's combined scheme."""
     return _plb_frontend(
         "compressed", True, num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
+        storage,
     )
 
 
@@ -159,11 +185,13 @@ def pc_x64(
     rng: Optional[DeterministicRng] = None,
     observer=None,
     crypto: Optional[CryptoSuite] = None,
+    storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PC with 128-byte blocks, doubling X to 64 (the Fig. 8 point)."""
     return _plb_frontend(
         "compressed", False, num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto,
+        storage=storage,
     )
 
 
@@ -173,6 +201,7 @@ def phantom_4kb(
     blocks_per_bucket: int = 4,
     rng: Optional[DeterministicRng] = None,
     observer=None,
+    storage: Optional[str] = None,
 ) -> LinearFrontend:
     """Phantom [21] configuration: large blocks, full on-chip PosMap."""
     cfg = OramConfig(
@@ -181,10 +210,11 @@ def phantom_4kb(
         blocks_per_bucket=blocks_per_bucket,
     )
     rng = rng if rng is not None else DeterministicRng(0)
-    from repro.storage.tree import TreeStorage
+    from repro.storage.array_tree import make_storage
 
+    resolved = storage if storage is not None else default_storage_backend()
     view = observer.for_tree(0) if observer is not None else None
-    return LinearFrontend(cfg, rng, storage=TreeStorage(cfg, observer=view))
+    return LinearFrontend(cfg, rng, storage=make_storage(resolved, cfg, observer=view))
 
 
 def build_frontend(scheme: str, **kwargs):

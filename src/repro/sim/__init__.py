@@ -9,6 +9,7 @@ access count.
 """
 
 from repro.sim.metrics import SimResult, slowdown_table
+from repro.sim.result_cache import ResultCache
 from repro.sim.runner import SimulationRunner
 from repro.sim.system import insecure_cycles, replay_trace
 from repro.sim.timing import OramTimingModel
@@ -22,4 +23,5 @@ __all__ = [
     "replay_trace",
     "OramTimingModel",
     "TraceCache",
+    "ResultCache",
 ]

@@ -1,0 +1,162 @@
+"""Persistent on-disk cache of :class:`~repro.sim.metrics.SimResult`.
+
+Replaying one (scheme, benchmark) cell means driving tens of thousands of
+LLC misses through the full frontend/crypto/storage stack — seconds to
+minutes at paper scale — yet the outcome is fully determined by the
+replay configuration. This cache keys the serialized result on exactly
+that configuration so ``run_suite`` (and ``python -m repro all``) only
+replays cells it has never seen: a second invocation with identical
+parameters performs zero ``replay_trace`` calls.
+
+The key covers everything that can change a result bit: scheme,
+benchmark, runner seed, processor and DRAM configuration, miss budget,
+warmup, PLB/on-chip sizing, clock, a canonical digest of the per-call
+overrides, and two versions — the package release and a result schema
+version. The schema version is also embedded in the payload, so entries
+written by an older schema are evicted (unlinked) on first contact
+instead of being misread.
+
+Robustness mirrors :class:`~repro.sim.trace_cache.TraceCache`: atomic
+writes, corrupt/stale entries treated as misses and unlinked best-effort,
+unwritable directories silently disabling the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.config import ProcessorConfig
+from repro.dram.config import DramConfig
+from repro.sim.metrics import SimResult
+
+#: Environment variable controlling the default cache location. Unset means
+#: the per-user default; a path overrides it; ``0``/``off``/``none`` disables.
+RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
+
+#: Bump when SimResult serialization (or replay semantics the key cannot
+#: see) changes; embedded in every entry and checked on load.
+RESULT_SCHEMA_VERSION = 1
+
+_DISABLED_VALUES = {"0", "off", "none", "disable", "disabled"}
+
+
+def default_result_cache_dir() -> Optional[Path]:
+    """Resolve the cache directory from the environment (None = disabled)."""
+    value = os.environ.get(RESULT_CACHE_ENV)
+    if value is None:
+        return Path.home() / ".cache" / "repro" / "results"
+    if value.strip().lower() in _DISABLED_VALUES or not value.strip():
+        return None
+    return Path(value)
+
+
+def overrides_digest(overrides: Dict[str, object]) -> str:
+    """Canonical digest of a ``run_one``/``run_suite`` override mapping.
+
+    Sorted ``key=repr(value)`` pairs: insertion order never matters, and
+    any value change (including type changes like 1 vs 1.0) re-keys.
+    """
+    canonical = "|".join(f"{k}={v!r}" for k, v in sorted(overrides.items()))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def result_key(
+    scheme: str,
+    bench_name: str,
+    seed: int,
+    proc: ProcessorConfig,
+    dram: DramConfig,
+    proc_ghz: float,
+    max_llc_misses: int,
+    warmup_refs: int,
+    plb_capacity_bytes: int,
+    onchip_entries: int,
+    overrides: Dict[str, object],
+) -> str:
+    """Stable digest of everything that determines one cell's SimResult."""
+    import repro
+
+    parts = [
+        f"schema={RESULT_SCHEMA_VERSION}",
+        f"repro={getattr(repro, '__version__', '0')}",
+        f"scheme={scheme}",
+        f"bench={bench_name}",
+        f"seed={seed}",
+        f"ghz={proc_ghz!r}",
+        f"misses={max_llc_misses}",
+        f"warmup={warmup_refs}",
+        f"plb={plb_capacity_bytes}",
+        f"onchip={onchip_entries}",
+        f"overrides={overrides_digest(overrides)}",
+    ]
+    for key, value in sorted(dataclasses.asdict(proc).items()):
+        parts.append(f"proc.{key}={value!r}")
+    for key, value in sorted(dataclasses.asdict(dram).items()):
+        parts.append(f"dram.{key}={value!r}")
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:40]
+
+
+class ResultCache:
+    """Directory of serialized SimResults keyed by :func:`result_key`."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        # Hit/miss/store counters for tests and diagnostics.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry location for a key."""
+        return self.root / f"{key}.result.json"
+
+    def load(self, key: str) -> Optional[SimResult]:
+        """Return the cached result, or None on miss/corruption/staleness."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            if payload.get("schema") != RESULT_SCHEMA_VERSION:
+                raise ValueError("stale result schema")
+            result = SimResult(**payload["result"])
+        except OSError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # Corrupted or stale-schema entry: evict it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimResult) -> bool:
+        """Atomically persist a result; returns False if the dir is unusable."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        payload = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "result": dataclasses.asdict(result),
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True), "utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True

@@ -9,14 +9,21 @@ meaningful at simulation scale.
 Trace seeding is fully deterministic: the per-benchmark RNG fork salt is
 a CRC32 of the benchmark name, never the salted builtin ``hash`` (which
 varies with ``PYTHONHASHSEED`` and across processes). That determinism
-is what allows two further scale-out layers:
+is what allows the scale-out layers stacked on top:
 
 - traces are persisted to an on-disk :class:`TraceCache` keyed by
   (benchmark, seed, processor config, miss budget, warmup), so repeated
   invocations — and every worker process — skip cache simulation;
-- ``run_suite`` can fan the (scheme, benchmark) matrix out over a
-  process pool (``workers=`` or ``REPRO_WORKERS``) with results bitwise
-  identical to the serial path.
+- trace *generation* itself is sharded across the worker pool: each cold
+  benchmark is simulated by one worker and shipped back packed, instead
+  of being generated serially in the parent;
+- finished cells are persisted to an on-disk :class:`ResultCache`, so
+  ``run_suite`` only replays cells whose configuration it has never seen
+  — a repeated invocation performs zero ``replay_trace`` calls;
+- ``run_suite`` fans the remaining cold (scheme, benchmark) matrix out
+  over a process pool (``workers=`` or ``REPRO_WORKERS``), streaming
+  completed cells through an optional ``progress`` callback, with
+  results bitwise identical to the serial path.
 
 Scale is controlled by ``misses_per_benchmark``; set the environment
 variable ``REPRO_FULL=1`` (or pass explicit values) for longer runs.
@@ -28,7 +35,7 @@ import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
@@ -37,6 +44,7 @@ from repro.frontend.unified import PlbFrontend
 from repro.presets import build_frontend
 from repro.proc.hierarchy import CacheHierarchy, MissTrace
 from repro.sim.metrics import SimResult
+from repro.sim.result_cache import ResultCache, default_result_cache_dir, result_key
 from repro.sim.system import insecure_cycles, replay_trace
 from repro.sim.timing import OramTimingModel
 from repro.sim.trace_cache import TraceCache, default_cache_dir, trace_key
@@ -45,6 +53,9 @@ from repro.workloads.spec import SPEC_BENCHMARKS, benchmark
 
 #: Environment variable supplying the default ``run_suite`` worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Streamed-cell callback: (scheme, benchmark, result, from_cache).
+ProgressCallback = Callable[[str, str, SimResult, bool], None]
 
 
 def default_miss_budget() -> int:
@@ -77,7 +88,7 @@ def _next_pow2(n: int) -> int:
 
 
 class SimulationRunner:
-    """Caches miss traces (in memory and on disk) and replays them."""
+    """Caches miss traces and replay results (in memory and on disk)."""
 
     def __init__(
         self,
@@ -89,6 +100,7 @@ class SimulationRunner:
         plb_capacity_bytes: int = 64 * 1024,
         onchip_entries: int = 2**10,
         cache_dir: Union[str, Path, None] = "auto",
+        result_cache_dir: Union[str, Path, None] = "auto",
     ):
         self.proc = proc
         self.dram = dram if dram is not None else DramConfig()
@@ -104,6 +116,11 @@ class SimulationRunner:
         if cache_dir == "auto":
             cache_dir = default_cache_dir()
         self.trace_cache = TraceCache(cache_dir) if cache_dir is not None else None
+        if result_cache_dir == "auto":
+            result_cache_dir = default_result_cache_dir()
+        self.result_cache = (
+            ResultCache(result_cache_dir) if result_cache_dir is not None else None
+        )
         self._traces: Dict[str, MissTrace] = {}
 
     # -- traces -----------------------------------------------------------------
@@ -126,14 +143,25 @@ class SimulationRunner:
         cached = self._traces.get(bench_name)
         if cached is not None:
             return cached
+        loaded = self._trace_from_disk(bench_name)
+        if loaded is not None:
+            return loaded
+        return self._generate_trace(bench_name)
+
+    def _trace_from_disk(self, bench_name: str) -> Optional[MissTrace]:
+        """Disk-cache lookup only (no generation); memoises on hit."""
+        if self.trace_cache is None:
+            return None
+        loaded = self.trace_cache.load(self.trace_cache_key(bench_name))
+        if loaded is not None and loaded.name == bench_name:
+            self._traces[bench_name] = loaded
+            return loaded
+        return None
+
+    def _generate_trace(self, bench_name: str) -> MissTrace:
+        """Simulate the cache hierarchy to produce (and persist) a trace."""
         spec = benchmark(bench_name)
         warmup = self._warmup_refs(bench_name)
-        key = self.trace_cache_key(bench_name)
-        if self.trace_cache is not None:
-            loaded = self.trace_cache.load(key)
-            if loaded is not None and loaded.name == bench_name:
-                self._traces[bench_name] = loaded
-                return loaded
         hierarchy = CacheHierarchy(self.proc)
         rng = DeterministicRng(self.seed).fork(stable_trace_salt(bench_name))
         trace = hierarchy.run(
@@ -143,9 +171,37 @@ class SimulationRunner:
             warmup_refs=warmup,
         )
         if self.trace_cache is not None:
-            self.trace_cache.store(key, trace)
+            self.trace_cache.store(self.trace_cache_key(bench_name), trace)
         self._traces[bench_name] = trace
         return trace
+
+    def _ensure_traces(self, names: Sequence[str], workers: int) -> None:
+        """Materialise every named trace, sharding generation over workers.
+
+        Benchmarks already in memory or on disk are loaded in-process;
+        only genuinely cold traces are simulated, each by one worker (the
+        worker also persists it to the shared disk cache). Generation is
+        seeded per benchmark, never by pool scheduling, so sharded traces
+        are bitwise identical to locally generated ones.
+        """
+        cold = [
+            name
+            for name in dict.fromkeys(names)
+            if name not in self._traces and self._trace_from_disk(name) is None
+        ]
+        if len(cold) < 2 or workers <= 1:
+            for name in cold:
+                self._generate_trace(name)
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(cold)),
+            initializer=_worker_init,
+            initargs=(self._spawn_payload(), {}),
+        ) as pool:
+            futures = [pool.submit(_worker_trace, name) for name in cold]
+            for future in as_completed(futures):
+                name, packed = future.result()
+                self._traces[name] = MissTrace.from_bytes(packed)
 
     # -- frontends ----------------------------------------------------------------
 
@@ -190,18 +246,60 @@ class SimulationRunner:
 
     # -- experiments ------------------------------------------------------------------
 
+    def result_key(self, scheme: str, bench_name: str, **overrides) -> str:
+        """Result-cache key for one cell under this runner's config."""
+        return result_key(
+            scheme,
+            bench_name,
+            self.seed,
+            self.proc,
+            self.dram,
+            self.proc_ghz,
+            self.misses,
+            self._warmup_refs(bench_name),
+            self.plb_capacity_bytes,
+            self.onchip_entries,
+            overrides,
+        )
+
+    def _cached_result(self, scheme: str, bench_name: str, **overrides):
+        """Result-cache lookup for one cell (None on miss or no cache)."""
+        if self.result_cache is None:
+            return None
+        cached = self.result_cache.load(self.result_key(scheme, bench_name, **overrides))
+        if cached is not None and (cached.scheme, cached.benchmark) == (
+            scheme,
+            bench_name,
+        ):
+            return cached
+        return None
+
     def run_one(self, scheme: str, bench_name: str, **overrides) -> SimResult:
-        """Replay one benchmark against one scheme."""
+        """Replay one benchmark against one scheme (result-cached)."""
+        cached = self._cached_result(scheme, bench_name, **overrides)
+        if cached is not None:
+            return cached
         trace = self.trace(bench_name)
         frontend = self.build(scheme, bench_name, **overrides)
         timing = self.timing_for(frontend)
-        return replay_trace(
+        result = replay_trace(
             frontend, trace, timing, proc=self.proc, scheme=scheme
         )
+        if self.result_cache is not None:
+            self.result_cache.store(
+                self.result_key(scheme, bench_name, **overrides), result
+            )
+        return result
 
     def run_insecure(self, bench_name: str) -> SimResult:
-        """Insecure-DRAM baseline for one benchmark."""
-        return insecure_cycles(self.trace(bench_name), self.proc)
+        """Insecure-DRAM baseline for one benchmark (result-cached)."""
+        cached = self._cached_result("insecure", bench_name)
+        if cached is not None:
+            return cached
+        result = insecure_cycles(self.trace(bench_name), self.proc)
+        if self.result_cache is not None:
+            self.result_cache.store(self.result_key("insecure", bench_name), result)
+        return result
 
     def _spawn_payload(self) -> Dict[str, object]:
         """Constructor kwargs that recreate this runner in a worker process."""
@@ -214,6 +312,9 @@ class SimulationRunner:
             plb_capacity_bytes=self.plb_capacity_bytes,
             onchip_entries=self.onchip_entries,
             cache_dir=self.trace_cache.root if self.trace_cache is not None else None,
+            result_cache_dir=(
+                self.result_cache.root if self.result_cache is not None else None
+            ),
         )
 
     def run_suite(
@@ -222,50 +323,104 @@ class SimulationRunner:
         benchmarks: Optional[Iterable[str]] = None,
         *,
         workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
         **overrides,
     ) -> Dict[str, Dict[str, SimResult]]:
         """All (scheme, benchmark) pairs; results[scheme][benchmark].
 
-        With ``workers > 1`` the matrix is fanned out over a process pool.
-        Every task derives its RNG from the runner seed alone (never from
-        pool scheduling), so the parallel results are bitwise identical to
-        the serial path.
+        Incremental: cells present in the result cache are served without
+        touching traces or frontends; only cold cells are replayed — with
+        ``workers > 1``, fanned out over a process pool (trace generation
+        included). Every task derives its RNG from the runner seed alone
+        (never from pool scheduling), so parallel results are bitwise
+        identical to the serial path. ``progress`` is invoked once per
+        cell, as it completes, with (scheme, benchmark, result, cached).
         """
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
         if workers is None:
             workers = default_workers()
-        tasks = [(scheme, name) for scheme in schemes for name in names]
         out: Dict[str, Dict[str, SimResult]] = {scheme: {} for scheme in schemes}
-        if workers <= 1 or len(tasks) < 2:
-            for scheme, name in tasks:
-                out[scheme][name] = self.run_one(scheme, name, **overrides)
-            return out
-        # Generate (or load) each trace exactly once, then ship the packed
-        # traces to every worker so no process ever re-simulates one.
-        packed_traces = {name: self.trace(name).to_bytes() for name in names}
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)),
-            initializer=_worker_init,
-            initargs=(self._spawn_payload(), packed_traces),
-        ) as pool:
-            futures = [
-                pool.submit(_worker_run, scheme, name, overrides)
-                for scheme, name in tasks
-            ]
-            for future in as_completed(futures):
-                scheme, name, result = future.result()
+        cold: List[tuple] = []
+        for scheme in schemes:
+            for name in names:
+                cached = self._cached_result(scheme, name, **overrides)
+                if cached is not None:
+                    out[scheme][name] = cached
+                    if progress is not None:
+                        progress(scheme, name, cached, True)
+                else:
+                    cold.append((scheme, name))
+        if cold:
+            self._ensure_traces([name for _scheme, name in cold], workers)
+        if cold and (workers <= 1 or len(cold) < 2):
+            for scheme, name in cold:
+                result = self.run_one(scheme, name, **overrides)
                 out[scheme][name] = result
+                if progress is not None:
+                    progress(scheme, name, result, False)
+        elif cold:
+            # Ship the packed traces to every worker so no process ever
+            # re-simulates one; workers persist results to the shared
+            # on-disk result cache themselves.
+            packed_traces = {
+                name: self._traces[name].to_bytes()
+                for name in dict.fromkeys(name for _scheme, name in cold)
+            }
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(cold)),
+                initializer=_worker_init,
+                initargs=(self._spawn_payload(), packed_traces),
+            ) as pool:
+                futures = [
+                    pool.submit(_worker_run, scheme, name, overrides)
+                    for scheme, name in cold
+                ]
+                for future in as_completed(futures):
+                    scheme, name, result = future.result()
+                    out[scheme][name] = result
+                    if progress is not None:
+                        progress(scheme, name, result, False)
         # Restore submission order (dicts preserve insertion order).
         return {
             scheme: {name: out[scheme][name] for name in names} for scheme in schemes
         }
 
     def baselines(
-        self, benchmarks: Optional[Iterable[str]] = None
+        self,
+        benchmarks: Optional[Iterable[str]] = None,
+        *,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> Dict[str, SimResult]:
-        """Insecure baselines keyed by benchmark."""
+        """Insecure baselines keyed by benchmark (cached and fanned out).
+
+        The baseline arithmetic itself is trivial; what costs time is
+        generating any missing trace, so cold benchmarks shard their
+        trace generation across the worker pool exactly like
+        :meth:`run_suite` — and finished baselines land in the result
+        cache so ``python -m repro all`` has no serial tail work.
+        """
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
-        return {name: self.run_insecure(name) for name in names}
+        if workers is None:
+            workers = default_workers()
+        out: Dict[str, SimResult] = {}
+        cold: List[str] = []
+        for name in names:
+            cached = self._cached_result("insecure", name)
+            if cached is not None:
+                out[name] = cached
+                if progress is not None:
+                    progress("insecure", name, cached, True)
+            else:
+                cold.append(name)
+        if cold:
+            self._ensure_traces(cold, workers)
+            for name in cold:
+                result = self.run_insecure(name)
+                out[name] = result
+                if progress is not None:
+                    progress("insecure", name, result, False)
+        return {name: out[name] for name in names}
 
 
 # -- worker-process plumbing (module level for picklability) -------------------
@@ -288,3 +443,9 @@ def _worker_run(scheme: str, bench_name: str, overrides: Dict[str, object]):
     """Execute one (scheme, benchmark) cell in the worker's runner."""
     assert _WORKER_RUNNER is not None, "worker pool not initialised"
     return scheme, bench_name, _WORKER_RUNNER.run_one(scheme, bench_name, **overrides)
+
+
+def _worker_trace(bench_name: str):
+    """Generate (or disk-load) one miss trace in a worker; returns it packed."""
+    assert _WORKER_RUNNER is not None, "worker pool not initialised"
+    return bench_name, _WORKER_RUNNER.trace(bench_name).to_bytes()

@@ -78,13 +78,23 @@ def replay_trace(
     data_bytes0 = frontend.data_bytes_moved
     posmap_bytes0 = frontend.posmap_bytes_moved
 
+    # The latency model is a pure function of the per-event tree-access
+    # count, which takes only a handful of distinct values; memoising it
+    # keeps the replay loop free of repeated float composition (the same
+    # float is accumulated in the same order, so cycles are bit-identical).
+    access = frontend.access
+    latency_for: dict = {}
     for event in trace.events:
         block_addr = event.line_addr // lines_per_block
         if event.is_write:
-            result = frontend.access(block_addr, Op.WRITE, payload)
+            result = access(block_addr, Op.WRITE, payload)
         else:
-            result = frontend.access(block_addr, Op.READ)
-        cycles += timing.miss_latency(result.tree_accesses)
+            result = access(block_addr, Op.READ)
+        n = result.tree_accesses
+        latency = latency_for.get(n)
+        if latency is None:
+            latency_for[n] = latency = timing.miss_latency(n)
+        cycles += latency
 
     stats = frontend.stats
     plb_hit_rate = (

@@ -1,11 +1,15 @@
 """Untrusted external storage: blocks, buckets, and the ORAM tree.
 
-Two storage models share one interface:
+Three storage models share one interface:
 
 - :class:`~repro.storage.tree.TreeStorage` keeps buckets as Python objects
   (no real encryption) and is the fast substrate for performance studies;
   bandwidth is accounted using the padded bucket size of
   :class:`~repro.config.OramConfig`.
+- :class:`~repro.storage.array_tree.ArrayTreeStorage` is the replay-sweep
+  variant: identical semantics, but path geometry and per-leaf caches are
+  dense arrays (numpy-vectorised when available). Select it with the
+  preset kwarg ``storage="array"`` or ``REPRO_STORAGE=array``.
 - :class:`~repro.storage.encrypted.EncryptedTreeStorage` serialises buckets
   to bytes and encrypts them with real one-time pads (bucket-seed or
   global-seed scheme), exposing the raw ciphertext to the adversary; it
@@ -13,6 +17,13 @@ Two storage models share one interface:
   attack.
 """
 
+from repro.storage.array_tree import (
+    STORAGE_ENV,
+    ArrayTreeStorage,
+    default_storage_backend,
+    make_storage,
+    make_storage_factory,
+)
 from repro.storage.block import Block, DUMMY_ADDR
 from repro.storage.bucket import Bucket
 from repro.storage.encrypted import EncryptedTreeStorage, EncryptionScheme
@@ -23,7 +34,12 @@ __all__ = [
     "DUMMY_ADDR",
     "Bucket",
     "TreeStorage",
+    "ArrayTreeStorage",
     "EncryptedTreeStorage",
     "EncryptionScheme",
+    "STORAGE_ENV",
+    "default_storage_backend",
+    "make_storage",
+    "make_storage_factory",
     "path_indices",
 ]

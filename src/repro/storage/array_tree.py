@@ -1,0 +1,145 @@
+"""Flat-array ORAM tree storage for paper-scale replay sweeps.
+
+:class:`ArrayTreeStorage` keeps the exact bucket-object contract of
+:class:`~repro.storage.tree.TreeStorage` — it *is* a ``TreeStorage``,
+inheriting the whole-path operations and bandwidth accounting — but
+replaces the bounded-dict caches on the path hot loop with dense,
+leaf-indexed arrays:
+
+- the whole leaf -> heap-index geometry is precomputed once as a
+  ``num_leaves x (levels+1)`` table (vectorised with numpy when it is
+  importable, computed per-row on demand otherwise), so a path read does
+  no per-level arithmetic and no bounded-dict bookkeeping;
+- materialised per-leaf bucket lists live in a plain list indexed by the
+  leaf label itself: O(1) with no hashing and no cache-cycling, because
+  the leaf space is dense by construction.
+
+Contents, drain/evict semantics, bandwidth accounting and observer
+callbacks are identical to ``TreeStorage`` — the golden-digest equivalence
+tests replay full traces over both and require bitwise-equal results.
+
+Selection: pass ``storage="array"`` to the PLB presets (or any
+``storage_factory`` caller), or set ``REPRO_STORAGE=array`` to make it the
+default for every preset-built frontend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.config import OramConfig
+from repro.storage.bucket import Bucket
+from repro.storage.tree import TreeStorage
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Environment variable selecting the default storage backend for presets.
+STORAGE_ENV = "REPRO_STORAGE"
+
+#: Leaf-count bound for eager geometry precomputation. Above it (a > 2^21
+#: bucket tree) rows are computed on first touch instead, so pathological
+#: configurations do not pay a large allocation up front.
+EAGER_GEOMETRY_LEAVES = 1 << 20
+
+
+def default_storage_backend() -> str:
+    """Storage backend name from ``REPRO_STORAGE`` (``object`` default)."""
+    value = os.environ.get(STORAGE_ENV, "").strip().lower()
+    return value if value else "object"
+
+
+class ArrayTreeStorage(TreeStorage):
+    """Untrusted external memory with array-backed path geometry."""
+
+    def __init__(self, config: OramConfig, observer=None):
+        super().__init__(config, observer=observer)
+        num_leaves = config.num_leaves
+        self._path_len = config.levels + 1
+        # Dense per-leaf caches replacing the parent's bounded dicts:
+        # row of heap indices, materialised bucket list, both indexed by
+        # the leaf label directly.
+        self._index_rows: List[Optional[Tuple[int, ...]]] = [None] * num_leaves
+        self._bucket_rows: List[Optional[List[Bucket]]] = [None] * num_leaves
+        self._geometry = None
+        if _np is not None and num_leaves <= EAGER_GEOMETRY_LEAVES:
+            # Entire geometry in one vectorised sweep:
+            # row[leaf][d] = 2^d - 1 + (leaf >> (levels - d)).
+            levels = config.levels
+            offsets = (1 << _np.arange(levels + 1, dtype=_np.int64)) - 1
+            shifts = _np.arange(levels, -1, -1, dtype=_np.int64)
+            leaves = _np.arange(num_leaves, dtype=_np.int64)[:, None]
+            self._geometry = offsets[None, :] + (leaves >> shifts[None, :])
+
+    def _indices(self, leaf: int) -> Tuple[int, ...]:
+        """Heap indices along the path to ``leaf`` (dense-cached)."""
+        if not 0 <= leaf < self.config.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range")
+        row = self._index_rows[leaf]
+        if row is None:
+            if self._geometry is not None:
+                row = tuple(self._geometry[leaf].tolist())
+            else:
+                levels = self.config.levels
+                row = tuple(
+                    (1 << d) - 1 + (leaf >> (levels - d))
+                    for d in range(levels + 1)
+                )
+            self._index_rows[leaf] = row
+        return row
+
+    def read_path_buckets(self, leaf: int) -> List[Bucket]:
+        """Read all buckets root->leaf; index in the list is the level.
+
+        Same contract as ``TreeStorage.read_path_buckets``: the returned
+        list is cached and shared — callers may mutate the buckets but
+        must not mutate the list itself.
+        """
+        if not 0 <= leaf < self.config.num_leaves:
+            raise ValueError(f"leaf {leaf} out of range")
+        path = self._bucket_rows[leaf]
+        if path is None:
+            indices = self._indices(leaf)
+            buckets = self._buckets
+            capacity = self.config.blocks_per_bucket
+            path = []
+            for idx in indices:
+                bucket = buckets[idx]
+                if bucket is None:
+                    bucket = Bucket(capacity)
+                    buckets[idx] = bucket
+                path.append(bucket)
+            self._bucket_rows[leaf] = path
+        self.buckets_read += self._path_len
+        if self.observer is not None:
+            self.observer.on_path_read(leaf, self._indices(leaf))
+        return path
+
+
+def make_storage(kind: str, config: OramConfig, observer=None):
+    """Instantiate a storage backend by name (``object`` or ``array``)."""
+    if kind in ("object", "tree", "", None):
+        return TreeStorage(config, observer=observer)
+    if kind == "array":
+        return ArrayTreeStorage(config, observer=observer)
+    raise ValueError(
+        f"unknown storage backend {kind!r}; choose 'object' or 'array'"
+    )
+
+
+def make_storage_factory(kind: Optional[str]):
+    """``storage_factory`` hook (config, observer) -> storage for presets.
+
+    ``kind=None`` resolves from ``REPRO_STORAGE`` at call time; an explicit
+    kind pins the backend regardless of the environment.
+    """
+
+    def factory(config: OramConfig, observer=None):
+        resolved = kind if kind is not None else default_storage_backend()
+        view = observer.for_tree(0) if observer is not None else None
+        return make_storage(resolved, config, observer=view)
+
+    return factory

@@ -15,13 +15,15 @@ from typing import Optional
 DUMMY_ADDR = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Block:
     """One real data or PosMap block.
 
     ``addr`` is the full tagged address — for PosMap blocks this encodes
     the recursion level i and index a_i (the i||a_i tag of §4.1.1) via
-    :mod:`repro.frontend.addrgen`.
+    :mod:`repro.frontend.addrgen`. Slotted: blocks are churned by the
+    hundred per path access, so attribute reads and per-instance memory
+    both matter.
     """
 
     addr: int

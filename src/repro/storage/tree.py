@@ -111,10 +111,9 @@ class TreeStorage:
 
     def write_path(self, leaf: int) -> None:
         """Account for writing the path back (contents already mutated)."""
-        indices = self._indices(leaf)
-        self.buckets_written += len(indices)
+        self.buckets_written += self.config.levels + 1
         if self.observer is not None:
-            self.observer.on_path_write(leaf, indices)
+            self.observer.on_path_write(leaf, self._indices(leaf))
 
     # -- accounting -----------------------------------------------------------
 

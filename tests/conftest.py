@@ -8,25 +8,30 @@ import pytest
 
 from repro.config import OramConfig
 from repro.crypto.suite import CryptoSuite
+from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
 from repro.utils.rng import DeterministicRng
 
 
 @pytest.fixture(autouse=True, scope="session")
-def _hermetic_trace_cache(tmp_path_factory):
-    """Point the on-disk miss-trace cache at a per-session temp dir.
+def _hermetic_caches(tmp_path_factory):
+    """Point the on-disk trace and result caches at per-session temp dirs.
 
     Keeps tests from reading (or polluting) the developer's user-level
-    cache while still exercising the disk-cache code paths. Mirrored in
+    caches while still exercising the disk-cache code paths. Mirrored in
     benchmarks/conftest.py, which is a separate conftest scope.
     """
-    previous = os.environ.get(CACHE_ENV)
+    previous = {
+        env: os.environ.get(env) for env in (CACHE_ENV, RESULT_CACHE_ENV)
+    }
     os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("trace-cache"))
+    os.environ[RESULT_CACHE_ENV] = str(tmp_path_factory.mktemp("result-cache"))
     yield
-    if previous is None:
-        os.environ.pop(CACHE_ENV, None)
-    else:
-        os.environ[CACHE_ENV] = previous
+    for env, value in previous.items():
+        if value is None:
+            os.environ.pop(env, None)
+        else:
+            os.environ[env] = value
 
 
 @pytest.fixture

@@ -1,0 +1,145 @@
+"""ArrayTreeStorage: geometry, accounting and TreeStorage equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import OramConfig
+from repro.storage.array_tree import (
+    ArrayTreeStorage,
+    default_storage_backend,
+    make_storage,
+    make_storage_factory,
+)
+from repro.storage.block import Block
+from repro.storage.tree import TreeStorage
+
+
+class TestGeometry:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        levels=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    def test_path_indices_match_tree_storage(self, levels, data):
+        config = OramConfig(num_blocks=1 << (levels + 1), block_bytes=32)
+        assert config.levels == levels
+        obj = TreeStorage(config)
+        arr = ArrayTreeStorage(config)
+        leaf = data.draw(st.integers(min_value=0, max_value=config.num_leaves - 1))
+        assert arr.path_indices(leaf) == obj.path_indices(leaf)
+
+    def test_out_of_range_leaf_rejected(self):
+        config = OramConfig(num_blocks=64, block_bytes=32)
+        arr = ArrayTreeStorage(config)
+        for leaf in (-1, config.num_leaves):
+            with pytest.raises(ValueError):
+                arr.path_indices(leaf)
+            with pytest.raises(ValueError):
+                arr.read_path_buckets(leaf)
+
+    def test_lazy_geometry_fallback_matches(self, monkeypatch):
+        """The on-demand row computation equals the vectorised table."""
+        import repro.storage.array_tree as mod
+
+        config = OramConfig(num_blocks=256, block_bytes=32)
+        eager = ArrayTreeStorage(config)
+        monkeypatch.setattr(mod, "EAGER_GEOMETRY_LEAVES", 0)
+        lazy = ArrayTreeStorage(config)
+        assert lazy._geometry is None
+        for leaf in range(config.num_leaves):
+            assert lazy.path_indices(leaf) == eager.path_indices(leaf)
+
+
+class TestOperations:
+    @pytest.fixture
+    def config(self):
+        return OramConfig(num_blocks=128, block_bytes=32)
+
+    def test_read_path_returns_shared_cached_list(self, config):
+        arr = ArrayTreeStorage(config)
+        first = arr.read_path_buckets(3)
+        second = arr.read_path_buckets(3)
+        assert first is second
+        assert len(first) == config.levels + 1
+
+    def test_bucket_mutations_persist(self, config):
+        arr = ArrayTreeStorage(config)
+        path = arr.read_path_buckets(0)
+        path[0].add(Block(7, 0, b"x" * 32))
+        assert arr.occupancy() == 1
+        assert arr.read_path_buckets(0)[0].find(7) is not None
+
+    def test_bandwidth_accounting_matches_tree_storage(self, config):
+        obj, arr = TreeStorage(config), ArrayTreeStorage(config)
+        for storage in (obj, arr):
+            storage.read_path_buckets(1)
+            storage.write_path(1)
+            storage.read_path(5)
+        assert arr.buckets_read == obj.buckets_read
+        assert arr.buckets_written == obj.buckets_written
+        assert arr.bytes_moved == obj.bytes_moved
+        arr.reset_counters()
+        assert arr.bytes_moved == 0
+
+    def test_observer_sees_identical_traffic(self, config):
+        class Recorder:
+            def __init__(self):
+                self.events = []
+
+            def on_path_read(self, leaf, indices):
+                self.events.append(("r", leaf, tuple(indices)))
+
+            def on_path_write(self, leaf, indices):
+                self.events.append(("w", leaf, tuple(indices)))
+
+        a, b = Recorder(), Recorder()
+        obj = TreeStorage(config, observer=a)
+        arr = ArrayTreeStorage(config, observer=b)
+        for storage in (obj, arr):
+            storage.read_path_buckets(2)
+            storage.write_path(2)
+            storage.read_path_buckets(9)
+        assert a.events == b.events
+
+
+class TestSelection:
+    def test_make_storage_dispatch(self):
+        config = OramConfig(num_blocks=64, block_bytes=32)
+        assert isinstance(make_storage("object", config), TreeStorage)
+        assert isinstance(make_storage("array", config), ArrayTreeStorage)
+        with pytest.raises(ValueError):
+            make_storage("quantum", config)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE", raising=False)
+        assert default_storage_backend() == "object"
+        monkeypatch.setenv("REPRO_STORAGE", "array")
+        assert default_storage_backend() == "array"
+
+    def test_factory_resolves_env_at_call_time(self, monkeypatch):
+        config = OramConfig(num_blocks=64, block_bytes=32)
+        factory = make_storage_factory(None)
+        monkeypatch.setenv("REPRO_STORAGE", "array")
+        assert isinstance(factory(config, None), ArrayTreeStorage)
+        monkeypatch.setenv("REPRO_STORAGE", "object")
+        assert isinstance(factory(config, None), TreeStorage)
+
+    def test_preset_kwarg_selects_backend(self):
+        from repro.presets import build_frontend
+
+        frontend = build_frontend("PC_X32", num_blocks=2**10, storage="array")
+        assert isinstance(frontend.backend.storage, ArrayTreeStorage)
+        frontend = build_frontend("PC_X32", num_blocks=2**10)
+        assert isinstance(frontend.backend.storage, TreeStorage)
+
+    def test_env_selects_backend_for_presets(self, monkeypatch):
+        from repro.presets import build_frontend
+
+        monkeypatch.setenv("REPRO_STORAGE", "array")
+        frontend = build_frontend("P_X16", num_blocks=2**10)
+        assert isinstance(frontend.backend.storage, ArrayTreeStorage)
+        recursive = build_frontend("R_X8", num_blocks=2**10)
+        assert all(
+            isinstance(b.storage, ArrayTreeStorage) for b in recursive.backends
+        )

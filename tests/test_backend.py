@@ -241,3 +241,67 @@ class TestEvictionGuards:
         backend.stash.add(bogus)
         with pytest.raises(ValueError, match="out of range"):
             backend.access(Op.READ, 1, 0, backend.random_leaf())
+
+
+class TestAbortRestoration:
+    """A failed access must neither lose nor invent blocks (fused-eviction
+    error paths restore the merged-stash state)."""
+
+    def _seed_blocks(self, config, backend, count=12):
+        rng = DeterministicRng(5)
+        posmap = {}
+        for addr in range(count):
+            leaf = rng.random_leaf(config.levels)
+            new_leaf = backend.random_leaf()
+            backend.access(Op.WRITE, addr, posmap.get(addr, leaf), new_leaf,
+                           update=lambda blk: None)
+            posmap[addr] = new_leaf
+        return posmap
+
+    def _total(self, backend):
+        return backend.storage.occupancy() + len(backend.stash)
+
+    def test_missing_block_abort_restores_drained_path(self, small_config):
+        seeder = make_backend(small_config)
+        posmap = self._seed_blocks(small_config, seeder)
+        strict = PathOramBackend(
+            small_config, seeder.storage, DeterministicRng(2), allow_missing=False
+        )
+        before = self._total(seeder) + len(strict.stash)
+        with pytest.raises(BlockNotFoundError):
+            strict.access(Op.READ, 999, posmap[3], 5)
+        assert self._total(seeder) + len(strict.stash) == before
+
+    def test_update_exception_aborts_without_losing_blocks(self, small_config):
+        backend = make_backend(small_config)
+        posmap = self._seed_blocks(small_config, backend)
+        before = self._total(backend)
+
+        def tamper(block):
+            raise RuntimeError("integrity check failed")
+
+        with pytest.raises(RuntimeError):
+            backend.access(Op.READ, 3, posmap[3], 7, update=tamper)
+        assert self._total(backend) == before
+
+    def test_update_exception_on_fresh_block_invents_nothing(self, small_config):
+        backend = make_backend(small_config)
+        posmap = self._seed_blocks(small_config, backend)
+        before = self._total(backend)
+
+        def tamper(block):
+            raise RuntimeError("fresh block rejected")
+
+        with pytest.raises(RuntimeError):
+            backend.access(Op.READ, 9999 % small_config.num_blocks + 50, 0, 1,
+                           update=tamper)
+        assert self._total(backend) == before
+
+    def test_stash_path_duplicate_detected(self, small_config):
+        backend = make_backend(small_config)
+        posmap = self._seed_blocks(small_config, backend)
+        # Plant a duplicate of a tree-resident block in the stash.
+        victim_addr = 3
+        backend.stash.add(Block(victim_addr, posmap[victim_addr], bytes(64)))
+        with pytest.raises(ValueError, match="duplicate"):
+            backend.access(Op.READ, 0, posmap[victim_addr], 1)

@@ -1,10 +1,14 @@
 """CLI dispatch."""
 
+import os
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.runner import WORKERS_ENV
 from repro.sim.trace_cache import CACHE_ENV
+from repro.storage.array_tree import STORAGE_ENV
 
 
 class TestCli:
@@ -40,6 +44,24 @@ class TestCli:
 
 
 class TestCliFlags:
+    @pytest.fixture(autouse=True)
+    def _restore_env(self):
+        """Undo env mutations made by ``main()`` during a test.
+
+        ``monkeypatch.delenv(raising=False)`` on an absent variable
+        records nothing, so a variable the CLI *sets* during the test
+        would otherwise leak into the rest of the session (e.g.
+        ``REPRO_WORKERS=4`` flipping later suites into pool mode).
+        """
+        keys = (WORKERS_ENV, CACHE_ENV, RESULT_CACHE_ENV, STORAGE_ENV)
+        saved = {key: os.environ.get(key) for key in keys}
+        yield
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
     def test_workers_flag_sets_env(self, capsys, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         assert main(["--workers", "4", "table2"]) == 0
@@ -77,6 +99,25 @@ class TestCliFlags:
 
         assert os.environ.get(CACHE_ENV) == str(tmp_path)
 
+    def test_no_result_cache_flag(self, monkeypatch):
+        monkeypatch.delenv(RESULT_CACHE_ENV, raising=False)
+        assert main(["--no-result-cache", "table2"]) == 0
+        assert os.environ.get(RESULT_CACHE_ENV) == "off"
+
+    def test_result_cache_dir_flag(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(RESULT_CACHE_ENV, raising=False)
+        assert main([f"--result-cache={tmp_path}", "table2"]) == 0
+        assert os.environ.get(RESULT_CACHE_ENV) == str(tmp_path)
+
+    def test_storage_flag(self, monkeypatch):
+        monkeypatch.delenv(STORAGE_ENV, raising=False)
+        assert main(["--storage", "array", "table2"]) == 0
+        assert os.environ.get(STORAGE_ENV) == "array"
+
+    def test_storage_flag_rejects_unknown(self, capsys):
+        assert main(["--storage", "quantum", "table2"]) == 2
+        assert "object" in capsys.readouterr().err
+
     def test_unknown_option_rejected(self, capsys):
         assert main(["--frobnicate", "table2"]) == 2
         assert "unknown option" in capsys.readouterr().err
@@ -85,3 +126,5 @@ class TestCliFlags:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "--workers" in out and "--no-trace-cache" in out
+        assert "--no-result-cache" in out and "--storage" in out
+        assert "bench" in out

@@ -1,0 +1,314 @@
+"""Golden-digest equivalence: optimized hot paths vs seed implementations.
+
+The replay-throughput overhaul (indexed PLB, cached/packed PRF leaf
+derivation, windowed compressed-counter remap, array tree storage, fused
+backend eviction) must be *performance-only*: every observable result is
+required to be bitwise identical to the original implementations. These
+tests pin that down three ways:
+
+1. primitive-level: reference implementations transcribed from the seed
+   (linear-scan PLB, three-way-concat PRF message, whole-block compressed
+   remap) are driven with identical inputs;
+2. configuration-level: the same replay executed with the optimizations'
+   toggles flipped (PRF cache off, object vs array storage) must produce
+   dataclass-equal SimResults;
+3. digest-level: SimResults are serialised and SHA-256 hashed, so any
+   drift in any field — including float bit patterns — fails loudly.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prf import Prf
+from repro.frontend.addrgen import AddressSpace
+from repro.frontend.formats import CompressedPosMapFormat
+from repro.frontend.plb import Plb, PlbEntry
+from repro.presets import build_frontend
+from repro.proc.hierarchy import MissEvent, MissTrace
+from repro.sim.system import replay_trace
+from repro.sim.timing import OramTimingModel
+from repro.utils.rng import DeterministicRng
+
+KEY = b"equivalence-key!"
+
+
+def result_digest(result) -> str:
+    """SHA-256 of the canonical JSON image of a SimResult."""
+    payload = json.dumps(dataclasses.asdict(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def micro_trace(events: int = 2500, blocks: int = 2**12) -> MissTrace:
+    rng = DeterministicRng(8)
+    trace = MissTrace(
+        name="micro", instructions=200_000, mem_refs=60_000,
+        l1_hits=50_000, l2_hits=8_000,
+    )
+    trace.events = [
+        MissEvent(rng.randrange(blocks), rng.random() < 0.3) for _ in range(events)
+    ]
+    return trace
+
+
+def replay(scheme: str, *, storage: str = "object", crypto=None) -> tuple:
+    frontend = build_frontend(
+        scheme, num_blocks=2**12, rng=DeterministicRng(7),
+        storage=storage, **({"crypto": crypto} if crypto is not None else {}),
+    )
+    timing = OramTimingModel(tree_latency_cycles=1000.0)
+    result = replay_trace(frontend, micro_trace(), timing, scheme=scheme)
+    return result, result_digest(result)
+
+
+# -- 1. primitive-level references ------------------------------------------------
+
+
+def reference_leaf_for(key: bytes, address: int, count: int, num_levels: int,
+                       subblock: int = 0) -> int:
+    """The seed's leaf derivation: three to_bytes concatenations, no cache."""
+    if num_levels <= 0:
+        return 0
+    message = (
+        address.to_bytes(8, "little")
+        + count.to_bytes(12, "little")
+        + subblock.to_bytes(4, "little")
+    )
+    digest = hashlib.blake2b(message, key=key, digest_size=16).digest()
+    return int.from_bytes(digest, "little") & ((1 << num_levels) - 1)
+
+
+class TestPrfEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        address=st.integers(min_value=0, max_value=2**52),
+        count=st.integers(min_value=0, max_value=2**80),
+        num_levels=st.integers(min_value=1, max_value=32),
+        subblock=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_packed_message_matches_seed_bytes(
+        self, address, count, num_levels, subblock
+    ):
+        prf = Prf(KEY)
+        assert prf.leaf_for(address, count, num_levels, subblock) == \
+            reference_leaf_for(KEY, address, count, num_levels, subblock)
+
+    def test_cache_hit_returns_same_leaf(self):
+        prf = Prf(KEY)
+        cold = [prf.leaf_for(9, c, 20) for c in range(200)]
+        warm = [prf.leaf_for(9, c, 20) for c in range(200)]
+        assert warm == cold
+        assert prf.cache_hits == 200
+
+    def test_call_count_counts_logical_evaluations(self):
+        """Cache hits still count as PRF calls (bandwidth accounting)."""
+        prf = Prf(KEY)
+        prf.leaf_for(1, 1, 16)
+        prf.leaf_for(1, 1, 16)  # served from cache
+        assert prf.call_count == 2
+        assert prf.cache_hits == 1
+
+    def test_cache_disabled_still_correct(self):
+        cached, uncached = Prf(KEY), Prf(KEY, leaf_cache_entries=0)
+        for c in (0, 1, 1, 2, 0):
+            assert cached.leaf_for(5, c, 18) == uncached.leaf_for(5, c, 18)
+        assert uncached.cache_hits == 0
+        assert cached.call_count == uncached.call_count
+
+    def test_cache_bounded(self):
+        prf = Prf(KEY, leaf_cache_entries=16)
+        for c in range(100):
+            prf.leaf_for(1, c, 16)
+        assert len(prf._leaf_cache) <= 16
+
+    def test_lru_evicts_oldest(self):
+        prf = Prf(KEY, leaf_cache_entries=2)
+        prf.leaf_for(1, 0, 16)
+        prf.leaf_for(1, 1, 16)
+        prf.leaf_for(1, 0, 16)  # refresh 0: now 1 is the LRU victim
+        prf.leaf_for(1, 2, 16)  # evicts 1
+        assert (1, 0, 16, 0) in prf._leaf_cache
+        assert (1, 1, 16, 0) not in prf._leaf_cache
+
+
+class ReferencePlb:
+    """The seed's linear-scan PLB (set lists only, no tag index)."""
+
+    def __init__(self, capacity_bytes, block_bytes, ways=1):
+        total = (capacity_bytes // block_bytes)
+        total -= total % ways
+        self.ways = ways
+        self.num_sets = total // ways
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, tagged_addr):
+        level = tagged_addr >> 48
+        index = tagged_addr & ((1 << 48) - 1)
+        return (index + level * 7919) % self.num_sets
+
+    def lookup(self, tagged_addr):
+        self._clock += 1
+        for entry in self._sets[self._set_index(tagged_addr)]:
+            if entry.tagged_addr == tagged_addr:
+                entry.last_use = self._clock
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def insert(self, entry):
+        self._clock += 1
+        entry.last_use = self._clock
+        bucket = self._sets[self._set_index(entry.tagged_addr)]
+        if len(bucket) < self.ways:
+            bucket.append(entry)
+            return None
+        victim_pos = min(range(len(bucket)), key=lambda i: bucket[i].last_use)
+        victim = bucket[victim_pos]
+        bucket[victim_pos] = entry
+        return victim
+
+    def invalidate(self, tagged_addr):
+        bucket = self._sets[self._set_index(tagged_addr)]
+        for pos, entry in enumerate(bucket):
+            if entry.tagged_addr == tagged_addr:
+                return bucket.pop(pos)
+        return None
+
+
+class TestPlbEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ways=st.sampled_from([1, 2, 4]),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["lookup", "insert", "invalidate"]),
+                st.integers(min_value=0, max_value=3),   # level
+                st.integers(min_value=0, max_value=40),  # index
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+    )
+    def test_indexed_plb_matches_linear_scan(self, ways, ops):
+        new = Plb(capacity_bytes=8 * 64, block_bytes=64, ways=ways)
+        ref = ReferencePlb(capacity_bytes=8 * 64, block_bytes=64, ways=ways)
+        for op, level, index in ops:
+            tag = AddressSpace.tag(level, index)
+            if op == "lookup":
+                a, b = new.lookup(tag), ref.lookup(tag)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert a.tagged_addr == b.tagged_addr
+            elif op == "insert":
+                entry_new = PlbEntry(tag, bytearray(64), leaf=index)
+                entry_ref = PlbEntry(tag, bytearray(64), leaf=index)
+                try:
+                    va = new.insert(entry_new)
+                except ValueError:
+                    continue  # duplicate: reference would scan and keep both
+                vb = ref.insert(entry_ref)
+                assert (va is None) == (vb is None)
+                if va is not None:
+                    assert va.tagged_addr == vb.tagged_addr
+            else:
+                ra, rb = new.invalidate(tag), ref.invalidate(tag)
+                assert (ra is None) == (rb is None)
+            assert (new.hits, new.misses) == (ref.hits, ref.misses)
+            assert len(new) == sum(len(s) for s in ref._sets)
+
+
+def reference_compressed_remap(fmt, data: bytearray, slot: int):
+    """The seed's whole-block-integer remap; returns the RemapResult tuple
+    image (old/new counters and the final block bytes)."""
+    value = int.from_bytes(bytes(data), "little")
+    gc = value & ((1 << fmt.alpha_bits) - 1)
+    ic_shift = fmt.alpha_bits + slot * fmt.beta_bits
+    ic = (value >> ic_shift) & fmt._ic_mask
+    old_counter = (gc << fmt.beta_bits) | ic
+    if ic < fmt._ic_mask:
+        new_value = value + (1 << ic_shift)
+        new_counter = old_counter + 1
+    else:
+        new_value = gc + 1
+        new_counter = (gc + 1) << fmt.beta_bits
+    return old_counter, new_counter, new_value.to_bytes(fmt.block_bytes, "little")
+
+
+class TestCompressedRemapEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        payload=st.binary(min_size=64, max_size=64),
+        slot=st.integers(min_value=0, max_value=31),
+    )
+    def test_windowed_update_matches_whole_block(self, payload, slot):
+        prf = Prf(KEY)
+        fmt = CompressedPosMapFormat(64, 20, prf)
+        data = bytearray(payload)
+        expect_old, expect_new, expect_bytes = reference_compressed_remap(
+            fmt, bytearray(payload), slot
+        )
+        result = fmt.remap(data, slot, child_addr=slot, rng=DeterministicRng(0))
+        assert result.old_counter == expect_old
+        assert result.new_counter == expect_new
+        assert bytes(data) == expect_bytes
+
+    def test_rollover_still_group_remaps(self):
+        prf = Prf(KEY)
+        fmt = CompressedPosMapFormat(64, 20, prf)
+        data = bytearray(fmt.initial_block())
+        # Saturate slot 3's IC, then remap once more to trigger rollover.
+        for _ in range(fmt._ic_mask):
+            fmt.remap(data, 3, child_addr=3, rng=DeterministicRng(0))
+        result = fmt.remap(data, 3, child_addr=3, rng=DeterministicRng(0))
+        assert result.group_remap_slots  # every sibling relocated
+        assert fmt.group_counter(bytes(data)) == 1
+        assert fmt.individual_counter(bytes(data), 3) == 0
+
+
+# -- 2/3. configuration- and digest-level equivalence -----------------------------
+
+
+ALL_SCHEMES = ["R_X8", "P_X16", "PC_X32", "PI_X8", "PIC_X32"]
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_array_storage_bitwise_identical(self, scheme):
+        obj_result, obj_digest = replay(scheme, storage="object")
+        arr_result, arr_digest = replay(scheme, storage="array")
+        assert obj_result == arr_result
+        assert obj_digest == arr_digest
+
+    @pytest.mark.parametrize("scheme", ["PC_X32", "PI_X8", "PIC_X32"])
+    def test_prf_cache_bitwise_identical(self, scheme):
+        from repro.crypto.suite import CryptoSuite
+
+        cached = CryptoSuite.fast()
+        uncached = CryptoSuite.fast()
+        uncached.prf._leaf_cache_limit = 0
+        with_cache, digest_a = replay(scheme, crypto=cached)
+        without_cache, digest_b = replay(scheme, crypto=uncached)
+        assert uncached.prf.cache_hits == 0
+        assert cached.prf.cache_hits > 0  # the optimization actually engaged
+        assert with_cache == without_cache
+        assert digest_a == digest_b
+
+    def test_prf_call_count_identical_with_and_without_cache(self):
+        """Hash-bandwidth accounting is cache-invariant."""
+        from repro.crypto.suite import CryptoSuite
+
+        counts = []
+        for limit in (1 << 16, 0):
+            crypto = CryptoSuite.fast()
+            crypto.prf._leaf_cache_limit = limit
+            replay("PIC_X32", crypto=crypto)
+            counts.append(crypto.prf.call_count)
+        assert counts[0] == counts[1]

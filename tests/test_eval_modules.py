@@ -115,3 +115,23 @@ class TestSimulationFigures:
 
     def test_fig9_byte_ratio(self):
         assert fig9.byte_movement_ratio() == pytest.approx(0.021, abs=0.003)
+
+
+class TestBench:
+    def test_writes_report(self, tmp_path, capsys):
+        from repro.eval import bench
+
+        out = tmp_path / "BENCH_replay.json"
+        report = bench.run_bench(events=120, repeats=1, out_path=str(out))
+        printed = capsys.readouterr().out
+        assert "acc/s" in printed
+        assert out.exists()
+        import json
+
+        on_disk = json.loads(out.read_text("utf-8"))
+        assert on_disk["kind"] == "replay_throughput"
+        cells = {(c["scheme"], c["storage"]) for c in on_disk["results"]}
+        assert cells == {
+            (s, st) for s in bench.SCHEMES for st in bench.BENCH_STORAGES
+        }
+        assert all(c["accesses_per_sec"] > 0 for c in report["results"])

@@ -1,0 +1,227 @@
+"""ResultCache behaviour and incremental ``run_suite`` / ``baselines``."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.sim.runner as runner_mod
+from repro.sim.metrics import SimResult
+from repro.sim.result_cache import (
+    RESULT_SCHEMA_VERSION,
+    ResultCache,
+    overrides_digest,
+    result_key,
+)
+from repro.sim.runner import SimulationRunner
+
+BENCHES = ["gob", "hmmer"]
+MISSES = 150
+
+
+def _result(**kw) -> SimResult:
+    base = dict(
+        benchmark="gob",
+        scheme="PC_X32",
+        cycles=123456.75,
+        instructions=1000,
+        llc_misses=50,
+        oram_accesses=60,
+        tree_accesses=120,
+        data_bytes=4096,
+        posmap_bytes=512,
+        plb_hit_rate=0.5,
+        mpki=3.25,
+    )
+    base.update(kw)
+    return SimResult(**base)
+
+
+def _runner(tmp_path, **kw) -> SimulationRunner:
+    return SimulationRunner(
+        misses_per_benchmark=MISSES,
+        cache_dir=tmp_path / "traces",
+        result_cache_dir=tmp_path / "results",
+        **kw,
+    )
+
+
+class TestResultCacheStore:
+    def test_round_trip_is_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result()
+        assert cache.store("k1", result)
+        loaded = cache.load("k1")
+        assert loaded == result  # dataclass equality: float-bit exact
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("absent") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("k1", _result())
+        cache.path_for("k1").write_text("not json{{{", "utf-8")
+        assert cache.load("k1") is None
+        assert not cache.path_for("k1").exists()
+
+    def test_stale_schema_version_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("k1", _result())
+        payload = json.loads(cache.path_for("k1").read_text("utf-8"))
+        payload["schema"] = RESULT_SCHEMA_VERSION - 1
+        cache.path_for("k1").write_text(json.dumps(payload), "utf-8")
+        assert cache.load("k1") is None
+        assert not cache.path_for("k1").exists()
+
+    def test_unknown_field_evicted(self, tmp_path):
+        """A payload written by a future SimResult shape is a miss."""
+        cache = ResultCache(tmp_path)
+        cache.store("k1", _result())
+        payload = json.loads(cache.path_for("k1").read_text("utf-8"))
+        payload["result"]["frobnication_index"] = 7
+        cache.path_for("k1").write_text(json.dumps(payload), "utf-8")
+        assert cache.load("k1") is None
+
+    def test_unwritable_dir_disables_store(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file, not a directory")
+        cache = ResultCache(blocker / "sub")
+        assert cache.store("k1", _result()) is False
+
+
+class TestResultKey:
+    def test_overrides_digest_order_independent(self):
+        assert overrides_digest({"a": 1, "b": 2}) == overrides_digest({"b": 2, "a": 1})
+
+    def test_overrides_digest_value_sensitive(self):
+        assert overrides_digest({"a": 1}) != overrides_digest({"a": 2})
+        assert overrides_digest({"a": 1}) != overrides_digest({"a": 1.0})
+
+    def test_key_varies_with_overrides(self, tmp_path):
+        runner = _runner(tmp_path)
+        base = runner.result_key("PC_X32", "gob")
+        assert base != runner.result_key("PC_X32", "gob", plb_capacity_bytes=8192)
+        assert base != runner.result_key("PI_X8", "gob")
+        assert base != runner.result_key("PC_X32", "hmmer")
+
+    def test_key_varies_with_code_version(self, monkeypatch, tmp_path):
+        runner = _runner(tmp_path)
+        before = runner.result_key("PC_X32", "gob")
+        import repro
+
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        assert runner.result_key("PC_X32", "gob") != before
+
+    def test_key_varies_with_seed_and_budget(self, tmp_path):
+        a = _runner(tmp_path)
+        b = SimulationRunner(
+            misses_per_benchmark=MISSES,
+            seed=1,
+            cache_dir=tmp_path / "traces",
+            result_cache_dir=tmp_path / "results",
+        )
+        c = SimulationRunner(
+            misses_per_benchmark=MISSES + 1,
+            cache_dir=tmp_path / "traces",
+            result_cache_dir=tmp_path / "results",
+        )
+        keys = {
+            r.result_key("PC_X32", "gob") for r in (a, b, c)
+        }
+        assert len(keys) == 3
+
+
+class TestIncrementalSuite:
+    def test_second_invocation_replays_nothing(self, tmp_path, monkeypatch):
+        runner = _runner(tmp_path)
+        first = runner.run_suite(["PC_X32", "R_X8"], BENCHES)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("replay_trace called on a warm cache")
+
+        monkeypatch.setattr(runner_mod, "replay_trace", boom)
+        fresh = _runner(tmp_path)  # new runner, same config, same disk cache
+        second = fresh.run_suite(["PC_X32", "R_X8"], BENCHES)
+        assert second == first
+
+    def test_overrides_change_is_cold(self, tmp_path, monkeypatch):
+        runner = _runner(tmp_path)
+        runner.run_suite(["PC_X32"], ["gob"])
+        calls = []
+        real = runner_mod.replay_trace
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "replay_trace", counting)
+        fresh = _runner(tmp_path)
+        fresh.run_suite(["PC_X32"], ["gob"], plb_capacity_bytes=8 * 1024)
+        assert calls  # different overrides digest -> actually replayed
+
+    def test_progress_streams_every_cell(self, tmp_path):
+        runner = _runner(tmp_path)
+        seen = []
+        runner.run_suite(
+            ["PC_X32"], BENCHES, workers=1,
+            progress=lambda s, b, r, cached: seen.append((s, b, cached)),
+        )
+        assert seen == [("PC_X32", b, False) for b in BENCHES]
+        warm = []
+        _runner(tmp_path).run_suite(
+            ["PC_X32"], BENCHES, workers=1,
+            progress=lambda s, b, r, cached: warm.append((s, b, cached)),
+        )
+        assert warm == [("PC_X32", b, True) for b in BENCHES]
+
+    def test_progress_streams_parallel_cells(self, tmp_path):
+        seen = []
+        _runner(tmp_path).run_suite(
+            ["PC_X32"], BENCHES, workers=2,
+            progress=lambda s, b, r, cached: seen.append((s, b, cached)),
+        )
+        assert sorted(seen) == sorted(("PC_X32", b, False) for b in BENCHES)
+
+    def test_cached_results_bitwise_match_parallel(self, tmp_path):
+        runner = _runner(tmp_path)
+        cold = runner.run_suite(["PC_X32"], BENCHES, workers=2)
+        warm = _runner(tmp_path).run_suite(["PC_X32"], BENCHES, workers=2)
+        assert warm == cold
+
+    def test_run_one_uses_cache(self, tmp_path, monkeypatch):
+        runner = _runner(tmp_path)
+        first = runner.run_one("PC_X32", "gob")
+        monkeypatch.setattr(
+            runner_mod, "replay_trace",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("replayed")),
+        )
+        assert _runner(tmp_path).run_one("PC_X32", "gob") == first
+
+
+class TestBaselines:
+    def test_baselines_cached(self, tmp_path, monkeypatch):
+        runner = _runner(tmp_path)
+        first = runner.baselines(BENCHES)
+        assert list(first) == BENCHES
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("insecure_cycles called on a warm cache")
+
+        monkeypatch.setattr(runner_mod, "insecure_cycles", boom)
+        second = _runner(tmp_path).baselines(BENCHES)
+        assert second == first
+
+    def test_baselines_parallel_trace_generation(self, tmp_path):
+        serial = _runner(tmp_path / "a").baselines(BENCHES)
+        parallel = _runner(tmp_path / "b").baselines(BENCHES, workers=2)
+        assert parallel == serial
+
+    def test_baselines_progress_flags(self, tmp_path):
+        flags = []
+        _runner(tmp_path).baselines(
+            BENCHES, progress=lambda s, b, r, cached: flags.append(cached)
+        )
+        assert flags == [False, False]

@@ -35,7 +35,7 @@ _FINGERPRINT_SCRIPT = """
 import hashlib, json
 from repro.sim.runner import SimulationRunner
 
-runner = SimulationRunner(misses_per_benchmark=200, cache_dir=None)
+runner = SimulationRunner(misses_per_benchmark=200, cache_dir=None, result_cache_dir=None)
 result = runner.run_one("PC_X32", "gob")
 trace = runner.trace("gob")
 print(json.dumps({
@@ -84,24 +84,35 @@ class TestParallelSuite:
 
     @pytest.fixture(scope="class")
     def serial(self, cache_dir):
-        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        # result_cache_dir=None throughout this class: the point is to
+        # prove the parallel path *recomputes* bitwise-identical results,
+        # not that the result cache can replay them.
+        runner = SimulationRunner(
+            misses_per_benchmark=MISSES, cache_dir=cache_dir, result_cache_dir=None
+        )
         return runner.run_suite(SCHEMES, BENCHES)
 
     def test_parallel_bitwise_matches_serial(self, cache_dir, serial):
-        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        runner = SimulationRunner(
+            misses_per_benchmark=MISSES, cache_dir=cache_dir, result_cache_dir=None
+        )
         parallel = runner.run_suite(SCHEMES, BENCHES, workers=3)
         # SimResult is a dataclass: == is exact field (float-bit) equality.
         assert parallel == serial
 
     def test_parallel_preserves_layout(self, cache_dir, serial):
-        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        runner = SimulationRunner(
+            misses_per_benchmark=MISSES, cache_dir=cache_dir, result_cache_dir=None
+        )
         parallel = runner.run_suite(SCHEMES, BENCHES, workers=2)
         assert list(parallel) == SCHEMES
         for scheme in SCHEMES:
             assert list(parallel[scheme]) == BENCHES
 
     def test_parallel_with_overrides_matches_serial(self, cache_dir):
-        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=cache_dir)
+        runner = SimulationRunner(
+            misses_per_benchmark=MISSES, cache_dir=cache_dir, result_cache_dir=None
+        )
         serial = runner.run_suite(["PC_X32"], BENCHES, plb_capacity_bytes=8 * 1024)
         parallel = runner.run_suite(
             ["PC_X32"], BENCHES, workers=2, plb_capacity_bytes=8 * 1024
@@ -109,7 +120,9 @@ class TestParallelSuite:
         assert parallel == serial
 
     def test_parallel_without_disk_cache(self, serial):
-        runner = SimulationRunner(misses_per_benchmark=MISSES, cache_dir=None)
+        runner = SimulationRunner(
+            misses_per_benchmark=MISSES, cache_dir=None, result_cache_dir=None
+        )
         parallel = runner.run_suite(SCHEMES, BENCHES, workers=2)
         assert parallel == serial
 

@@ -122,6 +122,28 @@ class TestPlbBehaviour:
             frontend.read((i * fanout * 8) % 2**10)
         assert frontend.stats.plb_hits < frontend.stats.accesses // 2
 
+    def test_single_level_counts_no_plb_lookups(self):
+        """With H=1 no PLB lookup occurs, so neither hits nor misses may
+        accumulate — tiny working sets must not inflate Fig-5 hit rates."""
+        frontend = make("uncompressed", num_blocks=8, onchip_entries=2**6)
+        assert frontend.space_levels == 1
+        for addr in range(8):
+            frontend.read(addr)
+        assert frontend.stats.accesses == 8
+        assert frontend.stats.plb_hits == 0
+        assert frontend.stats.plb_misses == 0
+        assert frontend.plb.hits == 0 and frontend.plb.misses == 0
+
+    def test_multi_level_hit_rate_over_lookups_only(self):
+        frontend = make("uncompressed")
+        assert frontend.space_levels > 1
+        for addr in range(64):
+            frontend.read(addr)
+        assert (
+            frontend.stats.plb_hits + frontend.stats.plb_misses
+            == frontend.stats.accesses
+        )
+
     def test_plb_eviction_appends_to_stash(self):
         frontend = make("uncompressed", plb_capacity_bytes=1024)
         rng = DeterministicRng(8)
