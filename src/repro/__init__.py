@@ -28,6 +28,7 @@ from repro.errors import (
     ConfigurationError,
     IntegrityViolationError,
     ReproError,
+    SpecError,
     StashOverflowError,
 )
 from repro.frontend.linear import LinearFrontend
@@ -44,6 +45,7 @@ from repro.presets import (
     pic_x32,
     r_x8,
 )
+from repro.spec import SchemeSpec, get_spec, register, spec_names
 from repro.utils.rng import DeterministicRng
 
 __version__ = "1.0.0"
@@ -60,6 +62,7 @@ __all__ = [
     "IntegrityViolationError",
     "BlockNotFoundError",
     "ConfigurationError",
+    "SpecError",
     "LinearFrontend",
     "RecursiveFrontend",
     "PlbFrontend",
@@ -72,6 +75,10 @@ __all__ = [
     "pi_x8",
     "pic_x32",
     "phantom_4kb",
+    "SchemeSpec",
+    "get_spec",
+    "register",
+    "spec_names",
     "DeterministicRng",
     "__version__",
 ]

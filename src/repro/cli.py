@@ -7,7 +7,9 @@ Usage::
     python -m repro table2 fig3 hashbw
     python -m repro --workers 8 fig6 fig7
     python -m repro --no-trace-cache fig6
+    python -m repro --force fig6
     python -m repro --storage array bench
+    python -m repro sweep --scheme PIC_X32 --grid plb=4KiB,8KiB,16KiB
     REPRO_FULL=1 python -m repro all
 
 ``--workers N`` fans each experiment's (scheme, benchmark) matrix out
@@ -16,17 +18,28 @@ identical to serial runs. ``--trace-cache DIR`` / ``--no-trace-cache``
 control the on-disk miss-trace cache (``REPRO_TRACE_CACHE``), and
 ``--result-cache DIR`` / ``--no-result-cache`` the on-disk replay-result
 cache (``REPRO_RESULT_CACHE``) that makes repeated runs incremental.
-``--storage array`` selects the array-backed tree storage
-(``REPRO_STORAGE``). ``bench`` is the replay-throughput microbenchmark
-(writes ``BENCH_replay.json``); it runs only when named explicitly.
+``--force`` (``REPRO_FORCE=1``) recomputes every cell, refreshing — not
+disabling — both caches. ``--storage array`` selects the array-backed
+tree storage (``REPRO_STORAGE``). ``bench`` is the replay-throughput
+microbenchmark (writes ``BENCH_replay.json``); it runs only when named
+explicitly.
+
+The ``sweep`` subcommand expands a parameter grid over scheme specs
+(``--scheme`` accepts registry names or spec strings like
+``"PIC_X32:plb=32KiB"``; ``--grid field=v1,v2`` adds an axis), prints the
+slowdown table, and writes a JSON report (``--out``, default
+``SWEEP.json``). Global flags go *before* ``sweep``; everything after it
+belongs to the subcommand.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.eval import (
     ablation_plb,
     bench,
@@ -43,7 +56,7 @@ from repro.eval import (
 )
 from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
-from repro.sim.runner import WORKERS_ENV
+from repro.sim.runner import FORCE_ENV, WORKERS_ENV
 from repro.storage.array_tree import STORAGE_ENV
 
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
@@ -67,11 +80,40 @@ _ORDER = (
     "fig6", "fig5", "fig7", "fig8", "fig9", "ablation-plb",
 )
 
+#: Default JSON report path for the ``sweep`` subcommand.
+DEFAULT_SWEEP_OUT = "SWEEP.json"
+
+#: Global flags that consume a separate value token (``--flag VALUE``).
+_VALUE_FLAGS = ("--workers", "--trace-cache", "--result-cache", "--storage")
+
+
+def _find_sweep(raw: List[str]) -> Optional[int]:
+    """Index of a *positional* leading ``sweep`` token, else None.
+
+    Flag values are skipped, so a cache directory literally named
+    ``sweep`` (``--trace-cache sweep fig6``) is never mistaken for the
+    subcommand; a ``sweep`` after another experiment name falls through
+    to the normal unknown-experiment error.
+    """
+    skip_value = False
+    for index, token in enumerate(raw):
+        if skip_value:
+            skip_value = False
+            continue
+        if token in _VALUE_FLAGS:
+            skip_value = True
+            continue
+        if token.startswith("--"):
+            continue
+        return index if token == "sweep" else None
+    return None
+
 
 def _usage_error(message: str) -> int:
     print(message, file=sys.stderr)
     print(
-        f"choose from: {', '.join(_ORDER)}, 'bench' or 'all'", file=sys.stderr
+        f"choose from: {', '.join(_ORDER)}, 'bench', 'sweep' or 'all'",
+        file=sys.stderr,
     )
     return 2
 
@@ -109,6 +151,8 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
                 print("--result-cache requires a directory path", file=sys.stderr)
                 return None
             os.environ[RESULT_CACHE_ENV] = value
+        elif arg == "--force":
+            os.environ[FORCE_ENV] = "1"
         elif arg == "--storage" or arg.startswith("--storage="):
             value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
             if value not in ("object", "array"):
@@ -123,9 +167,79 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
     return positional
 
 
+def _sweep_main(args: List[str]) -> int:
+    """The ``sweep`` subcommand: grid x schemes x benchmarks -> table+JSON."""
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
+
+    schemes: List[str] = []
+    benches: List[str] = []
+    grid: List[str] = []
+    out = DEFAULT_SWEEP_OUT
+    misses: Optional[int] = None
+    it = iter(args)
+    for arg in it:
+        value: Optional[str] = None
+        if arg == "--scheme" or arg.startswith("--scheme="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--scheme requires a name or spec string", file=sys.stderr)
+                return 2
+            schemes.append(value)
+        elif arg == "--bench" or arg.startswith("--bench="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--bench requires a benchmark name", file=sys.stderr)
+                return 2
+            benches.append(value)
+        elif arg == "--grid" or arg.startswith("--grid="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--grid requires field=v1,v2,...", file=sys.stderr)
+                return 2
+            grid.append(value)
+        elif arg == "--out" or arg.startswith("--out="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--out requires a file path", file=sys.stderr)
+                return 2
+            out = value
+        elif arg == "--misses" or arg.startswith("--misses="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value is None or not value.isdigit() or int(value) < 1:
+                print("--misses requires a positive integer", file=sys.stderr)
+                return 2
+            misses = int(value)
+        else:
+            print(f"unknown sweep option {arg}", file=sys.stderr)
+            return 2
+    if not schemes:
+        schemes = ["PIC_X32"]
+    try:
+        sweep = SweepSpec.from_args(
+            schemes, grid, benches if benches else None
+        )
+        runner = SimulationRunner(misses_per_benchmark=misses)
+        report = run_sweep(sweep, runner)
+    except ReproError as exc:
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    print(sweep_table(report))
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     """Dispatch experiment names; returns a process exit code."""
-    args = _parse_flags(list(sys.argv[1:] if argv is None else argv))
+    raw = list(sys.argv[1:] if argv is None else argv)
+    split = _find_sweep(raw)
+    if split is not None:
+        if _parse_flags(raw[:split]) is None:
+            return 2
+        return _sweep_main(raw[split + 1 :])
+    args = _parse_flags(raw)
     if args is None:
         return 2
     if not args or args == ["list"]:
@@ -135,13 +249,21 @@ def main(argv=None) -> int:
             print(f"  {name:<13} repro.eval.{doc}")
         print("  all           run everything in order")
         print("  bench         replay-throughput microbenchmark (BENCH_replay.json)")
+        print("  sweep         parameter-grid sweep over scheme specs (SWEEP.json)")
         print("Options:")
         print("  --workers N         parallel (scheme, benchmark) fan-out")
         print("  --trace-cache DIR   miss-trace cache location")
         print("  --no-trace-cache    disable the on-disk trace cache")
         print("  --result-cache DIR  replay-result cache location")
         print("  --no-result-cache   disable the on-disk result cache")
+        print("  --force             recompute (and refresh) every cached cell")
         print("  --storage KIND      tree storage backend: object | array")
+        print("Sweep options (after 'sweep'):")
+        print("  --scheme NAME|SPEC  base scheme (repeatable; spec strings ok)")
+        print("  --grid F=V1,V2      grid axis over a spec field (repeatable)")
+        print("  --bench NAME        benchmark subset (repeatable)")
+        print("  --misses N          per-benchmark LLC miss budget")
+        print(f"  --out FILE          JSON report path (default {DEFAULT_SWEEP_OUT})")
         return 0
     if args == ["all"]:
         args = list(_ORDER)

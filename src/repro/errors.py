@@ -35,3 +35,12 @@ class BlockNotFoundError(ReproError):
 
 class ConfigurationError(ReproError):
     """Inconsistent or unsupported parameter combination."""
+
+
+class SpecError(ReproError, ValueError):
+    """Malformed scheme/sweep spec: unknown name, field, or value.
+
+    Subclasses :class:`ValueError` as well so call sites that predate the
+    declarative spec layer (``build_frontend`` rejecting an unknown scheme
+    name with ``ValueError``) keep their historical contract.
+    """

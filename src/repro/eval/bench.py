@@ -68,12 +68,15 @@ def bench_cell(scheme: str, storage: str, trace: MissTrace, repeats: int) -> Dic
     """Best-of-``repeats`` replay throughput for one (scheme, storage)."""
     timing = OramTimingModel(tree_latency_cycles=1000.0)
     best = float("inf")
+    result = None
     for _ in range(repeats):
         frontend = build_frontend(
             scheme, num_blocks=BENCH_BLOCKS, rng=DeterministicRng(7), storage=storage
         )
         start = time.perf_counter()
-        replay_trace(frontend, trace, timing, scheme=scheme)
+        # Every repeat is deterministic, so the SimResult (and its cache
+        # effectiveness counters) is identical across repeats; keep one.
+        result = replay_trace(frontend, trace, timing, scheme=scheme)
         best = min(best, time.perf_counter() - start)
     return {
         "scheme": scheme,
@@ -81,6 +84,13 @@ def bench_cell(scheme: str, storage: str, trace: MissTrace, repeats: int) -> Dic
         "events": len(trace.events),
         "seconds": best,
         "accesses_per_sec": len(trace.events) / best if best > 0 else 0.0,
+        # Cache-effectiveness diagnostics (visible in BENCH_replay.json):
+        # PLB hit rate of the PosMap lookup loop, and how much of the
+        # logical PRF leaf-derivation work the LRU absorbed.
+        "plb_hit_rate": result.plb_hit_rate,
+        "prf_calls": result.prf_calls,
+        "prf_cache_hits": result.prf_cache_hits,
+        "prf_cache_hit_rate": result.prf_cache_hit_rate,
     }
 
 
@@ -95,12 +105,16 @@ def run_bench(
     trace = bench_trace(events)
     cells: List[Dict] = []
     print(f"replay microbenchmark: {events} events, best of {repeats}")
-    print(f"{'scheme':>10} {'storage':>8} {'acc/s':>10}")
+    print(f"{'scheme':>10} {'storage':>8} {'acc/s':>10} {'plb%':>6} {'prf$%':>6}")
     for scheme in SCHEMES:
         for storage in BENCH_STORAGES:
             cell = bench_cell(scheme, storage, trace, repeats)
             cells.append(cell)
-            print(f"{scheme:>10} {storage:>8} {cell['accesses_per_sec']:>10.0f}")
+            print(
+                f"{scheme:>10} {storage:>8} {cell['accesses_per_sec']:>10.0f}"
+                f" {100 * cell['plb_hit_rate']:>6.1f}"
+                f" {100 * cell['prf_cache_hit_rate']:>6.1f}"
+            )
     report = {
         "kind": "replay_throughput",
         "version": getattr(repro, "__version__", "0"),

@@ -44,6 +44,28 @@ class LinearFrontend(Frontend):
             rng=rng,
         )
 
+    @classmethod
+    def from_spec(cls, spec, rng=None, observer=None) -> "LinearFrontend":
+        """Build from a declarative :class:`~repro.spec.SchemeSpec`.
+
+        Mirrors the historical ``phantom_4kb`` preset construction:
+        geometry from the spec, storage kind resolved per tree 0, default
+        RNG seed 0 when none is supplied.
+        """
+        from repro.storage.array_tree import default_storage_backend, make_storage
+
+        config = OramConfig(
+            num_blocks=spec.num_blocks,
+            block_bytes=spec.block_bytes,
+            blocks_per_bucket=spec.blocks_per_bucket,
+        )
+        rng = rng if rng is not None else DeterministicRng(0)
+        kind = (
+            spec.storage if spec.storage != "default" else default_storage_backend()
+        )
+        view = observer.for_tree(0) if observer is not None else None
+        return cls(config, rng, storage=make_storage(kind, config, observer=view))
+
     def access(
         self, addr: int, op: Op = Op.READ, data: Optional[bytes] = None
     ) -> AccessResult:

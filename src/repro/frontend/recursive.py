@@ -92,6 +92,27 @@ class RecursiveFrontend(Frontend):
             rng=self.rng,
         )
 
+    @classmethod
+    def from_spec(cls, spec, rng=None, observer=None) -> "RecursiveFrontend":
+        """Build from a declarative :class:`~repro.spec.SchemeSpec`.
+
+        The spec's uniform ``block_bytes`` maps onto ``data_block_bytes``
+        here; PosMap trees keep their own ``posmap_block_bytes``. PLB and
+        PMMAC fields are ignored — a separate-tree Recursive ORAM supports
+        neither (§4.1.2), which is the paper's motivating observation.
+        """
+        return cls(
+            num_blocks=spec.num_blocks,
+            data_block_bytes=spec.block_bytes,
+            posmap_block_bytes=spec.posmap_block_bytes,
+            blocks_per_bucket=spec.blocks_per_bucket,
+            leaf_bytes=spec.leaf_bytes,
+            onchip_entries=spec.onchip_entries,
+            rng=rng,
+            observer=observer,
+            storage=None if spec.storage == "default" else spec.storage,
+        )
+
     # -- first-touch bookkeeping (simulation stand-in for factory init) --------
 
     def _is_touched(self, level: int, index: int) -> bool:

@@ -145,6 +145,38 @@ class PlbFrontend(Frontend):
 
     # -- construction helpers -----------------------------------------------------
 
+    @classmethod
+    def from_spec(cls, spec, rng=None, observer=None, crypto=None) -> "PlbFrontend":
+        """Build from a declarative :class:`~repro.spec.SchemeSpec`.
+
+        ``rng``/``observer``/``crypto`` are build-time objects, not part of
+        the serializable spec; ``crypto=None`` keeps the frontend default
+        (the ``fast`` suite). The spec's ``storage`` kind resolves through
+        :func:`~repro.storage.array_tree.storage_factory_for`, so builds
+        are bit-identical to the historical preset factories.
+        """
+        from repro.storage.array_tree import storage_factory_for
+
+        return cls(
+            num_blocks=spec.num_blocks,
+            block_bytes=spec.block_bytes,
+            blocks_per_bucket=spec.blocks_per_bucket,
+            plb_capacity_bytes=spec.plb_capacity_bytes,
+            plb_ways=spec.plb_ways,
+            onchip_entries=spec.onchip_entries,
+            posmap_format=spec.posmap_format,
+            pmmac=spec.pmmac,
+            mac_tag_bytes=spec.mac_tag_bytes,
+            compressed_alpha=spec.compressed_alpha,
+            compressed_beta=spec.compressed_beta,
+            compressed_fanout=spec.compressed_fanout,
+            leaf_bytes=spec.leaf_bytes,
+            crypto=crypto,
+            rng=rng,
+            observer=observer,
+            storage_factory=storage_factory_for(spec.storage),
+        )
+
     @staticmethod
     def _format_fanout(
         kind: str,

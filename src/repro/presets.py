@@ -11,6 +11,17 @@ PosMap, and the X suffix is the PosMap fan-out:
 - ``PIC_X32`` — PLB + compressed PosMap + PMMAC (the paper's headline).
 - ``phantom_4kb`` — Phantom [21] configuration: 4 KB blocks, no recursion.
 
+The source of truth is the declarative registry in :mod:`repro.spec`:
+every preset is a frozen :class:`~repro.spec.SchemeSpec`, and the factory
+functions below are thin back-compat wrappers over ``get_spec(...).with_``
+(kept signature-stable; golden-digest tests prove the spec path builds
+bit-identical frontends). New code should prefer specs directly::
+
+    from repro.spec import SchemeSpec, get_spec
+
+    oram = get_spec("PIC_X32").with_(plb_capacity_bytes=32 * 1024).build()
+    oram = SchemeSpec.from_string("PIC_X32:plb=32KiB,storage=array").build()
+
 Simulation-scale defaults (N = 2^16 blocks, 8 KB on-chip budget) keep runs
 tractable; every parameter can be overridden for full-scale studies.
 """
@@ -19,29 +30,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.config import OramConfig
 from repro.crypto.suite import CryptoSuite
 from repro.frontend.linear import LinearFrontend
 from repro.frontend.recursive import RecursiveFrontend
 from repro.frontend.unified import PlbFrontend
-from repro.storage.array_tree import default_storage_backend, make_storage_factory
+from repro.spec import SchemeSpec, get_spec, resolve_spec
 from repro.utils.rng import DeterministicRng
 
 #: Scheme names usable with :func:`build_frontend`.
 SCHEMES = ("R_X8", "P_X16", "PC_X32", "PI_X8", "PIC_X32")
 
-
-def _resolve_storage_factory(storage: Optional[str]):
-    """Map a preset ``storage`` kwarg (or ``REPRO_STORAGE``) to a factory.
-
-    ``None``/``"object"`` return None so the frontend keeps its built-in
-    default (plain :class:`TreeStorage`) — byte-for-byte the historical
-    construction path.
-    """
-    resolved = storage if storage is not None else default_storage_backend()
-    if resolved in ("object", "tree"):
-        return None
-    return make_storage_factory(resolved)
+#: Build-time keyword arguments accepted by :func:`build_frontend` that are
+#: not spec fields (objects, not serializable configuration).
+_BUILD_KWARGS = ("rng", "observer", "crypto")
 
 
 def r_x8(
@@ -54,21 +55,18 @@ def r_x8(
     storage: Optional[str] = None,
 ) -> RecursiveFrontend:
     """Recursive ORAM baseline with X=8 (32-byte PosMap blocks, [26])."""
-    return RecursiveFrontend(
+    spec = get_spec("R_X8").with_(
         num_blocks=num_blocks,
-        data_block_bytes=block_bytes,
-        posmap_block_bytes=32,
+        block_bytes=block_bytes,
         blocks_per_bucket=blocks_per_bucket,
         onchip_entries=onchip_entries,
-        rng=rng,
-        observer=observer,
-        storage=storage,
+        **({} if storage is None else {"storage": storage}),
     )
+    return spec.build(rng=rng, observer=observer)
 
 
-def _plb_frontend(
-    posmap_format: str,
-    pmmac: bool,
+def _plb_preset(
+    name: str,
     num_blocks: int,
     block_bytes: int,
     blocks_per_bucket: int,
@@ -80,20 +78,16 @@ def _plb_frontend(
     plb_ways: int = 1,
     storage: Optional[str] = None,
 ) -> PlbFrontend:
-    return PlbFrontend(
+    spec = get_spec(name).with_(
         num_blocks=num_blocks,
         block_bytes=block_bytes,
         blocks_per_bucket=blocks_per_bucket,
         plb_capacity_bytes=plb_capacity_bytes,
         plb_ways=plb_ways,
         onchip_entries=onchip_entries,
-        posmap_format=posmap_format,
-        pmmac=pmmac,
-        rng=rng,
-        observer=observer,
-        crypto=crypto,
-        storage_factory=_resolve_storage_factory(storage),
+        **({} if storage is None else {"storage": storage}),
     )
+    return spec.build(rng=rng, observer=observer, crypto=crypto)
 
 
 def p_x16(
@@ -109,8 +103,8 @@ def p_x16(
     storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + Unified tree with the uncompressed PosMap (X=16 at 64 B)."""
-    return _plb_frontend(
-        "uncompressed", False, num_blocks, block_bytes, blocks_per_bucket,
+    return _plb_preset(
+        "P_X16", num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
         storage,
     )
@@ -129,8 +123,8 @@ def pc_x32(
     storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + compressed PosMap (X=32 for 64 B blocks; §5.3)."""
-    return _plb_frontend(
-        "compressed", False, num_blocks, block_bytes, blocks_per_bucket,
+    return _plb_preset(
+        "PC_X32", num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
         storage,
     )
@@ -149,8 +143,8 @@ def pi_x8(
     storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + PMMAC with flat 64-bit counters (X=8; §6.2.2)."""
-    return _plb_frontend(
-        "flat", True, num_blocks, block_bytes, blocks_per_bucket,
+    return _plb_preset(
+        "PI_X8", num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
         storage,
     )
@@ -169,8 +163,8 @@ def pic_x32(
     storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PLB + compressed PosMap + PMMAC — the paper's combined scheme."""
-    return _plb_frontend(
-        "compressed", True, num_blocks, block_bytes, blocks_per_bucket,
+    return _plb_preset(
+        "PIC_X32", num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto, plb_ways,
         storage,
     )
@@ -188,8 +182,8 @@ def pc_x64(
     storage: Optional[str] = None,
 ) -> PlbFrontend:
     """PC with 128-byte blocks, doubling X to 64 (the Fig. 8 point)."""
-    return _plb_frontend(
-        "compressed", False, num_blocks, block_bytes, blocks_per_bucket,
+    return _plb_preset(
+        "PC_X64", num_blocks, block_bytes, blocks_per_bucket,
         plb_capacity_bytes, onchip_entries, rng, observer, crypto,
         storage=storage,
     )
@@ -204,29 +198,27 @@ def phantom_4kb(
     storage: Optional[str] = None,
 ) -> LinearFrontend:
     """Phantom [21] configuration: large blocks, full on-chip PosMap."""
-    cfg = OramConfig(
+    spec = get_spec("phantom_4kb").with_(
         num_blocks=num_blocks,
         block_bytes=block_bytes,
         blocks_per_bucket=blocks_per_bucket,
+        **({} if storage is None else {"storage": storage}),
     )
-    rng = rng if rng is not None else DeterministicRng(0)
-    from repro.storage.array_tree import make_storage
-
-    resolved = storage if storage is not None else default_storage_backend()
-    view = observer.for_tree(0) if observer is not None else None
-    return LinearFrontend(cfg, rng, storage=make_storage(resolved, cfg, observer=view))
+    return spec.build(rng=rng, observer=observer)
 
 
-def build_frontend(scheme: str, **kwargs):
-    """Factory dispatch on a paper scheme name (see :data:`SCHEMES`)."""
-    factories = {
-        "R_X8": r_x8,
-        "P_X16": p_x16,
-        "PC_X32": pc_x32,
-        "PI_X8": pi_x8,
-        "PIC_X32": pic_x32,
-        "PC_X64": pc_x64,
-    }
-    if scheme not in factories:
-        raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
-    return factories[scheme](**kwargs)
+def build_frontend(scheme, **kwargs):
+    """Factory dispatch on a scheme name, spec string, or SchemeSpec.
+
+    ``scheme`` may be any registered name (see :data:`SCHEMES`), a spec
+    mini-language string (``"PIC_X32:plb=32KiB"``), or a
+    :class:`~repro.spec.SchemeSpec`. Remaining keyword arguments are spec
+    field overrides, except the build-time objects ``rng``, ``observer``
+    and ``crypto``; unknown fields raise
+    :class:`~repro.errors.SpecError` naming the valid ones.
+    """
+    build_args = {k: kwargs.pop(k) for k in _BUILD_KWARGS if k in kwargs}
+    if kwargs.get("storage", ...) is None:
+        # Legacy callers pass storage=None for "keep the env default".
+        del kwargs["storage"]
+    return resolve_spec(scheme).with_(**kwargs).build(**build_args)

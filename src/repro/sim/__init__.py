@@ -11,6 +11,7 @@ access count.
 from repro.sim.metrics import SimResult, slowdown_table
 from repro.sim.result_cache import ResultCache
 from repro.sim.runner import SimulationRunner
+from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
 from repro.sim.system import insecure_cycles, replay_trace
 from repro.sim.timing import OramTimingModel
 from repro.sim.trace_cache import TraceCache
@@ -19,6 +20,9 @@ __all__ = [
     "SimResult",
     "slowdown_table",
     "SimulationRunner",
+    "SweepSpec",
+    "run_sweep",
+    "sweep_table",
     "insecure_cycles",
     "replay_trace",
     "OramTimingModel",

@@ -10,7 +10,14 @@ from repro.utils.stats import geometric_mean
 
 @dataclass
 class SimResult:
-    """Outcome of replaying one benchmark against one scheme."""
+    """Outcome of replaying one benchmark against one scheme.
+
+    ``prf_cache_hits`` is a *diagnostic* counter (how often the PRF's
+    leaf-derivation LRU absorbed a logical evaluation). It legitimately
+    varies with the cache toggle while every simulated outcome stays
+    bit-identical, so it is excluded from equality — ``==`` (and the
+    golden digests built on it) compare simulated outcomes only.
+    """
 
     benchmark: str
     scheme: str
@@ -23,6 +30,13 @@ class SimResult:
     posmap_bytes: int = 0
     plb_hit_rate: float = 0.0
     mpki: float = 0.0
+    prf_calls: int = 0
+    prf_cache_hits: int = field(default=0, compare=False)
+
+    @property
+    def prf_cache_hit_rate(self) -> float:
+        """Share of logical PRF evaluations served by the leaf LRU."""
+        return self.prf_cache_hits / self.prf_calls if self.prf_calls else 0.0
 
     @property
     def total_bytes(self) -> int:

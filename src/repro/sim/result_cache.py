@@ -8,10 +8,11 @@ that configuration so ``run_suite`` (and ``python -m repro all``) only
 replays cells it has never seen: a second invocation with identical
 parameters performs zero ``replay_trace`` calls.
 
-The key covers everything that can change a result bit: scheme,
-benchmark, runner seed, processor and DRAM configuration, miss budget,
-warmup, PLB/on-chip sizing, clock, a canonical digest of the per-call
-overrides, and two versions — the package release and a result schema
+The key covers everything that can change a result bit: the *canonical
+serialized scheme spec* (every construction knob, via
+``SchemeSpec.canonical()`` — no hand-maintained argument list), benchmark,
+runner seed, processor and DRAM configuration, miss budget, warmup,
+clock, and two versions — the package release and a result schema
 version. The schema version is also embedded in the payload, so entries
 written by an older schema are evicted (unlinked) on first contact
 instead of being misread.
@@ -28,7 +29,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Optional, Union
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
@@ -40,7 +41,8 @@ RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
 
 #: Bump when SimResult serialization (or replay semantics the key cannot
 #: see) changes; embedded in every entry and checked on load.
-RESULT_SCHEMA_VERSION = 1
+#: v2: spec-canonical keys + SimResult prf_calls/prf_cache_hits fields.
+RESULT_SCHEMA_VERSION = 2
 
 _DISABLED_VALUES = {"0", "off", "none", "disable", "disabled"}
 
@@ -55,18 +57,8 @@ def default_result_cache_dir() -> Optional[Path]:
     return Path(value)
 
 
-def overrides_digest(overrides: Dict[str, object]) -> str:
-    """Canonical digest of a ``run_one``/``run_suite`` override mapping.
-
-    Sorted ``key=repr(value)`` pairs: insertion order never matters, and
-    any value change (including type changes like 1 vs 1.0) re-keys.
-    """
-    canonical = "|".join(f"{k}={v!r}" for k, v in sorted(overrides.items()))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
-
-
 def result_key(
-    scheme: str,
+    scheme_canonical: str,
     bench_name: str,
     seed: int,
     proc: ProcessorConfig,
@@ -74,25 +66,25 @@ def result_key(
     proc_ghz: float,
     max_llc_misses: int,
     warmup_refs: int,
-    plb_capacity_bytes: int,
-    onchip_entries: int,
-    overrides: Dict[str, object],
 ) -> str:
-    """Stable digest of everything that determines one cell's SimResult."""
+    """Stable digest of everything that determines one cell's SimResult.
+
+    ``scheme_canonical`` is the scheme spec's total canonical serialization
+    (:meth:`repro.spec.SchemeSpec.canonical`), already sized for the
+    benchmark — or the literal ``"insecure"`` for the DRAM baseline. Every
+    construction knob therefore re-keys automatically.
+    """
     import repro
 
     parts = [
         f"schema={RESULT_SCHEMA_VERSION}",
         f"repro={getattr(repro, '__version__', '0')}",
-        f"scheme={scheme}",
+        f"spec={scheme_canonical}",
         f"bench={bench_name}",
         f"seed={seed}",
         f"ghz={proc_ghz!r}",
         f"misses={max_llc_misses}",
         f"warmup={warmup_refs}",
-        f"plb={plb_capacity_bytes}",
-        f"onchip={onchip_entries}",
-        f"overrides={overrides_digest(overrides)}",
     ]
     for key, value in sorted(dataclasses.asdict(proc).items()):
         parts.append(f"proc.{key}={value!r}")

@@ -6,6 +6,16 @@ baseline), so all schemes see byte-identical miss streams — the paper's
 methodology, and the property that makes scheme-vs-scheme ratios
 meaningful at simulation scale.
 
+Schemes are addressed declaratively: every run accepts a registered name
+(``"PIC_X32"``), a spec mini-language string
+(``"PIC_X32:plb=32KiB,storage=array"``), or a
+:class:`~repro.spec.SchemeSpec` value. The runner sizes the spec for the
+benchmark's working set (``num_blocks``, ``block_bytes``,
+``onchip_entries``, ``plb_capacity_bytes``) *underneath* any explicit
+deltas, builds the frontend via ``spec.build()``, and keys the result
+cache on the sized spec's canonical serialization — there is no
+hand-maintained override list anywhere in the cache-key path.
+
 Trace seeding is fully deterministic: the per-benchmark RNG fork salt is
 a CRC32 of the benchmark name, never the salted builtin ``hash`` (which
 varies with ``PYTHONHASHSEED`` and across processes). That determinism
@@ -25,6 +35,11 @@ is what allows the scale-out layers stacked on top:
   completed cells through an optional ``progress`` callback, with
   results bitwise identical to the serial path.
 
+``force=True`` (or ``REPRO_FORCE=1``, or ``python -m repro --force ...``)
+bypasses *loads* from both on-disk caches without disabling them: every
+cell is recomputed and the fresh trace/result overwrites the cached entry
+— a refresh, not an opt-out.
+
 Scale is controlled by ``misses_per_benchmark``; set the environment
 variable ``REPRO_FULL=1`` (or pass explicit values) for longer runs.
 """
@@ -35,26 +50,48 @@ import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
 from repro.frontend.recursive import RecursiveFrontend
 from repro.frontend.unified import PlbFrontend
-from repro.presets import build_frontend
 from repro.proc.hierarchy import CacheHierarchy, MissTrace
 from repro.sim.metrics import SimResult
 from repro.sim.result_cache import ResultCache, default_result_cache_dir, result_key
 from repro.sim.system import insecure_cycles, replay_trace
 from repro.sim.timing import OramTimingModel
 from repro.sim.trace_cache import TraceCache, default_cache_dir, trace_key
+from repro.spec import (
+    SchemeSpec,
+    decompose_spec,
+    get_spec,
+    parse_scheme_string,
+    render_scheme_string,
+    resolve_spec,
+)
 from repro.utils.rng import DeterministicRng
 from repro.workloads.spec import SPEC_BENCHMARKS, benchmark
 
 #: Environment variable supplying the default ``run_suite`` worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
-#: Streamed-cell callback: (scheme, benchmark, result, from_cache).
+#: Environment variable enabling cache-bypassing (refresh) runs.
+FORCE_ENV = "REPRO_FORCE"
+
+#: A scheme argument: registered name, spec string, or SchemeSpec value.
+SchemeLike = Union[str, SchemeSpec]
+
+#: Streamed-cell callback: (scheme label, benchmark, result, from_cache).
 ProgressCallback = Callable[[str, str, SimResult, bool], None]
 
 
@@ -71,6 +108,11 @@ def default_workers() -> int:
         return max(int(os.environ.get(WORKERS_ENV, "1")), 1)
     except ValueError:
         return 1
+
+
+def default_force() -> bool:
+    """Cache-refresh default from ``REPRO_FORCE`` (off unless truthy)."""
+    return os.environ.get(FORCE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
 
 
 def stable_trace_salt(bench_name: str) -> int:
@@ -101,6 +143,7 @@ class SimulationRunner:
         onchip_entries: int = 2**10,
         cache_dir: Union[str, Path, None] = "auto",
         result_cache_dir: Union[str, Path, None] = "auto",
+        force: Optional[bool] = None,
     ):
         self.proc = proc
         self.dram = dram if dram is not None else DramConfig()
@@ -113,6 +156,7 @@ class SimulationRunner:
         )
         self.plb_capacity_bytes = plb_capacity_bytes
         self.onchip_entries = onchip_entries
+        self.force = default_force() if force is None else bool(force)
         if cache_dir == "auto":
             cache_dir = default_cache_dir()
         self.trace_cache = TraceCache(cache_dir) if cache_dir is not None else None
@@ -149,8 +193,12 @@ class SimulationRunner:
         return self._generate_trace(bench_name)
 
     def _trace_from_disk(self, bench_name: str) -> Optional[MissTrace]:
-        """Disk-cache lookup only (no generation); memoises on hit."""
-        if self.trace_cache is None:
+        """Disk-cache lookup only (no generation); memoises on hit.
+
+        ``force`` treats the disk cache as cold so the trace is
+        re-simulated (and the entry refreshed by :meth:`_generate_trace`).
+        """
+        if self.trace_cache is None or self.force:
             return None
         loaded = self.trace_cache.load(self.trace_cache_key(bench_name))
         if loaded is not None and loaded.name == bench_name:
@@ -203,34 +251,71 @@ class SimulationRunner:
                 name, packed = future.result()
                 self._traces[name] = MissTrace.from_bytes(packed)
 
-    # -- frontends ----------------------------------------------------------------
+    # -- scheme specs -----------------------------------------------------------
 
     def _blocks_needed(self, bench_name: str, block_bytes: int) -> int:
         wss = benchmark(bench_name).wss_bytes
         return _next_pow2(max(wss // block_bytes, 2))
 
-    def build(self, scheme: str, bench_name: str, **overrides):
-        """Instantiate a scheme preset sized for a benchmark's working set."""
-        block_bytes = overrides.pop("block_bytes", self.proc.line_bytes)
-        num_blocks = overrides.pop(
-            "num_blocks", self._blocks_needed(bench_name, block_bytes)
-        )
-        kwargs = dict(
-            num_blocks=num_blocks,
+    def sized_spec(
+        self, scheme: SchemeLike, bench_name: str, **overrides
+    ) -> Tuple[SchemeSpec, str]:
+        """(spec sized for the benchmark, display label) for one cell.
+
+        Runner-level sizing — ``block_bytes`` from the processor line,
+        ``num_blocks`` from the benchmark's working set, this runner's
+        ``onchip_entries``/``plb_capacity_bytes`` — is applied to the
+        scheme's registered base, *underneath* the scheme's own explicit
+        deltas (a spec-string suffix or SchemeSpec field changes) and the
+        per-call ``overrides``. Unknown override keys raise
+        :class:`~repro.errors.SpecError` naming the valid spec fields.
+
+        The label is the spec's normalized mini-language image before
+        sizing (``"PC_X32"``, ``"PIC_X32:plb_capacity_bytes=8192"``), so
+        result tables stay keyed by the paper's scheme names.
+
+        Spec *strings* keep every delta they wrote, even one equal to the
+        registry default (``"PC_X32:onchip=2048"`` pins 2048 though the
+        base already says 2048) — the parse is authoritative. A bare
+        ``SchemeSpec`` value carries no record of which fields were set
+        deliberately, so its deltas are recovered by diffing against the
+        nearest base; to pin a field *at* a registry default, spell the
+        scheme as a string or pass a per-call override.
+        """
+        base_name, deltas, label = self._resolve(scheme)
+        merged = dict(deltas)
+        merged.update(overrides)
+        block_bytes = merged.get("block_bytes", self.proc.line_bytes)
+        sizing = dict(
             block_bytes=block_bytes,
-            rng=DeterministicRng(self.seed ^ 0xA5A5),
-            onchip_entries=overrides.pop("onchip_entries", self.onchip_entries),
+            num_blocks=self._blocks_needed(bench_name, block_bytes),
+            onchip_entries=self.onchip_entries,
+            plb_capacity_bytes=self.plb_capacity_bytes,
         )
-        # Pop unconditionally: suite-wide overrides may carry the PLB size
-        # even when the matrix includes non-PLB schemes (R_X8), whose
-        # factories reject the kwarg.
-        plb_capacity_bytes = overrides.pop(
-            "plb_capacity_bytes", self.plb_capacity_bytes
-        )
-        if scheme != "R_X8":
-            kwargs["plb_capacity_bytes"] = plb_capacity_bytes
-        kwargs.update(overrides)
-        return build_frontend(scheme, **kwargs)
+        sizing.update(merged)
+        return get_spec(base_name).with_(**sizing), label
+
+    @staticmethod
+    def _resolve(scheme: SchemeLike) -> Tuple[str, Dict[str, object], str]:
+        """(base name, explicit deltas, normalized label) for a scheme.
+
+        Strings go through the mini-language parser so their deltas are
+        exactly what the user wrote; SchemeSpec values are decomposed
+        against the registry (see :meth:`sized_spec`).
+        """
+        if isinstance(scheme, str):
+            name, deltas = parse_scheme_string(scheme)
+        else:
+            name, deltas = decompose_spec(resolve_spec(scheme))
+        return name, deltas, render_scheme_string(name, deltas)
+
+    def build(self, scheme: SchemeLike, bench_name: str, **overrides):
+        """Instantiate a scheme sized for a benchmark's working set."""
+        spec, _label = self.sized_spec(scheme, bench_name, **overrides)
+        return self._build_spec(spec)
+
+    def _build_spec(self, spec: SchemeSpec):
+        return spec.build(rng=DeterministicRng(self.seed ^ 0xA5A5))
 
     def timing_for(self, frontend) -> OramTimingModel:
         """Timing model matched to a frontend's tree geometry."""
@@ -246,10 +331,25 @@ class SimulationRunner:
 
     # -- experiments ------------------------------------------------------------------
 
-    def result_key(self, scheme: str, bench_name: str, **overrides) -> str:
-        """Result-cache key for one cell under this runner's config."""
+    def result_key(self, scheme: SchemeLike, bench_name: str, **overrides) -> str:
+        """Result-cache key for one cell under this runner's config.
+
+        ``scheme="insecure"`` keys the DRAM baseline (no spec involved);
+        anything else is keyed on the display label plus the
+        benchmark-sized spec's canonical serialization, so every
+        construction knob re-keys automatically — and two spellings of
+        one configuration with different labels (``"PC_X32"`` plus an
+        override vs ``"PC_X32:plb=8KiB"``) occupy distinct entries
+        instead of overwriting each other (``SimResult.scheme`` carries
+        the label, so the label is part of the result's identity).
+        """
+        if scheme == "insecure":
+            canonical = "insecure"
+        else:
+            spec, label = self.sized_spec(scheme, bench_name, **overrides)
+            canonical = f"{label}::{spec.canonical()}"
         return result_key(
-            scheme,
+            canonical,
             bench_name,
             self.seed,
             self.proc,
@@ -257,48 +357,64 @@ class SimulationRunner:
             self.proc_ghz,
             self.misses,
             self._warmup_refs(bench_name),
-            self.plb_capacity_bytes,
-            self.onchip_entries,
-            overrides,
         )
 
-    def _cached_result(self, scheme: str, bench_name: str, **overrides):
-        """Result-cache lookup for one cell (None on miss or no cache)."""
-        if self.result_cache is None:
+    def _load_cached(self, key: str, label: str, bench_name: str):
+        """Result-cache lookup for one cell (None on miss/force/no cache)."""
+        if self.result_cache is None or self.force:
             return None
-        cached = self.result_cache.load(self.result_key(scheme, bench_name, **overrides))
+        cached = self.result_cache.load(key)
         if cached is not None and (cached.scheme, cached.benchmark) == (
-            scheme,
+            label,
             bench_name,
         ):
             return cached
         return None
 
-    def run_one(self, scheme: str, bench_name: str, **overrides) -> SimResult:
-        """Replay one benchmark against one scheme (result-cached)."""
-        cached = self._cached_result(scheme, bench_name, **overrides)
+    def _cell_key(self, spec: SchemeSpec, label: str, bench_name: str) -> str:
+        return result_key(
+            f"{label}::{spec.canonical()}",
+            bench_name,
+            self.seed,
+            self.proc,
+            self.dram,
+            self.proc_ghz,
+            self.misses,
+            self._warmup_refs(bench_name),
+        )
+
+    def _run_cell(self, spec: SchemeSpec, label: str, bench_name: str) -> SimResult:
+        """Replay one benchmark against one sized spec (result-cached)."""
+        key = self._cell_key(spec, label, bench_name)
+        cached = self._load_cached(key, label, bench_name)
         if cached is not None:
             return cached
         trace = self.trace(bench_name)
-        frontend = self.build(scheme, bench_name, **overrides)
+        frontend = self._build_spec(spec)
         timing = self.timing_for(frontend)
         result = replay_trace(
-            frontend, trace, timing, proc=self.proc, scheme=scheme
+            frontend, trace, timing, proc=self.proc, scheme=label
         )
         if self.result_cache is not None:
-            self.result_cache.store(
-                self.result_key(scheme, bench_name, **overrides), result
-            )
+            self.result_cache.store(key, result)
         return result
+
+    def run_one(
+        self, scheme: SchemeLike, bench_name: str, **overrides
+    ) -> SimResult:
+        """Replay one benchmark against one scheme (result-cached)."""
+        spec, label = self.sized_spec(scheme, bench_name, **overrides)
+        return self._run_cell(spec, label, bench_name)
 
     def run_insecure(self, bench_name: str) -> SimResult:
         """Insecure-DRAM baseline for one benchmark (result-cached)."""
-        cached = self._cached_result("insecure", bench_name)
+        key = self.result_key("insecure", bench_name)
+        cached = self._load_cached(key, "insecure", bench_name)
         if cached is not None:
             return cached
         result = insecure_cycles(self.trace(bench_name), self.proc)
         if self.result_cache is not None:
-            self.result_cache.store(self.result_key("insecure", bench_name), result)
+            self.result_cache.store(key, result)
         return result
 
     def _spawn_payload(self) -> Dict[str, object]:
@@ -315,56 +431,73 @@ class SimulationRunner:
             result_cache_dir=(
                 self.result_cache.root if self.result_cache is not None else None
             ),
+            force=self.force,
         )
 
     def run_suite(
         self,
-        schemes: Sequence[str],
+        schemes: Sequence[SchemeLike],
         benchmarks: Optional[Iterable[str]] = None,
         *,
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         **overrides,
     ) -> Dict[str, Dict[str, SimResult]]:
-        """All (scheme, benchmark) pairs; results[scheme][benchmark].
+        """All (scheme, benchmark) pairs; results[scheme label][benchmark].
 
-        Incremental: cells present in the result cache are served without
-        touching traces or frontends; only cold cells are replayed — with
-        ``workers > 1``, fanned out over a process pool (trace generation
-        included). Every task derives its RNG from the runner seed alone
-        (never from pool scheduling), so parallel results are bitwise
-        identical to the serial path. ``progress`` is invoked once per
-        cell, as it completes, with (scheme, benchmark, result, cached).
+        ``schemes`` entries may be registered names, spec strings, or
+        SchemeSpec values; the output is keyed by each scheme's normalized
+        label (duplicates collapse to one row). Incremental: cells present
+        in the result cache are served without touching traces or
+        frontends; only cold cells are replayed — with ``workers > 1``,
+        fanned out over a process pool (trace generation included). Every
+        task derives its RNG from the runner seed alone (never from pool
+        scheduling), so parallel results are bitwise identical to the
+        serial path. ``progress`` is invoked once per cell, as it
+        completes, with (scheme label, benchmark, result, cached).
         """
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
         if workers is None:
             workers = default_workers()
-        out: Dict[str, Dict[str, SimResult]] = {scheme: {} for scheme in schemes}
-        cold: List[tuple] = []
+        # One sized spec per (scheme row, benchmark) cell; rows keyed by
+        # normalized label, first occurrence wins.
+        rows: Dict[str, Dict[str, SchemeSpec]] = {}
         for scheme in schemes:
-            for name in names:
-                cached = self._cached_result(scheme, name, **overrides)
+            _name, _deltas, label = self._resolve(scheme)
+            if label in rows:
+                continue
+            rows[label] = {
+                name: self.sized_spec(scheme, name, **overrides)[0]
+                for name in names
+            }
+        out: Dict[str, Dict[str, SimResult]] = {label: {} for label in rows}
+        cold: List[Tuple[str, str, SchemeSpec]] = []
+        for label, cell_specs in rows.items():
+            for name, spec in cell_specs.items():
+                cached = self._load_cached(
+                    self._cell_key(spec, label, name), label, name
+                )
                 if cached is not None:
-                    out[scheme][name] = cached
+                    out[label][name] = cached
                     if progress is not None:
-                        progress(scheme, name, cached, True)
+                        progress(label, name, cached, True)
                 else:
-                    cold.append((scheme, name))
+                    cold.append((label, name, spec))
         if cold:
-            self._ensure_traces([name for _scheme, name in cold], workers)
+            self._ensure_traces([name for _label, name, _spec in cold], workers)
         if cold and (workers <= 1 or len(cold) < 2):
-            for scheme, name in cold:
-                result = self.run_one(scheme, name, **overrides)
-                out[scheme][name] = result
+            for label, name, spec in cold:
+                result = self._run_cell(spec, label, name)
+                out[label][name] = result
                 if progress is not None:
-                    progress(scheme, name, result, False)
+                    progress(label, name, result, False)
         elif cold:
             # Ship the packed traces to every worker so no process ever
             # re-simulates one; workers persist results to the shared
             # on-disk result cache themselves.
             packed_traces = {
                 name: self._traces[name].to_bytes()
-                for name in dict.fromkeys(name for _scheme, name in cold)
+                for name in dict.fromkeys(name for _label, name, _spec in cold)
             }
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(cold)),
@@ -372,17 +505,17 @@ class SimulationRunner:
                 initargs=(self._spawn_payload(), packed_traces),
             ) as pool:
                 futures = [
-                    pool.submit(_worker_run, scheme, name, overrides)
-                    for scheme, name in cold
+                    pool.submit(_worker_cell, label, name, spec)
+                    for label, name, spec in cold
                 ]
                 for future in as_completed(futures):
-                    scheme, name, result = future.result()
-                    out[scheme][name] = result
+                    label, name, result = future.result()
+                    out[label][name] = result
                     if progress is not None:
-                        progress(scheme, name, result, False)
+                        progress(label, name, result, False)
         # Restore submission order (dicts preserve insertion order).
         return {
-            scheme: {name: out[scheme][name] for name in names} for scheme in schemes
+            label: {name: out[label][name] for name in names} for label in rows
         }
 
     def baselines(
@@ -406,7 +539,9 @@ class SimulationRunner:
         out: Dict[str, SimResult] = {}
         cold: List[str] = []
         for name in names:
-            cached = self._cached_result("insecure", name)
+            cached = self._load_cached(
+                self.result_key("insecure", name), "insecure", name
+            )
             if cached is not None:
                 out[name] = cached
                 if progress is not None:
@@ -439,10 +574,15 @@ def _worker_init(
     }
 
 
-def _worker_run(scheme: str, bench_name: str, overrides: Dict[str, object]):
-    """Execute one (scheme, benchmark) cell in the worker's runner."""
+def _worker_cell(label: str, bench_name: str, spec: SchemeSpec):
+    """Execute one sized (spec, benchmark) cell in the worker's runner.
+
+    The parent ships the fully-sized spec, so the worker neither re-sizes
+    nor consults the scheme registry — custom registered schemes work
+    without re-registration in the pool.
+    """
     assert _WORKER_RUNNER is not None, "worker pool not initialised"
-    return scheme, bench_name, _WORKER_RUNNER.run_one(scheme, bench_name, **overrides)
+    return label, bench_name, _WORKER_RUNNER._run_cell(spec, label, bench_name)
 
 
 def _worker_trace(bench_name: str):

@@ -1,0 +1,276 @@
+"""Parameter-grid sweeps over declarative scheme specs.
+
+A :class:`SweepSpec` names base schemes (registry names, spec strings, or
+:class:`~repro.spec.SchemeSpec` values), a grid of spec-field axes, and a
+benchmark list; :func:`run_sweep` expands the cartesian product into
+sized ``SchemeSpec`` points and drives them through
+:meth:`~repro.sim.runner.SimulationRunner.run_suite` — so sweeps inherit
+the whole experiment engine for free: on-disk trace/result caching
+(warm-cache sweeps replay nothing), worker-pool fan-out bitwise identical
+to serial, and per-cell progress streaming.
+
+The report is plain data (JSON-safe), deterministic in content *and*
+order regardless of worker count or cache temperature::
+
+    from repro.sim.sweep import SweepSpec, run_sweep
+
+    sweep = SweepSpec.from_args(
+        schemes=["PC_X32", "PIC_X32"],
+        grid={"plb_capacity_bytes": ["4KiB", "8KiB", "16KiB"]},
+        benchmarks=["gob", "mcf"],
+    )
+    report = run_sweep(sweep, workers=8)
+
+CLI: ``python -m repro sweep --scheme PC_X32 --grid plb=4KiB,8KiB ...``
+prints the slowdown table and writes the JSON report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import SpecError
+from repro.sim.metrics import SimResult
+from repro.sim.runner import ProgressCallback, SchemeLike, SimulationRunner
+from repro.spec import (
+    SchemeSpec,
+    decompose_spec,
+    get_spec,
+    parse_field_value,
+    parse_scheme_string,
+    render_scheme_string,
+    resolve_field,
+    resolve_spec,
+)
+from repro.utils.stats import geometric_mean
+from repro.workloads.spec import SPEC_BENCHMARKS, benchmark_names
+
+
+def parse_grid_axis(text: str) -> Tuple[str, Tuple[object, ...]]:
+    """Parse one ``--grid`` argument: ``"plb=4KiB,8KiB"`` -> axis tuple.
+
+    The key accepts full spec field names or the mini-language aliases;
+    values parse by the field's type (sizes, bools, ``none``).
+    """
+    if "=" not in text:
+        raise SpecError(
+            f"grid axis {text!r} is not of the form field=value[,value...]"
+        )
+    key, _, rest = text.partition("=")
+    field_name = resolve_field(key)
+    values = tuple(
+        parse_field_value(field_name, item)
+        for item in rest.split(",")
+        if item.strip()
+    )
+    if not values:
+        raise SpecError(f"grid axis {text!r} lists no values")
+    if len(set(values)) != len(values):
+        raise SpecError(f"grid axis {text!r} repeats a value")
+    return field_name, values
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: base schemes x a grid of spec-field axes."""
+
+    schemes: Tuple[SchemeLike, ...]
+    grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    benchmarks: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.schemes:
+            raise SpecError("a sweep needs at least one base scheme")
+        seen = set()
+        for field_name, values in self.grid:
+            field_name_resolved = resolve_field(field_name)
+            if field_name_resolved != field_name:
+                raise SpecError(
+                    f"grid axes use full field names; got {field_name!r} "
+                    f"(did you mean {field_name_resolved!r}?)"
+                )
+            if field_name in seen:
+                raise SpecError(f"grid axis {field_name!r} appears twice")
+            seen.add(field_name)
+            if not values:
+                raise SpecError(f"grid axis {field_name!r} lists no values")
+        # Fail fast on unknown schemes/benchmarks at construction time.
+        for scheme in self.schemes:
+            resolve_spec(scheme)
+        for name in self.benchmarks:
+            if name not in SPEC_BENCHMARKS:
+                raise SpecError(
+                    f"unknown benchmark {name!r}; "
+                    f"available: {sorted(SPEC_BENCHMARKS)}"
+                )
+
+    @classmethod
+    def from_args(
+        cls,
+        schemes: Sequence[SchemeLike],
+        grid: Union[Mapping[str, Iterable[object]], Iterable[str], None] = None,
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> "SweepSpec":
+        """Build from CLI-ish inputs.
+
+        ``grid`` is either a mapping ``{field: values}`` (field names or
+        aliases; values raw or mini-language strings) or an iterable of
+        ``"field=v1,v2"`` axis strings.
+        """
+        axes: List[Tuple[str, Tuple[object, ...]]] = []
+        if grid is None:
+            pass
+        elif isinstance(grid, Mapping):
+            for key, values in grid.items():
+                field_name = resolve_field(key)
+                parsed = tuple(
+                    parse_field_value(field_name, value)
+                    if isinstance(value, str)
+                    else value
+                    for value in values
+                )
+                axes.append((field_name, parsed))
+        else:
+            axes = [parse_grid_axis(item) for item in grid]
+        return cls(
+            schemes=tuple(schemes),
+            grid=tuple(axes),
+            benchmarks=tuple(benchmarks) if benchmarks is not None else (),
+        )
+
+    def points(self) -> List[Tuple[str, SchemeSpec]]:
+        """Expanded (label, spec) grid points, first occurrence deduped.
+
+        Point order is deterministic: base schemes in declaration order,
+        then the cartesian product with the *last* axis varying fastest —
+        so serial and parallel sweeps report cells identically.
+
+        Labels carry every grid delta *explicitly* — a combo value that
+        happens to equal the registry default still renders (and, fed back
+        through the runner's string path, still pins that field against
+        runner sizing), so two axis values never collapse into one row.
+        """
+        fields = [field_name for field_name, _values in self.grid]
+        value_axes = [values for _field_name, values in self.grid]
+        out: List[Tuple[str, SchemeSpec]] = []
+        seen = set()
+        for scheme in self.schemes:
+            if isinstance(scheme, str):
+                base_name, base_deltas = parse_scheme_string(scheme)
+            else:
+                base_name, base_deltas = decompose_spec(resolve_spec(scheme))
+            for combo in itertools.product(*value_axes):
+                deltas = dict(base_deltas)
+                deltas.update(zip(fields, combo))
+                label = render_scheme_string(base_name, deltas)
+                if label in seen:
+                    continue
+                seen.add(label)
+                out.append((label, get_spec(base_name).with_(**deltas)))
+        return out
+
+    def bench_names(self) -> List[str]:
+        """Benchmarks to sweep (all SPEC stand-ins when unspecified)."""
+        return list(self.benchmarks) if self.benchmarks else benchmark_names()
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    runner: Optional[SimulationRunner] = None,
+    *,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    include_baselines: bool = True,
+) -> Dict[str, object]:
+    """Execute a sweep; returns a deterministic, JSON-safe report.
+
+    ``report["cells"]`` holds one entry per (grid point, benchmark) with
+    the point's full spec, the serialized :class:`SimResult`, and (when
+    ``include_baselines``) the slowdown vs the insecure-DRAM baseline.
+    Cells are ordered (points, then benchmarks) regardless of worker
+    scheduling, and results are bitwise identical serial vs parallel and
+    warm-cache vs cold — the experiment engine's core guarantee.
+    """
+    if runner is None:
+        runner = SimulationRunner()
+    names = sweep.bench_names()
+    points = sweep.points()
+    # Feed the runner *labels*, not spec values: the string path preserves
+    # every explicit grid delta (even one equal to a registry default)
+    # against the runner's per-benchmark sizing.
+    results = runner.run_suite(
+        [label for label, _spec in points],
+        names,
+        workers=workers,
+        progress=progress,
+    )
+    baselines: Dict[str, SimResult] = {}
+    if include_baselines:
+        baselines = runner.baselines(names, workers=workers, progress=progress)
+    cells: List[Dict[str, object]] = []
+    for label, spec in points:
+        for name in names:
+            result = results[label][name]
+            cell: Dict[str, object] = {
+                "scheme": label,
+                "benchmark": name,
+                "spec": spec.to_dict(),
+                "result": dataclasses.asdict(result),
+            }
+            if include_baselines:
+                cell["slowdown"] = result.cycles / baselines[name].cycles
+            cells.append(cell)
+    import repro
+
+    return {
+        "kind": "sweep",
+        "version": getattr(repro, "__version__", "0"),
+        "schemes": [label for label, _spec in points],
+        "grid": {field_name: list(values) for field_name, values in sweep.grid},
+        "benchmarks": names,
+        "baselines": {
+            name: dataclasses.asdict(result) for name, result in baselines.items()
+        },
+        "cells": cells,
+    }
+
+
+def sweep_table(report: Mapping[str, object]) -> str:
+    """Render a sweep report as an aligned text table.
+
+    One row per grid point; cells are slowdowns vs insecure when the
+    report carries baselines, raw megacycles otherwise.
+    """
+    names: List[str] = list(report["benchmarks"])  # type: ignore[arg-type]
+    have_baselines = bool(report.get("baselines"))
+    table: Dict[str, Dict[str, float]] = {}
+    for cell in report["cells"]:  # type: ignore[union-attr]
+        label = cell["scheme"]
+        value = (
+            cell["slowdown"]
+            if have_baselines
+            else cell["result"]["cycles"] / 1e6
+        )
+        table.setdefault(label, {})[cell["benchmark"]] = value
+    for row in table.values():
+        row["geomean"] = geometric_mean(
+            [value for key, value in row.items() if key != "geomean"]
+        )
+    title = (
+        "sweep: slowdown vs insecure"
+        if have_baselines
+        else "sweep: megacycles per benchmark"
+    )
+    # Rows are keyed by full spec labels, which outgrow format_table's
+    # 10-column scheme field; pad the header ourselves.
+    width = max((len(label) for label in table), default=10)
+    lines = [title]
+    header = f"{'scheme':>{width}} " + " ".join(f"{b:>7}" for b in names)
+    lines.append(header + f" {'geomean':>8}")
+    for label, row in table.items():
+        cells = " ".join(f"{row.get(b, float('nan')):7.2f}" for b in names)
+        lines.append(f"{label:>{width}} " + cells + f" {row['geomean']:8.2f}")
+    return "\n".join(lines)

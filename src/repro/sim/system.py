@@ -77,6 +77,12 @@ def replay_trace(
     cycles = base_cycles(trace, proc)
     data_bytes0 = frontend.data_bytes_moved
     posmap_bytes0 = frontend.posmap_bytes_moved
+    # PRF leaf-derivation accounting (PLB/unified frontends own a crypto
+    # suite; the recursive and linear baselines derive no PRF leaves).
+    # Deltas, because a caller may hand the same suite to several replays.
+    crypto = getattr(frontend, "crypto", None)
+    prf_calls0 = crypto.prf.call_count if crypto is not None else 0
+    prf_hits0 = crypto.prf.cache_hits if crypto is not None else 0
 
     # The latency model is a pure function of the per-event tree-access
     # count, which takes only a handful of distinct values; memoising it
@@ -114,4 +120,8 @@ def replay_trace(
         posmap_bytes=frontend.posmap_bytes_moved - posmap_bytes0,
         plb_hit_rate=plb_hit_rate,
         mpki=trace.mpki,
+        prf_calls=(crypto.prf.call_count - prf_calls0) if crypto is not None else 0,
+        prf_cache_hits=(
+            (crypto.prf.cache_hits - prf_hits0) if crypto is not None else 0
+        ),
     )

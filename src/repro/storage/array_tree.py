@@ -143,3 +143,16 @@ def make_storage_factory(kind: Optional[str]):
         return make_storage(resolved, config, observer=view)
 
     return factory
+
+
+def storage_factory_for(kind: Optional[str]):
+    """Map a spec/preset storage kind onto a ``storage_factory`` (or None).
+
+    ``None``/``"default"`` resolve from ``REPRO_STORAGE``; ``"object"`` and
+    ``"tree"`` return None so a frontend keeps its built-in default (plain
+    :class:`TreeStorage`) — byte-for-byte the historical construction path.
+    """
+    resolved = kind if kind not in (None, "default") else default_storage_backend()
+    if resolved in ("object", "tree"):
+        return None
+    return make_storage_factory(resolved)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import EXPERIMENTS, main
 from repro.sim.result_cache import RESULT_CACHE_ENV
-from repro.sim.runner import WORKERS_ENV
+from repro.sim.runner import FORCE_ENV, WORKERS_ENV
 from repro.sim.trace_cache import CACHE_ENV
 from repro.storage.array_tree import STORAGE_ENV
 
@@ -53,7 +53,7 @@ class TestCliFlags:
         would otherwise leak into the rest of the session (e.g.
         ``REPRO_WORKERS=4`` flipping later suites into pool mode).
         """
-        keys = (WORKERS_ENV, CACHE_ENV, RESULT_CACHE_ENV, STORAGE_ENV)
+        keys = (WORKERS_ENV, CACHE_ENV, RESULT_CACHE_ENV, STORAGE_ENV, FORCE_ENV)
         saved = {key: os.environ.get(key) for key in keys}
         yield
         for key, value in saved.items():
@@ -118,6 +118,11 @@ class TestCliFlags:
         assert main(["--storage", "quantum", "table2"]) == 2
         assert "object" in capsys.readouterr().err
 
+    def test_force_flag_sets_env(self, monkeypatch):
+        monkeypatch.delenv(FORCE_ENV, raising=False)
+        assert main(["--force", "table2"]) == 0
+        assert os.environ.get(FORCE_ENV) == "1"
+
     def test_unknown_option_rejected(self, capsys):
         assert main(["--frobnicate", "table2"]) == 2
         assert "unknown option" in capsys.readouterr().err
@@ -127,4 +132,86 @@ class TestCliFlags:
         out = capsys.readouterr().out
         assert "--workers" in out and "--no-trace-cache" in out
         assert "--no-result-cache" in out and "--storage" in out
-        assert "bench" in out
+        assert "--force" in out and "--grid" in out
+        assert "bench" in out and "sweep" in out
+
+
+class TestCliSweep:
+    @pytest.fixture(autouse=True)
+    def _isolated_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "traces"))
+        monkeypatch.setenv(RESULT_CACHE_ENV, str(tmp_path / "results"))
+        # The CLI writes flags straight into os.environ (monkeypatch can't
+        # see that); restore them so e.g. --workers can't leak session-wide.
+        keys = (WORKERS_ENV, FORCE_ENV, STORAGE_ENV)
+        saved = {key: os.environ.get(key) for key in keys}
+        yield
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    def test_sweep_smoke_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep",
+            "--scheme", "PC_X32",
+            "--bench", "gob",
+            "--grid", "plb=4KiB,8KiB",
+            "--misses", "120",
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "geomean" in printed and f"wrote {out}" in printed
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        assert report["kind"] == "sweep"
+        assert len(report["cells"]) == 2  # 2 grid points x 1 benchmark
+
+    def test_sweep_spec_string_scheme(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep",
+            "--scheme", "PC_X32:ways=2",
+            "--bench", "gob",
+            "--misses", "120",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "plb_ways=2" in capsys.readouterr().out
+
+    def test_sweep_bad_grid_rejected(self, capsys):
+        assert main(["sweep", "--grid", "frobnication=1,2"]) == 2
+        assert "sweep error" in capsys.readouterr().err
+
+    def test_sweep_unknown_scheme_rejected(self, capsys):
+        assert main(["sweep", "--scheme", "NOPE", "--bench", "gob"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_sweep_unknown_option_rejected(self, capsys):
+        assert main(["sweep", "--frobnicate"]) == 2
+        assert "unknown sweep option" in capsys.readouterr().err
+
+    def test_sweep_after_experiment_is_unknown_experiment(self, capsys):
+        assert main(["fig6", "sweep"]) == 2
+        assert "sweep" in capsys.readouterr().err
+
+    def test_flag_value_named_sweep_not_hijacked(self, tmp_path, capsys):
+        """A cache dir literally called 'sweep' must not trigger the
+        subcommand."""
+        sweep_dir = tmp_path / "sweep"
+        code = main(["--trace-cache", str(sweep_dir), "table2"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_global_flags_before_sweep_accepted(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "--workers", "1", "sweep",
+            "--scheme", "PC_X32", "--bench", "gob",
+            "--misses", "120", "--out", str(out),
+        ])
+        assert code == 0 and out.exists()

@@ -10,7 +10,6 @@ from repro.sim.metrics import SimResult
 from repro.sim.result_cache import (
     RESULT_SCHEMA_VERSION,
     ResultCache,
-    overrides_digest,
     result_key,
 )
 from repro.sim.runner import SimulationRunner
@@ -93,13 +92,6 @@ class TestResultCacheStore:
 
 
 class TestResultKey:
-    def test_overrides_digest_order_independent(self):
-        assert overrides_digest({"a": 1, "b": 2}) == overrides_digest({"b": 2, "a": 1})
-
-    def test_overrides_digest_value_sensitive(self):
-        assert overrides_digest({"a": 1}) != overrides_digest({"a": 2})
-        assert overrides_digest({"a": 1}) != overrides_digest({"a": 1.0})
-
     def test_key_varies_with_overrides(self, tmp_path):
         runner = _runner(tmp_path)
         base = runner.result_key("PC_X32", "gob")
@@ -199,6 +191,65 @@ class TestIncrementalSuite:
             lambda *a, **k: (_ for _ in ()).throw(AssertionError("replayed")),
         )
         assert _runner(tmp_path).run_one("PC_X32", "gob") == first
+
+
+class TestForce:
+    """``force=True`` bypasses cache *loads* without disabling the caches."""
+
+    def test_force_recomputes_on_warm_cache(self, tmp_path, monkeypatch):
+        runner = _runner(tmp_path)
+        first = runner.run_one("PC_X32", "gob")
+        calls = []
+        real = runner_mod.replay_trace
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "replay_trace", counting)
+        forced = _runner(tmp_path, force=True).run_one("PC_X32", "gob")
+        assert calls  # warm cache, yet replayed
+        assert forced == first  # recomputation is bit-identical
+
+    def test_force_still_refreshes_cache_entries(self, tmp_path):
+        runner = _runner(tmp_path)
+        runner.run_one("PC_X32", "gob")
+        forced = _runner(tmp_path, force=True)
+        forced.run_one("PC_X32", "gob")
+        assert forced.result_cache.stores == 1  # refreshed, not disabled
+        assert forced.result_cache.hits == 0  # never loaded
+
+    def test_force_regenerates_trace(self, tmp_path):
+        runner = _runner(tmp_path)
+        runner.trace("gob")
+        forced = _runner(tmp_path, force=True)
+        forced.trace("gob")
+        assert forced.trace_cache.hits == 0
+        assert forced.trace_cache.stores == 1
+
+    def test_force_env_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(runner_mod.FORCE_ENV, "1")
+        assert _runner(tmp_path).force is True
+        monkeypatch.setenv(runner_mod.FORCE_ENV, "0")
+        assert _runner(tmp_path).force is False
+        monkeypatch.delenv(runner_mod.FORCE_ENV)
+        assert _runner(tmp_path).force is False
+        assert _runner(tmp_path, force=True).force is True
+
+    def test_forced_suite_matches_cached_suite(self, tmp_path):
+        runner = _runner(tmp_path)
+        cold = runner.run_suite(["PC_X32"], BENCHES)
+        forced = _runner(tmp_path, force=True).run_suite(["PC_X32"], BENCHES)
+        assert forced == cold
+
+    def test_forced_parallel_suite_matches_serial(self, tmp_path):
+        serial = _runner(tmp_path / "a", force=True).run_suite(
+            ["PC_X32"], BENCHES
+        )
+        parallel = _runner(tmp_path / "b", force=True).run_suite(
+            ["PC_X32"], BENCHES, workers=2
+        )
+        assert parallel == serial
 
 
 class TestBaselines:

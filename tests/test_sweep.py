@@ -1,0 +1,191 @@
+"""Sweep engine: grid expansion, determinism (serial/parallel, warm/cold)."""
+
+import json
+
+import pytest
+
+import repro.sim.runner as runner_mod
+from repro.errors import SpecError
+from repro.sim.runner import SimulationRunner
+from repro.sim.sweep import SweepSpec, parse_grid_axis, run_sweep, sweep_table
+from repro.spec import get_spec
+
+BENCHES = ("gob", "hmmer")
+MISSES = 150
+
+
+def tiny_sweep() -> SweepSpec:
+    """The acceptance grid: PLB capacity x X (via two base schemes)."""
+    return SweepSpec.from_args(
+        schemes=["P_X16", "PC_X32"],
+        grid={"plb_capacity_bytes": ["4KiB", "8KiB"]},
+        benchmarks=BENCHES,
+    )
+
+
+def _runner(tmp_path, **kw) -> SimulationRunner:
+    return SimulationRunner(
+        misses_per_benchmark=MISSES,
+        cache_dir=tmp_path / "traces",
+        result_cache_dir=tmp_path / "results",
+        **kw,
+    )
+
+
+class TestGridParsing:
+    def test_axis_with_alias_and_sizes(self):
+        assert parse_grid_axis("plb=4KiB,8KiB") == (
+            "plb_capacity_bytes", (4096, 8192)
+        )
+
+    def test_axis_rejects_missing_values(self):
+        with pytest.raises(SpecError, match="no values"):
+            parse_grid_axis("plb=")
+
+    def test_axis_rejects_duplicates(self):
+        with pytest.raises(SpecError, match="repeats"):
+            parse_grid_axis("plb=4KiB,4096")
+
+    def test_axis_rejects_unknown_field(self):
+        with pytest.raises(SpecError, match="valid fields"):
+            parse_grid_axis("frobnication=1,2")
+
+    def test_axis_rejects_missing_equals(self):
+        with pytest.raises(SpecError, match="field=value"):
+            parse_grid_axis("plb")
+
+
+class TestSweepSpec:
+    def test_points_cartesian_order(self):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid={"plb_capacity_bytes": [4096, 8192], "plb_ways": [1, 2]},
+        )
+        labels = [label for label, _spec in sweep.points()]
+        # Grid deltas render explicitly even at registry defaults
+        # (plb_ways=1), so every axis value keeps its own row.
+        assert labels == [
+            "PC_X32:plb_capacity_bytes=4096,plb_ways=1",
+            "PC_X32:plb_capacity_bytes=4096,plb_ways=2",
+            "PC_X32:plb_capacity_bytes=8192,plb_ways=1",
+            "PC_X32:plb_capacity_bytes=8192,plb_ways=2",
+        ]
+
+    def test_axis_value_at_registry_default_stays_pinned(self, tmp_path):
+        """A grid value equal to the base's default must not be absorbed
+        into runner sizing: onchip=1024 vs onchip=2048 (the PC_X32
+        default) have to produce two genuinely different rows even though
+        the runner's own sizing default is 1024."""
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid={"onchip": [1024, 2048]},
+            benchmarks=["gob"],
+        )
+        labels = [label for label, _ in sweep.points()]
+        assert labels == [
+            "PC_X32:onchip_entries=1024",
+            "PC_X32:onchip_entries=2048",
+        ]
+        runner = _runner(tmp_path)
+        spec_small, _ = runner.sized_spec(labels[0], "gob")
+        spec_large, _ = runner.sized_spec(labels[1], "gob")
+        assert spec_small.onchip_entries == 1024
+        assert spec_large.onchip_entries == 2048
+        assert spec_small.canonical() != spec_large.canonical()
+
+    def test_unknown_benchmark_fails_at_construction(self):
+        with pytest.raises(SpecError, match="unknown benchmark"):
+            SweepSpec.from_args(schemes=["PC_X32"], benchmarks=["nope"])
+
+    def test_points_dedupe_identical_labels(self):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32", "PC_X32:plb=64KiB"],  # 64KiB == registry default
+            grid={"plb_capacity_bytes": [4096]},
+        )
+        assert len(sweep.points()) == 1
+
+    def test_empty_grid_yields_base_points(self):
+        sweep = SweepSpec.from_args(schemes=["R_X8", "PC_X32"])
+        assert [label for label, _ in sweep.points()] == ["R_X8", "PC_X32"]
+
+    def test_scheme_objects_accepted(self):
+        spec = get_spec("PIC_X32").with_(storage="array")
+        sweep = SweepSpec.from_args(schemes=[spec])
+        (label, point), = sweep.points()
+        assert point == spec and "storage=array" in label
+
+    def test_needs_a_scheme(self):
+        with pytest.raises(SpecError, match="at least one"):
+            SweepSpec.from_args(schemes=[])
+
+    def test_unknown_scheme_fails_at_construction(self):
+        with pytest.raises(SpecError, match="unknown scheme"):
+            SweepSpec.from_args(schemes=["NOPE"])
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SpecError, match="twice"):
+            SweepSpec(
+                schemes=("PC_X32",),
+                grid=(
+                    ("plb_capacity_bytes", (1024,)),
+                    ("plb_capacity_bytes", (2048,)),
+                ),
+            )
+
+    def test_alias_axis_key_rejected_on_direct_construction(self):
+        with pytest.raises(SpecError, match="full field names"):
+            SweepSpec(schemes=("PC_X32",), grid=(("plb", (1024,)),))
+
+
+class TestRunSweep:
+    def test_report_shape_and_slowdowns(self, tmp_path):
+        report = run_sweep(tiny_sweep(), _runner(tmp_path))
+        assert report["kind"] == "sweep"
+        assert report["benchmarks"] == list(BENCHES)
+        assert len(report["cells"]) == 4 * len(BENCHES)
+        for cell in report["cells"]:
+            assert cell["slowdown"] > 1.0  # ORAM never beats insecure DRAM
+            assert cell["spec"]["plb_capacity_bytes"] in (4096, 8192)
+        assert json.dumps(report)  # JSON-safe throughout
+
+    def test_serial_and_parallel_reports_identical(self, tmp_path):
+        # Distinct result caches so the parallel run really recomputes.
+        serial = run_sweep(tiny_sweep(), _runner(tmp_path / "a"))
+        parallel = run_sweep(tiny_sweep(), _runner(tmp_path / "b"), workers=3)
+        assert serial == parallel
+
+    def test_warm_cache_report_identical_and_replay_free(
+        self, tmp_path, monkeypatch
+    ):
+        cold = run_sweep(tiny_sweep(), _runner(tmp_path))
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("replay_trace called on a warm sweep")
+
+        monkeypatch.setattr(runner_mod, "replay_trace", boom)
+        warm = run_sweep(tiny_sweep(), _runner(tmp_path))
+        assert warm == cold
+
+    def test_progress_streams_every_cell(self, tmp_path):
+        seen = []
+        run_sweep(
+            tiny_sweep(),
+            _runner(tmp_path),
+            progress=lambda s, b, r, cached: seen.append((s, b)),
+        )
+        # 4 grid points x 2 benchmarks, plus the 2 insecure baselines.
+        assert len(seen) == 4 * len(BENCHES) + len(BENCHES)
+
+    def test_without_baselines_no_slowdown(self, tmp_path):
+        report = run_sweep(
+            tiny_sweep(), _runner(tmp_path), include_baselines=False
+        )
+        assert report["baselines"] == {}
+        assert all("slowdown" not in cell for cell in report["cells"])
+
+    def test_table_renders_all_points(self, tmp_path):
+        report = run_sweep(tiny_sweep(), _runner(tmp_path))
+        text = sweep_table(report)
+        assert "geomean" in text
+        for label in report["schemes"]:
+            assert label in text
