@@ -1,16 +1,117 @@
-"""Active adversary: tampering primitives against encrypted storage.
+"""Active adversary: tampering primitives against untrusted storage.
 
 Implements the attack repertoire the paper's integrity analysis considers:
 bit flips in block data, wholesale replay of stale bucket images
 (freshness violation), and the §6.4 seed-rollback attack that coerces
 one-time-pad reuse under the bucket-seed encryption scheme.
+
+Two tamperers cover the two storage families:
+
+- :class:`Tamperer` attacks ciphertext images of an
+  :class:`~repro.storage.encrypted.EncryptedTreeStorage` (the realistic
+  adversary, who sees only encrypted bytes);
+- :class:`StorageTamperer` attacks *content records* of any plaintext
+  storage model (object, array-geometry, columnar) through the shared
+  ``bucket_records``/``replace_bucket_records`` interface — the
+  storage-representation-agnostic adversary used to prove that PMMAC and
+  Merkle detection behave identically under every block-store layout.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.storage.encrypted import EncryptedTreeStorage
+
+
+class StorageTamperer:
+    """Content-level tampering against any plaintext tree storage.
+
+    Works uniformly on :class:`~repro.storage.tree.TreeStorage`,
+    :class:`~repro.storage.array_tree.ArrayTreeStorage` and
+    :class:`~repro.storage.columnar.ColumnarTreeStorage`: every attack is
+    expressed over canonical ``(addr, leaf, data, mac)`` records, so one
+    test exercises every representation of the tree.
+    """
+
+    def __init__(self, storage):
+        self.storage = storage
+        self._snapshots: Dict[int, List[tuple]] = {}
+
+    # -- location -------------------------------------------------------------
+
+    def find(self, addr: int) -> Optional[Tuple[int, int]]:
+        """(bucket index, slot position) of a block in the tree, or None."""
+        for index in range(self.storage.config.num_buckets):
+            for position, record in enumerate(self.storage.bucket_records(index)):
+                if record[0] == addr:
+                    return index, position
+        return None
+
+    def _edit(self, addr: int, editor) -> bool:
+        """Apply ``editor(record) -> record-or-None`` to a located block.
+
+        Returns False when the block is not currently tree-resident (it
+        may be in the stash); ``None`` from the editor deletes the block.
+        """
+        located = self.find(addr)
+        if located is None:
+            return False
+        index, position = located
+        records = list(self.storage.bucket_records(index))
+        edited = editor(records[position])
+        if edited is None:
+            del records[position]
+        else:
+            records[position] = edited
+        self.storage.replace_bucket_records(index, tuple(records))
+        return True
+
+    # -- attacks --------------------------------------------------------------
+
+    def corrupt_data(self, addr: int, byte_offset: int = 0, bit: int = 0) -> bool:
+        """Flip one bit of a block's stored payload."""
+
+        def editor(record):
+            a, leaf, data, mac = record
+            body = bytearray(data)
+            body[byte_offset] ^= 1 << bit
+            return (a, leaf, bytes(body), mac)
+
+        return self._edit(addr, editor)
+
+    def corrupt_mac(self, addr: int) -> bool:
+        """Flip one bit of a block's stored MAC tag (PMMAC blocks only)."""
+
+        def editor(record):
+            a, leaf, data, mac = record
+            body = bytearray(mac)
+            body[0] ^= 1
+            return (a, leaf, data, bytes(body))
+
+        return self._edit(addr, editor)
+
+    def delete_block(self, addr: int) -> bool:
+        """Erase a block from its bucket (a targeted deletion attack)."""
+        return self._edit(addr, lambda record: None)
+
+    # -- snapshots (replay / freshness attacks) -------------------------------
+
+    def snapshot(self, tag: int = 0) -> None:
+        """Record the content of every bucket under ``tag``."""
+        self._snapshots[tag] = [
+            self.storage.bucket_records(index)
+            for index in range(self.storage.config.num_buckets)
+        ]
+
+    def replay_bucket(self, index: int, tag: int = 0) -> None:
+        """Restore one bucket to its snapshotted content."""
+        self.storage.replace_bucket_records(index, self._snapshots[tag][index])
+
+    def replay_all(self, tag: int = 0) -> None:
+        """Roll the whole tree back to a snapshot (freshness attack)."""
+        for index, records in enumerate(self._snapshots[tag]):
+            self.storage.replace_bucket_records(index, records)
 
 
 class Tamperer:

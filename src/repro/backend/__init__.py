@@ -8,11 +8,29 @@ operation flavours the Frontend needs: ``READ``, ``WRITE``, ``READRMV``
 
 All Frontend schemes in this library (Recursive baseline, PLB, compressed
 PosMap, PMMAC) drive this same Backend unchanged, which is the paper's
-central modularity claim.
+central modularity claim. Two interchangeable implementations exist,
+proven bit-identical by the differential harness and golden digests:
+
+- :class:`PathOramBackend` over bucket-object storages (the original
+  formulation, also required under the encrypted/Merkle storages);
+- :class:`~repro.backend.columnar.ColumnarPathOramBackend` over the
+  columnar slot-arena storage, whose hot loop moves integers instead of
+  Block objects.
+
+:func:`make_backend` picks the matching implementation for a storage.
 """
 
+from repro.backend.columnar import ColumnarPathOramBackend
 from repro.backend.ops import Op
-from repro.backend.path_oram import AccessReceipt, PathOramBackend
-from repro.backend.stash import Stash
+from repro.backend.path_oram import AccessReceipt, PathOramBackend, make_backend
+from repro.backend.stash import ColumnarStash, Stash
 
-__all__ = ["Op", "PathOramBackend", "AccessReceipt", "Stash"]
+__all__ = [
+    "Op",
+    "PathOramBackend",
+    "ColumnarPathOramBackend",
+    "AccessReceipt",
+    "Stash",
+    "ColumnarStash",
+    "make_backend",
+]

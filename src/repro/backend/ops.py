@@ -13,6 +13,10 @@ class Op(enum.Enum):
     Frontend (PLB refill). ``APPEND`` adds a block to the stash without any
     tree access (PLB eviction); the block must not currently exist in the
     ORAM and must carry a valid current leaf (§4.2.2).
+
+    Both Backend implementations (object and columnar) honour the same
+    four flavours with identical observable semantics — the operation
+    enum is the entire Frontend-facing contract.
     """
 
     READ = "read"

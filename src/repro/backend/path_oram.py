@@ -31,6 +31,29 @@ from repro.storage.block import Block
 from repro.utils.rng import DeterministicRng
 
 
+def make_backend(
+    config: OramConfig,
+    storage,
+    rng: DeterministicRng,
+    allow_missing: bool = True,
+):
+    """Backend matched to a storage model.
+
+    A storage advertising ``columnar = True``
+    (:class:`~repro.storage.columnar.ColumnarTreeStorage`) gets the
+    slot-based :class:`~repro.backend.columnar.ColumnarPathOramBackend`;
+    every bucket-object storage (plain, array-geometry, encrypted,
+    Merkle-wrapped) keeps :class:`PathOramBackend`. Frontends construct
+    their backends exclusively through this factory, so ``storage=`` on
+    any preset or spec selects the whole matched pair.
+    """
+    if getattr(storage, "columnar", False):
+        from repro.backend.columnar import ColumnarPathOramBackend
+
+        return ColumnarPathOramBackend(config, storage, rng, allow_missing)
+    return PathOramBackend(config, storage, rng, allow_missing)
+
+
 @dataclass
 class AccessReceipt:
     """What one Backend call did, for timing/bandwidth attribution."""
@@ -289,3 +312,15 @@ class PathOramBackend:
     def stash_occupancy(self) -> int:
         """Current stash size in blocks."""
         return len(self.stash)
+
+    def stash_snapshot(self):
+        """Ordered (addr, leaf, data, mac) image of the stash.
+
+        The differential harness compares this tuple across backend
+        implementations after every access; insertion order is part of
+        the contract (it fixes future eviction grouping order).
+        """
+        return tuple(
+            (b.addr, b.leaf, b.data, b.mac)
+            for b in self.stash.blocks_by_addr.values()
+        )

@@ -16,6 +16,69 @@ from repro.storage.block import Block
 from repro.utils.stats import RunningStats
 
 
+class ColumnarStash:
+    """Slot-addressed stash for the columnar backend (no Block objects).
+
+    Semantically identical to :class:`Stash`, but entries are arena slot
+    ids in a :class:`~repro.storage.columnar.ColumnarTreeStorage`: the
+    hot loop moves integers through ``slots_by_addr`` and blocks are
+    materialised only for introspection (``blocks()``, iteration), so no
+    per-block dict-of-objects round-trips happen on the replay path.
+    """
+
+    def __init__(self, limit: int, store):
+        self.limit = limit
+        self.store = store
+        self._slots: Dict[int, int] = {}
+        #: Occupancy sampled after each eviction (for the stash experiments).
+        self.occupancy_stats = RunningStats()
+
+    def add(self, block: Block) -> int:
+        """Insert a block (copied into the arena); returns its slot."""
+        if block.addr in self._slots:
+            raise ValueError(f"duplicate block {block.addr:#x} in stash")
+        slot = self.store.alloc(block.addr, block.leaf, block.data, block.mac)
+        self._slots[block.addr] = slot
+        return slot
+
+    @property
+    def slots_by_addr(self) -> Dict[int, int]:
+        """Live address->slot mapping for the columnar backend's hot path.
+
+        Same contract as :meth:`Stash.blocks_by_addr`: mutators must
+        preserve the one-slot-per-address invariant themselves.
+        """
+        return self._slots
+
+    def get(self, addr: int) -> Optional[Block]:
+        """Materialised block by address, or None."""
+        slot = self._slots.get(addr)
+        return self.store.block_at_slot(slot) if slot is not None else None
+
+    def contains(self, addr: int) -> bool:
+        """Membership test."""
+        return addr in self._slots
+
+    def blocks(self) -> List[Block]:
+        """Snapshot list of resident blocks (materialised, in stash order)."""
+        return [self.store.block_at_slot(s) for s in self._slots.values()]
+
+    def check_limit(self) -> None:
+        """Record occupancy and raise if the configured limit is exceeded."""
+        n = len(self._slots)
+        self.occupancy_stats.add(n)
+        if n > self.limit:
+            raise StashOverflowError(
+                f"stash occupancy {n} exceeds limit {self.limit}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self):
+        return iter(self.blocks())
+
+
 class Stash:
     """Address-indexed block store with occupancy tracking."""
 

@@ -19,10 +19,13 @@ control the on-disk miss-trace cache (``REPRO_TRACE_CACHE``), and
 ``--result-cache DIR`` / ``--no-result-cache`` the on-disk replay-result
 cache (``REPRO_RESULT_CACHE``) that makes repeated runs incremental.
 ``--force`` (``REPRO_FORCE=1``) recomputes every cell, refreshing — not
-disabling — both caches. ``--storage array`` selects the array-backed
-tree storage (``REPRO_STORAGE``). ``bench`` is the replay-throughput
-microbenchmark (writes ``BENCH_replay.json``); it runs only when named
-explicitly.
+disabling — both caches. ``--storage array|columnar`` selects the
+array-backed or columnar tree storage (``REPRO_STORAGE``). ``bench`` is
+the replay-throughput microbenchmark; it compares the object, array and
+columnar storage backends end-to-end *and* on a raw Path ORAM backend
+micro-loop, writing everything to one ``BENCH_replay.json`` (CI uploads
+the file and fails if columnar regresses below the object baseline). It
+runs only when named explicitly.
 
 The ``sweep`` subcommand expands a parameter grid over scheme specs
 (``--scheme`` accepts registry names or spec strings like
@@ -155,8 +158,11 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
             os.environ[FORCE_ENV] = "1"
         elif arg == "--storage" or arg.startswith("--storage="):
             value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
-            if value not in ("object", "array"):
-                print("--storage requires 'object' or 'array'", file=sys.stderr)
+            if value not in ("object", "array", "columnar"):
+                print(
+                    "--storage requires 'object', 'array' or 'columnar'",
+                    file=sys.stderr,
+                )
                 return None
             os.environ[STORAGE_ENV] = value
         elif arg.startswith("--"):
@@ -257,7 +263,7 @@ def main(argv=None) -> int:
         print("  --result-cache DIR  replay-result cache location")
         print("  --no-result-cache   disable the on-disk result cache")
         print("  --force             recompute (and refresh) every cached cell")
-        print("  --storage KIND      tree storage backend: object | array")
+        print("  --storage KIND      tree storage backend: object | array | columnar")
         print("Sweep options (after 'sweep'):")
         print("  --scheme NAME|SPEC  base scheme (repeatable; spec strings ok)")
         print("  --grid F=V1,V2      grid axis over a spec field (repeatable)")

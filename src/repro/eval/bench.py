@@ -1,17 +1,30 @@
 """Replay-throughput microbenchmark (``python -m repro bench``).
 
 Not a paper figure: this harness measures the *simulator's own* hot path
-— end-to-end ``replay_trace`` accesses/second per scheme and storage
-backend on a fixed, seeded synthetic trace — and writes the numbers to
-``BENCH_replay.json`` so they can be tracked across commits (CI uploads
-the file as an artifact; there is no hard timing gate).
+and writes the numbers to ``BENCH_replay.json`` so they can be tracked
+across commits (CI uploads the file as an artifact and fails the build if
+the columnar backend regresses below the object baseline). Two sections:
 
-The trace and every frontend are deterministically seeded, so run-to-run
-variation is machine noise only; each cell reports the best of
-``repeats`` runs to suppress it.
+- **replay**: end-to-end ``replay_trace`` accesses/second for every
+  scheme x storage backend (object vs array vs columnar in one report —
+  the storage comparison mode) on a fixed, seeded synthetic trace;
+- **backend micro**: the raw Path ORAM backend access loop — no
+  frontend, no PLB, no PRF — per storage backend on a paper-scale tree
+  (2^18 blocks by default), which isolates exactly the layer the
+  columnar block store rewrites. The report's ``comparisons`` block
+  carries the columnar/object throughput ratios;
+  :func:`check_report` turns them into a CI gate.
+
+The trace and every frontend/backend are deterministically seeded, so
+run-to-run variation is machine noise only; each cell reports the best
+of ``repeats`` runs to suppress it.
 
 Environment knobs: ``REPRO_BENCH_EVENTS`` (trace length, default 4000),
-``REPRO_BENCH_REPEATS`` (default 3), ``REPRO_BENCH_OUT`` (output path).
+``REPRO_BENCH_REPEATS`` (default 3), ``REPRO_BENCH_STORAGES``
+(comma-separated subset of ``object,array,columnar``),
+``REPRO_BENCH_MICRO_BLOCKS`` / ``_MICRO_ACCESSES`` / ``_MICRO_REPEATS``
+(backend micro scale, defaults 2^18 / 8000 / 1), ``REPRO_BENCH_OUT``
+(output path).
 """
 
 from __future__ import annotations
@@ -21,23 +34,34 @@ import os
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro
+from repro.backend.ops import Op
+from repro.backend.path_oram import make_backend
+from repro.config import OramConfig
 from repro.presets import SCHEMES, build_frontend
 from repro.proc.hierarchy import MissEvent, MissTrace
 from repro.sim.system import replay_trace
 from repro.sim.timing import OramTimingModel
+from repro.storage import make_storage
 from repro.utils.rng import DeterministicRng
+from repro.utils.stats import geometric_mean
 
 #: Tree size for the benchmark frontends (2^12 data blocks).
 BENCH_BLOCKS = 2**12
 
-#: Storage backends measured for every scheme.
-BENCH_STORAGES = ("object", "array")
+#: Storage backends measured for every scheme (and in the backend micro).
+BENCH_STORAGES = ("object", "array", "columnar")
 
 DEFAULT_EVENTS = 4000
 DEFAULT_REPEATS = 3
+
+#: Backend-micro defaults: a paper-scale tree (the columnar layout's
+#: design point — the ~0.5 us/block object floor this store removes).
+DEFAULT_MICRO_BLOCKS = 2**18
+DEFAULT_MICRO_ACCESSES = 8000
+DEFAULT_MICRO_REPEATS = 1
 
 
 def _env_int(name: str, default: int) -> int:
@@ -45,6 +69,17 @@ def _env_int(name: str, default: int) -> int:
         return max(int(os.environ.get(name, "")), 1)
     except ValueError:
         return default
+
+
+def bench_storages() -> Tuple[str, ...]:
+    """Storage backends to compare (``REPRO_BENCH_STORAGES`` subset)."""
+    raw = os.environ.get("REPRO_BENCH_STORAGES", "").strip()
+    if not raw:
+        return BENCH_STORAGES
+    chosen = tuple(
+        kind.strip() for kind in raw.split(",") if kind.strip() in BENCH_STORAGES
+    )
+    return chosen if chosen else BENCH_STORAGES
 
 
 def bench_trace(events: int) -> MissTrace:
@@ -94,20 +129,86 @@ def bench_cell(scheme: str, storage: str, trace: MissTrace, repeats: int) -> Dic
     }
 
 
+def backend_micro_cell(
+    storage: str, num_blocks: int, accesses: int, repeats: int
+) -> Dict:
+    """Raw Path ORAM backend throughput for one storage backend.
+
+    Seeds a backend over a ``num_blocks`` tree, warms it by touching half
+    the address space (steady-state occupancy), then times ``accesses``
+    uniform READs with fresh uniform remaps — the §3.1 access loop and
+    nothing else.
+    """
+    config = OramConfig(num_blocks=num_blocks, block_bytes=64)
+    best = float("inf")
+    for _ in range(repeats):
+        backend = make_backend(
+            config, make_storage(storage, config), DeterministicRng(11)
+        )
+        rng = DeterministicRng(13)
+        posmap = {a: rng.random_leaf(config.levels) for a in range(num_blocks)}
+        for addr in range(num_blocks // 2):
+            new_leaf = rng.random_leaf(config.levels)
+            backend.access(Op.READ, addr, posmap[addr], new_leaf)
+            posmap[addr] = new_leaf
+        plan = [
+            (rng.randrange(num_blocks), rng.random_leaf(config.levels))
+            for _ in range(accesses)
+        ]
+        access = backend.access
+        start = time.perf_counter()
+        for addr, new_leaf in plan:
+            access(Op.READ, addr, posmap[addr], new_leaf)
+            posmap[addr] = new_leaf
+        best = min(best, time.perf_counter() - start)
+    return {
+        "storage": storage,
+        "num_blocks": num_blocks,
+        "levels": config.levels,
+        "accesses": accesses,
+        "seconds": best,
+        "accesses_per_sec": accesses / best if best > 0 else 0.0,
+    }
+
+
+def _ratio(cells: Sequence[Dict], storage: str, baseline: str) -> Optional[float]:
+    """storage/baseline accesses-per-second ratio over matching cells.
+
+    Replay cells pair per scheme (geomean across schemes); micro cells
+    pair directly. None when either side is missing.
+    """
+    def rate(cell):
+        return cell["accesses_per_sec"]
+
+    by_key: Dict[object, Dict[str, float]] = {}
+    for cell in cells:
+        key = cell.get("scheme", "micro")
+        by_key.setdefault(key, {})[cell["storage"]] = rate(cell)
+    ratios = [
+        rates[storage] / rates[baseline]
+        for rates in by_key.values()
+        if storage in rates and rates.get(baseline)
+    ]
+    if not ratios:
+        return None
+    return geometric_mean(ratios)
+
+
 def run_bench(
     events: Optional[int] = None,
     repeats: Optional[int] = None,
     out_path: Optional[str] = None,
 ) -> Dict:
-    """Run the full scheme x storage matrix; returns the report dict."""
+    """Run replay + backend-micro matrices; returns the report dict."""
     events = events if events is not None else _env_int("REPRO_BENCH_EVENTS", DEFAULT_EVENTS)
     repeats = repeats if repeats is not None else _env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS)
+    storages = bench_storages()
     trace = bench_trace(events)
     cells: List[Dict] = []
     print(f"replay microbenchmark: {events} events, best of {repeats}")
     print(f"{'scheme':>10} {'storage':>8} {'acc/s':>10} {'plb%':>6} {'prf$%':>6}")
     for scheme in SCHEMES:
-        for storage in BENCH_STORAGES:
+        for storage in storages:
             cell = bench_cell(scheme, storage, trace, repeats)
             cells.append(cell)
             print(
@@ -115,6 +216,33 @@ def run_bench(
                 f" {100 * cell['plb_hit_rate']:>6.1f}"
                 f" {100 * cell['prf_cache_hit_rate']:>6.1f}"
             )
+
+    micro_blocks = _env_int("REPRO_BENCH_MICRO_BLOCKS", DEFAULT_MICRO_BLOCKS)
+    micro_accesses = _env_int("REPRO_BENCH_MICRO_ACCESSES", DEFAULT_MICRO_ACCESSES)
+    micro_repeats = _env_int("REPRO_BENCH_MICRO_REPEATS", DEFAULT_MICRO_REPEATS)
+    micro_cells: List[Dict] = []
+    print(
+        f"\nPath ORAM backend micro: 2^{micro_blocks.bit_length() - 1} blocks, "
+        f"{micro_accesses} accesses, best of {micro_repeats}"
+    )
+    print(f"{'storage':>10} {'acc/s':>10}")
+    for storage in storages:
+        cell = backend_micro_cell(
+            storage, micro_blocks, micro_accesses, micro_repeats
+        )
+        micro_cells.append(cell)
+        print(f"{storage:>10} {cell['accesses_per_sec']:>10.0f}")
+
+    comparisons = {
+        "columnar_vs_object_backend": _ratio(micro_cells, "columnar", "object"),
+        "array_vs_object_backend": _ratio(micro_cells, "array", "object"),
+        "columnar_vs_object_replay_geomean": _ratio(cells, "columnar", "object"),
+        "array_vs_object_replay_geomean": _ratio(cells, "array", "object"),
+    }
+    for name, value in comparisons.items():
+        if value is not None:
+            print(f"{name}: {value:.2f}x")
+
     report = {
         "kind": "replay_throughput",
         "version": getattr(repro, "__version__", "0"),
@@ -123,6 +251,8 @@ def run_bench(
         "events": events,
         "repeats": repeats,
         "results": cells,
+        "backend_micro": micro_cells,
+        "comparisons": comparisons,
     }
     path = out_path if out_path is not None else os.environ.get(
         "REPRO_BENCH_OUT", "BENCH_replay.json"
@@ -131,6 +261,35 @@ def run_bench(
         json.dump(report, fh, indent=2, sort_keys=True)
     print(f"wrote {path}")
     return report
+
+
+def check_report(
+    path: str = "BENCH_replay.json", min_backend_ratio: float = 1.0
+) -> None:
+    """Fail (SystemExit) when columnar regresses below the object baseline.
+
+    The gate is the backend micro ratio — the layer the columnar store
+    owns — with a floor of parity; the measured margin on quiet machines
+    is ~1.3-1.9x at the default 2^18-block scale. CI runs this right
+    after ``python -m repro bench``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    ratio = report.get("comparisons", {}).get("columnar_vs_object_backend")
+    if ratio is None:
+        raise SystemExit(
+            f"{path} carries no columnar-vs-object backend comparison "
+            "(was the bench run with a restricted REPRO_BENCH_STORAGES?)"
+        )
+    if ratio < min_backend_ratio:
+        raise SystemExit(
+            f"columnar backend regressed: {ratio:.2f}x object throughput "
+            f"(floor {min_backend_ratio:.2f}x) — see {path}"
+        )
+    print(
+        f"columnar backend at {ratio:.2f}x object throughput "
+        f"(floor {min_backend_ratio:.2f}x): ok"
+    )
 
 
 def main() -> None:

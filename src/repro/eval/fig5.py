@@ -18,6 +18,22 @@ from repro.workloads.spec import benchmark_names
 CAPACITIES: Tuple[int, ...] = (8 * 1024, 32 * 1024, 64 * 1024, 128 * 1024)
 
 
+def normalise(
+    cycles_by_bench: Dict[str, Dict[int, float]],
+    capacities: Tuple[int, ...] = CAPACITIES,
+) -> Dict[str, Dict[int, float]]:
+    """Normalise per-capacity cycles to the smallest capacity's runtime.
+
+    Shared by the legacy loop below and the saved-sweep path
+    (:func:`repro.eval.sweeps.fig5_table_from_report`), so the two are
+    arithmetically one.
+    """
+    return {
+        bench: {cap: row[cap] / row[capacities[0]] for cap in capacities}
+        for bench, row in cycles_by_bench.items()
+    }
+
+
 def run(
     benchmarks: Optional[Iterable[str]] = None,
     capacities: Tuple[int, ...] = CAPACITIES,
@@ -27,18 +43,20 @@ def run(
     """Normalised runtime per benchmark per PLB capacity.
 
     Returns ``table[benchmark][capacity_bytes] = runtime / runtime_8KB``.
+    The same sweep is available declaratively as
+    :func:`repro.eval.sweeps.fig5_sweep`.
     """
     runner = SimulationRunner(misses_per_benchmark=misses)
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    out: Dict[str, Dict[int, float]] = {}
+    cycles_by_bench: Dict[str, Dict[int, float]] = {}
     for name in names:
-        cycles: Dict[int, float] = {}
-        for capacity in capacities:
-            result = runner.run_one(scheme, name, plb_capacity_bytes=capacity)
-            cycles[capacity] = result.cycles
-        reference = cycles[capacities[0]]
-        out[name] = {cap: c / reference for cap, c in cycles.items()}
-    return out
+        cycles_by_bench[name] = {
+            capacity: runner.run_one(
+                scheme, name, plb_capacity_bytes=capacity
+            ).cycles
+            for capacity in capacities
+        }
+    return normalise(cycles_by_bench, capacities)
 
 
 def main() -> None:

@@ -77,13 +77,21 @@ def run(
     onchip_entries: int = 2**11,
     benchmarks: Optional[Iterable[str]] = None,
     misses: Optional[int] = None,
+    rates: Optional[Dict[str, float]] = None,
 ) -> List[Fig7Bar]:
-    """All Fig. 7 bars (R_X8 analytic; PLB schemes hybrid)."""
+    """All Fig. 7 bars (R_X8 analytic; PLB schemes hybrid).
+
+    ``rates`` injects pre-measured PosMap-accesses-per-data-access rates
+    — e.g. recovered from a saved-sweep report via
+    :func:`repro.eval.sweeps.fig7_rates_from_report` — skipping the
+    in-line measurement entirely.
+    """
     bars: List[Fig7Bar] = []
-    rates = {
-        scheme: measure_posmap_rate(scheme, benchmarks, misses)
-        for scheme in PLB_SCHEMES
-    }
+    if rates is None:
+        rates = {
+            scheme: measure_posmap_rate(scheme, benchmarks, misses)
+            for scheme in PLB_SCHEMES
+        }
     for capacity in capacities:
         num_blocks = capacity // block_bytes
         r = recursion_breakdown(

@@ -18,7 +18,12 @@ from repro.sim.runner import SimulationRunner
 from repro.workloads.spec import benchmark_names
 
 
-def _runner(misses: Optional[int]) -> SimulationRunner:
+def make_runner(misses: Optional[int] = None) -> SimulationRunner:
+    """Runner matching [26]'s platform (4 channels, 2.6 GHz, 128 B lines).
+
+    Public so the saved-sweep path (:mod:`repro.eval.sweeps`) drives the
+    exact same configuration.
+    """
     proc = ProcessorConfig(core_ghz=2.6, line_bytes=128)
     return SimulationRunner(
         proc=proc,
@@ -26,6 +31,10 @@ def _runner(misses: Optional[int]) -> SimulationRunner:
         proc_ghz=2.6,
         misses_per_benchmark=misses,
     )
+
+
+#: Back-compat alias (pre-saved-sweep name).
+_runner = make_runner
 
 
 def run(

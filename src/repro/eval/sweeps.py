@@ -1,0 +1,168 @@
+"""Saved SweepSpecs: the figure sweeps as declarative data.
+
+The fig5 / fig7 / fig8 evaluation modules each hand-roll a loop of
+``run_one`` calls over a parameter grid. This module re-expresses those
+loops as *saved* :class:`~repro.sim.sweep.SweepSpec` values plus pure
+report-to-table converters, so every figure sweep inherits the whole
+experiment engine — worker-pool fan-out, on-disk trace/result caching,
+progress streaming, deterministic JSON reports — with zero bespoke
+orchestration. ``tests/test_eval_sweeps.py`` asserts that each saved
+sweep regenerates exactly the table its legacy eval path produces.
+
+- :func:`fig5_sweep` — PC_X32 across the PLB capacity grid (8..128 KiB);
+  :func:`fig5_table_from_report` normalises cycles to the 8 KiB point.
+- :func:`fig7_sweep` — the four PLB schemes over the locality-spectrum
+  benchmark mix; :func:`fig7_rates_from_report` recovers the measured
+  PosMap-accesses-per-data-access rates that seed the analytic bars.
+- :func:`fig8_sweep` — the [26]-parameter comparison (Z=3, 128-byte
+  blocks for R_X8/PC_X64, 64-byte for PC_X32); needs the matching
+  :func:`fig8_runner`; :func:`fig8_table_from_report` rebuilds the
+  slowdown table keyed by the paper's scheme names.
+
+``SAVED_SWEEPS`` maps figure names to their sweep factories for
+programmatic discovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.eval import fig5 as _fig5
+from repro.eval import fig7 as _fig7
+from repro.sim.runner import SimulationRunner
+from repro.sim.sweep import SweepSpec
+from repro.utils.stats import geometric_mean
+from repro.workloads.spec import benchmark_names
+
+#: Fig. 7's default benchmark mix (spans the locality spectrum).
+FIG7_BENCHMARKS: Tuple[str, ...] = ("hmmer", "gcc", "h264", "libq", "mcf")
+
+#: Fig. 8 scheme rows: (paper name, spec string pinning [26]'s parameters).
+FIG8_SCHEMES: Tuple[Tuple[str, str], ...] = (
+    ("R_X8", "R_X8:block_bytes=128,blocks_per_bucket=3"),
+    ("PC_X64", "PC_X64:block_bytes=128,blocks_per_bucket=3"),
+    ("PC_X32", "PC_X32:block_bytes=64,blocks_per_bucket=3"),
+)
+
+
+# -- Fig. 5: PLB capacity sweep ------------------------------------------------
+
+
+def fig5_sweep(
+    benchmarks: Optional[Iterable[str]] = None,
+    capacities: Tuple[int, ...] = _fig5.CAPACITIES,
+    scheme: str = "PC_X32",
+) -> SweepSpec:
+    """The Fig. 5 design-space sweep as a saved SweepSpec."""
+    return SweepSpec.from_args(
+        schemes=[scheme],
+        grid={"plb_capacity_bytes": list(capacities)},
+        benchmarks=list(benchmarks) if benchmarks is not None else None,
+    )
+
+
+def fig5_table_from_report(
+    report: Mapping[str, object],
+    capacities: Tuple[int, ...] = _fig5.CAPACITIES,
+) -> Dict[str, Dict[int, float]]:
+    """Rebuild fig5's normalised table from a sweep report.
+
+    Same shape as :func:`repro.eval.fig5.run`:
+    ``table[benchmark][capacity_bytes] = cycles / cycles_at_smallest``.
+    """
+    cycles: Dict[str, Dict[int, float]] = {}
+    for cell in report["cells"]:  # type: ignore[index]
+        spec = cell["spec"]
+        cycles.setdefault(cell["benchmark"], {})[spec["plb_capacity_bytes"]] = cell[
+            "result"
+        ]["cycles"]
+    return _fig5.normalise(cycles, capacities)
+
+
+# -- Fig. 7: measured PosMap rates ---------------------------------------------
+
+
+def fig7_sweep(
+    benchmarks: Optional[Iterable[str]] = None,
+) -> SweepSpec:
+    """The Fig. 7 measurement matrix (PLB schemes x locality mix)."""
+    return SweepSpec.from_args(
+        schemes=list(_fig7.PLB_SCHEMES),
+        benchmarks=(
+            list(benchmarks) if benchmarks is not None else list(FIG7_BENCHMARKS)
+        ),
+    )
+
+
+def fig7_rates_from_report(
+    report: Mapping[str, object],
+) -> Dict[str, float]:
+    """PosMap tree accesses per data access, per scheme, from a report.
+
+    Exactly :func:`repro.eval.fig7.measure_posmap_rate`'s arithmetic,
+    applied to the sweep's serialized SimResults.
+    """
+    posmap: Dict[str, int] = {}
+    data: Dict[str, int] = {}
+    for cell in report["cells"]:  # type: ignore[index]
+        scheme = cell["scheme"]
+        result = cell["result"]
+        data[scheme] = data.get(scheme, 0) + result["oram_accesses"]
+        posmap[scheme] = (
+            posmap.get(scheme, 0)
+            + result["tree_accesses"]
+            - result["oram_accesses"]
+        )
+    return {
+        scheme: (posmap[scheme] / data[scheme] if data[scheme] else 0.0)
+        for scheme in data
+    }
+
+
+# -- Fig. 8: [26]-parameter comparison -----------------------------------------
+
+
+def fig8_sweep(benchmarks: Optional[Iterable[str]] = None) -> SweepSpec:
+    """The Fig. 8 scheme matrix as a saved SweepSpec."""
+    return SweepSpec.from_args(
+        schemes=[spec for _name, spec in FIG8_SCHEMES],
+        benchmarks=(
+            list(benchmarks) if benchmarks is not None else benchmark_names()
+        ),
+    )
+
+
+def fig8_runner(misses: Optional[int] = None) -> SimulationRunner:
+    """The runner matching [26]'s platform (4 channels, 2.6 GHz, 128 B)."""
+    from repro.eval.fig8 import make_runner
+
+    return make_runner(misses)
+
+
+def fig8_table_from_report(
+    report: Mapping[str, object],
+) -> Dict[str, Dict[str, float]]:
+    """Rebuild fig8's slowdown table (paper scheme names + geomean rows)."""
+    label_to_name = {
+        spec_string: name for name, spec_string in FIG8_SCHEMES
+    }
+    table: Dict[str, Dict[str, float]] = {}
+    for cell in report["cells"]:  # type: ignore[index]
+        name = label_to_name[cell["scheme"]]
+        table.setdefault(name, {})[cell["benchmark"]] = cell["slowdown"]
+    for row in table.values():
+        row["geomean"] = geometric_mean(list(row.values()))
+    return table
+
+
+#: Saved sweeps by figure name.
+SAVED_SWEEPS = {
+    "fig5": fig5_sweep,
+    "fig7": fig7_sweep,
+    "fig8": fig8_sweep,
+}
+
+
+def saved_sweep_names() -> List[str]:
+    """Names of all saved figure sweeps."""
+    return sorted(SAVED_SWEEPS)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.backend.ops import Op
-from repro.backend.path_oram import PathOramBackend
+from repro.backend.path_oram import PathOramBackend, make_backend
 from repro.config import OramConfig
 from repro.errors import ConfigurationError
 from repro.frontend.base import AccessResult, Frontend
@@ -35,7 +35,7 @@ class LinearFrontend(Frontend):
         self.rng = rng
         if backend is None:
             storage = storage if storage is not None else TreeStorage(config)
-            backend = PathOramBackend(config, storage, rng)
+            backend = make_backend(config, storage, rng)
         self.backend = backend
         self.posmap = OnChipPosMap(
             entries=config.num_blocks,

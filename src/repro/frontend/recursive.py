@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.backend.ops import Op
-from repro.backend.path_oram import PathOramBackend
+from repro.backend.path_oram import PathOramBackend, make_backend
 from repro.config import OramConfig
 from repro.errors import ConfigurationError
 from repro.frontend.addrgen import AddressSpace, levels_needed
@@ -72,7 +72,7 @@ class RecursiveFrontend(Frontend):
             view = observer.for_tree(level) if observer is not None else None
             tree = make_storage(storage_kind, cfg, observer=view)
             self.configs.append(cfg)
-            self.backends.append(PathOramBackend(cfg, tree, self.rng.fork(level)))
+            self.backends.append(make_backend(cfg, tree, self.rng.fork(level)))
             self._touched.append(bytearray((self.space.level_blocks(level) + 7) // 8))
         # A PosMap block at level i stores leaves of tree i-1, so each
         # level's format emits labels sized for the tree *below* it.

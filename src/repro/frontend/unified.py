@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.ops import Op
-from repro.backend.path_oram import PathOramBackend
+from repro.backend.path_oram import make_backend
 from repro.config import OramConfig
 from repro.crypto.suite import CryptoSuite
 from repro.errors import ConfigurationError, IntegrityViolationError
@@ -118,7 +118,7 @@ class PlbFrontend(Frontend):
             storage = TreeStorage(self.config, observer=view)
         else:
             storage = storage_factory(self.config, observer)
-        self.backend = PathOramBackend(self.config, storage, self.rng.fork(0xBACC))
+        self.backend = make_backend(self.config, storage, self.rng.fork(0xBACC))
 
         top = self.space_levels - 1
         self.posmap = OnChipPosMap(

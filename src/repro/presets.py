@@ -21,6 +21,11 @@ bit-identical frontends). New code should prefer specs directly::
 
     oram = get_spec("PIC_X32").with_(plb_capacity_bytes=32 * 1024).build()
     oram = SchemeSpec.from_string("PIC_X32:plb=32KiB,storage=array").build()
+    oram = SchemeSpec.from_string("PC_X32:storage=columnar").build()
+
+Every preset accepts ``storage="object" | "array" | "columnar"`` (or
+inherits ``REPRO_STORAGE``); the columnar kind swaps in the slot-arena
+store *and* its matching columnar Backend as one proven-equivalent pair.
 
 Simulation-scale defaults (N = 2^16 blocks, 8 KB on-chip budget) keep runs
 tractable; every parameter can be overridden for full-scale studies.

@@ -8,8 +8,10 @@ meaningful at simulation scale.
 
 Schemes are addressed declaratively: every run accepts a registered name
 (``"PIC_X32"``), a spec mini-language string
-(``"PIC_X32:plb=32KiB,storage=array"``), or a
-:class:`~repro.spec.SchemeSpec` value. The runner sizes the spec for the
+(``"PIC_X32:plb=32KiB,storage=array"``, ``"P_X16:storage=columnar"``), or
+a :class:`~repro.spec.SchemeSpec` value. Because the result-cache key is
+the sized spec's canonical serialization, every storage backend (object,
+array, columnar) keys its own cells automatically. The runner sizes the spec for the
 benchmark's working set (``num_blocks``, ``block_bytes``,
 ``onchip_entries``, ``plb_capacity_bytes``) *underneath* any explicit
 deltas, builds the frontend via ``spec.build()``, and keys the result

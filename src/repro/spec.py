@@ -47,7 +47,7 @@ FRONTEND_KINDS = ("recursive", "plb", "linear")
 POSMAP_FORMATS = ("uncompressed", "flat", "compressed")
 
 #: Tree storage backends (``default`` defers to ``REPRO_STORAGE``).
-STORAGE_KINDS = ("default", "object", "tree", "array")
+STORAGE_KINDS = ("default", "object", "tree", "array", "columnar")
 
 #: Crypto suites (:class:`~repro.crypto.suite.CryptoSuite` constructors).
 CRYPTO_KINDS = ("fast", "reference")

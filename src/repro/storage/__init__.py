@@ -1,6 +1,6 @@
 """Untrusted external storage: blocks, buckets, and the ORAM tree.
 
-Three storage models share one interface:
+Four storage models share one Backend-facing interface:
 
 - :class:`~repro.storage.tree.TreeStorage` keeps buckets as Python objects
   (no real encryption) and is the fast substrate for performance studies;
@@ -10,11 +10,20 @@ Three storage models share one interface:
   variant: identical semantics, but path geometry and per-leaf caches are
   dense arrays (numpy-vectorised when available). Select it with the
   preset kwarg ``storage="array"`` or ``REPRO_STORAGE=array``.
+- :class:`~repro.storage.columnar.ColumnarTreeStorage` stores the tree as
+  columns over a slot arena (addr/leaf columns + contiguous byte arena)
+  and pairs with the columnar Backend whose eviction loop moves slot ids
+  instead of Block objects. Select with ``storage="columnar"`` or
+  ``REPRO_STORAGE=columnar``; proven bit-identical by the differential
+  harness in ``tests/test_columnar_differential.py``.
 - :class:`~repro.storage.encrypted.EncryptedTreeStorage` serialises buckets
   to bytes and encrypts them with real one-time pads (bucket-seed or
   global-seed scheme), exposing the raw ciphertext to the adversary; it
   backs the privacy/integrity security tests including the §6.4 replay
   attack.
+
+:mod:`repro.storage.snapshot` provides storage-agnostic content snapshots
+and digests used by the equivalence and integrity test layers.
 """
 
 from repro.storage.array_tree import (
@@ -26,7 +35,14 @@ from repro.storage.array_tree import (
 )
 from repro.storage.block import Block, DUMMY_ADDR
 from repro.storage.bucket import Bucket
+from repro.storage.columnar import ColumnarTreeStorage
 from repro.storage.encrypted import EncryptedTreeStorage, EncryptionScheme
+from repro.storage.snapshot import (
+    bucket_records,
+    path_records,
+    tree_digest,
+    tree_records,
+)
 from repro.storage.tree import TreeStorage, path_indices
 
 __all__ = [
@@ -35,6 +51,7 @@ __all__ = [
     "Bucket",
     "TreeStorage",
     "ArrayTreeStorage",
+    "ColumnarTreeStorage",
     "EncryptedTreeStorage",
     "EncryptionScheme",
     "STORAGE_ENV",
@@ -42,4 +59,8 @@ __all__ = [
     "make_storage",
     "make_storage_factory",
     "path_indices",
+    "bucket_records",
+    "path_records",
+    "tree_records",
+    "tree_digest",
 ]

@@ -20,7 +20,9 @@ tests replay full traces over both and require bitwise-equal results.
 
 Selection: pass ``storage="array"`` to the PLB presets (or any
 ``storage_factory`` caller), or set ``REPRO_STORAGE=array`` to make it the
-default for every preset-built frontend.
+default for every preset-built frontend. The :func:`make_storage` registry
+below also dispatches ``"columnar"`` to the slot-arena store of
+:mod:`repro.storage.columnar`.
 """
 
 from __future__ import annotations
@@ -120,13 +122,18 @@ class ArrayTreeStorage(TreeStorage):
 
 
 def make_storage(kind: str, config: OramConfig, observer=None):
-    """Instantiate a storage backend by name (``object`` or ``array``)."""
+    """Instantiate a storage backend by name: object, array, or columnar."""
     if kind in ("object", "tree", "", None):
         return TreeStorage(config, observer=observer)
     if kind == "array":
         return ArrayTreeStorage(config, observer=observer)
+    if kind == "columnar":
+        from repro.storage.columnar import ColumnarTreeStorage
+
+        return ColumnarTreeStorage(config, observer=observer)
     raise ValueError(
-        f"unknown storage backend {kind!r}; choose 'object' or 'array'"
+        f"unknown storage backend {kind!r}; "
+        "choose 'object', 'array' or 'columnar'"
     )
 
 

@@ -140,3 +140,33 @@ class TreeStorage:
     def occupancy(self) -> int:
         """Total real blocks currently stored in the tree."""
         return sum(len(b) for b in self._buckets if b is not None)
+
+    # -- content introspection ----------------------------------------------
+
+    def bucket_records(
+        self, index: int
+    ) -> Tuple[Tuple[int, int, bytes, Optional[bytes]], ...]:
+        """(addr, leaf, data, mac) records of one bucket, in slot order.
+
+        Content-level view shared with the columnar storage so snapshots
+        and digests compare across representations (never-materialised
+        and empty buckets are both the empty tuple).
+        """
+        bucket = self._buckets[index]
+        if bucket is None or not bucket.blocks:
+            return ()
+        return tuple((b.addr, b.leaf, b.data, b.mac) for b in bucket.blocks)
+
+    def replace_bucket_records(self, index: int, records) -> None:
+        """Overwrite one bucket's contents from (addr, leaf, data, mac) rows.
+
+        Tamper/restore hook used by the adversary layer; the columnar
+        storage exposes the same method over its slot arena.
+        """
+        from repro.storage.block import Block
+
+        bucket = self.bucket_at(index)
+        bucket.blocks = [
+            Block(addr, leaf, bytes(data), mac)
+            for addr, leaf, data, mac in records
+        ]

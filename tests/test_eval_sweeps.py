@@ -1,0 +1,93 @@
+"""Saved figure sweeps must regenerate the legacy eval tables exactly.
+
+Each fig5/fig7/fig8 module hand-rolls a loop of ``run_one`` calls; the
+saved :class:`~repro.sim.sweep.SweepSpec` path re-expresses the same
+grid declaratively. These tests run both on small miss budgets and
+require *float-equal* tables — the sweeps are re-expressions, not
+approximations (both paths replay the identical cached traces with
+identically-sized specs, so the arithmetic is bit-for-bit shared).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import fig5, fig7, fig8, sweeps
+from repro.sim.runner import SimulationRunner
+from repro.sim.sweep import run_sweep
+
+MISSES = 400
+
+
+class TestFig5Sweep:
+    def test_saved_sweep_regenerates_legacy_table(self):
+        capacities = (8 * 1024, 32 * 1024)
+        legacy = fig5.run(benchmarks=["gob"], capacities=capacities, misses=MISSES)
+        report = run_sweep(
+            sweeps.fig5_sweep(benchmarks=["gob"], capacities=capacities),
+            SimulationRunner(misses_per_benchmark=MISSES),
+            include_baselines=False,
+        )
+        assert sweeps.fig5_table_from_report(report, capacities) == legacy
+
+    def test_sweep_spec_grid_matches_figure(self):
+        sweep = sweeps.fig5_sweep()
+        assert sweep.grid == (("plb_capacity_bytes", fig5.CAPACITIES),)
+        assert [label for label, _spec in sweep.points()] == [
+            f"PC_X32:plb_capacity_bytes={capacity}"
+            for capacity in fig5.CAPACITIES
+        ]
+
+
+class TestFig7Sweep:
+    def test_rates_from_report_match_inline_measurement(self):
+        names = ["gob"]
+        report = run_sweep(
+            sweeps.fig7_sweep(benchmarks=names),
+            SimulationRunner(misses_per_benchmark=MISSES),
+            include_baselines=False,
+        )
+        from_report = sweeps.fig7_rates_from_report(report)
+        inline = {
+            scheme: fig7.measure_posmap_rate(scheme, names, MISSES)
+            for scheme in fig7.PLB_SCHEMES
+        }
+        assert from_report == inline
+
+    def test_bars_from_injected_rates_match_legacy(self):
+        names = ["gob"]
+        report = run_sweep(
+            sweeps.fig7_sweep(benchmarks=names),
+            SimulationRunner(misses_per_benchmark=MISSES),
+            include_baselines=False,
+        )
+        via_sweep = fig7.run(rates=sweeps.fig7_rates_from_report(report))
+        legacy = fig7.run(benchmarks=names, misses=MISSES)
+        assert via_sweep == legacy
+
+
+class TestFig8Sweep:
+    def test_saved_sweep_regenerates_legacy_slowdowns(self):
+        names = ["gob"]
+        legacy_table, _traffic = fig8.run(benchmarks=names, misses=MISSES)
+        report = run_sweep(
+            sweeps.fig8_sweep(benchmarks=names),
+            sweeps.fig8_runner(MISSES),
+        )
+        table = sweeps.fig8_table_from_report(report)
+        assert table == legacy_table
+
+    def test_runner_matches_paper_platform(self):
+        runner = sweeps.fig8_runner(123)
+        assert runner.proc.line_bytes == 128
+        assert runner.proc.core_ghz == 2.6
+        assert runner.dram.channels == 4
+        assert runner.misses == 123
+
+
+class TestRegistry:
+    def test_saved_sweeps_discoverable(self):
+        assert sweeps.saved_sweep_names() == ["fig5", "fig7", "fig8"]
+        for name in sweeps.saved_sweep_names():
+            sweep = sweeps.SAVED_SWEEPS[name]()
+            assert sweep.points(), name
