@@ -13,6 +13,7 @@ import os
 
 import pytest
 
+from repro.eval.table_cache import FIGURE_CACHE_ENV
 from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
 
@@ -26,10 +27,12 @@ def _hermetic_caches(tmp_path_factory):
     particular must never serve a cell from a previous run.
     """
     previous = {
-        env: os.environ.get(env) for env in (CACHE_ENV, RESULT_CACHE_ENV)
+        env: os.environ.get(env)
+        for env in (CACHE_ENV, RESULT_CACHE_ENV, FIGURE_CACHE_ENV)
     }
     os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("trace-cache"))
     os.environ[RESULT_CACHE_ENV] = str(tmp_path_factory.mktemp("result-cache"))
+    os.environ[FIGURE_CACHE_ENV] = str(tmp_path_factory.mktemp("figure-cache"))
     yield
     for env, value in previous.items():
         if value is None:

@@ -20,19 +20,26 @@ control the on-disk miss-trace cache (``REPRO_TRACE_CACHE``), and
 cache (``REPRO_RESULT_CACHE``) that makes repeated runs incremental.
 ``--force`` (``REPRO_FORCE=1``) recomputes every cell, refreshing — not
 disabling — both caches. ``--storage array|columnar`` selects the
-array-backed or columnar tree storage (``REPRO_STORAGE``). ``bench`` is
-the replay-throughput microbenchmark; it compares the object, array and
-columnar storage backends end-to-end *and* on a raw Path ORAM backend
-micro-loop, writing everything to one ``BENCH_replay.json`` (CI uploads
-the file and fails if columnar regresses below the object baseline). It
-runs only when named explicitly.
+array-backed or columnar tree storage (``REPRO_STORAGE``).
+``--replay scalar`` swaps the batched replay pipeline for the historical
+per-event loop (``REPRO_REPLAY``; bit-identical, performance-only).
+``bench`` is the replay-throughput microbenchmark; it compares the
+object, array and columnar storage backends end-to-end, the batched
+replay kernel against the scalar escape hatch, *and* a raw Path ORAM
+backend micro-loop, writing everything to one ``BENCH_replay.json`` (CI
+uploads the file and fails if columnar regresses below the object
+baseline or batched replay falls below scalar). It runs only when named
+explicitly.
 
 The ``sweep`` subcommand expands a parameter grid over scheme specs
 (``--scheme`` accepts registry names or spec strings like
-``"PIC_X32:plb=32KiB"``; ``--grid field=v1,v2`` adds an axis), prints the
+``"PIC_X32:plb=32KiB"``; ``--grid field=v1,v2`` adds an axis — spec
+fields, or the benchmark parameters ``misses``/``wss``), prints the
 slowdown table, and writes a JSON report (``--out``, default
-``SWEEP.json``). Global flags go *before* ``sweep``; everything after it
-belongs to the subcommand.
+``SWEEP.json``). ``--saved fig5|fig7|fig8`` runs the corresponding saved
+figure sweep from :mod:`repro.eval.sweeps` (fig8 on [26]'s platform
+runner) and defaults the report to ``SWEEP_<figure>.json``. Global flags
+go *before* ``sweep``; everything after it belongs to the subcommand.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from repro.eval import (
     table2,
     table3,
 )
+from repro.sim.replay import REPLAY_ENV, REPLAY_MODES
 from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
 from repro.sim.runner import FORCE_ENV, WORKERS_ENV
@@ -87,7 +95,9 @@ _ORDER = (
 DEFAULT_SWEEP_OUT = "SWEEP.json"
 
 #: Global flags that consume a separate value token (``--flag VALUE``).
-_VALUE_FLAGS = ("--workers", "--trace-cache", "--result-cache", "--storage")
+_VALUE_FLAGS = (
+    "--workers", "--trace-cache", "--result-cache", "--storage", "--replay",
+)
 
 
 def _find_sweep(raw: List[str]) -> Optional[int]:
@@ -165,6 +175,15 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
                 )
                 return None
             os.environ[STORAGE_ENV] = value
+        elif arg == "--replay" or arg.startswith("--replay="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value not in REPLAY_MODES:
+                print(
+                    "--replay requires 'batched' or 'scalar'",
+                    file=sys.stderr,
+                )
+                return None
+            os.environ[REPLAY_ENV] = value
         elif arg.startswith("--"):
             print(f"unknown option {arg}", file=sys.stderr)
             return None
@@ -175,18 +194,29 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
 
 def _sweep_main(args: List[str]) -> int:
     """The ``sweep`` subcommand: grid x schemes x benchmarks -> table+JSON."""
+    from repro.eval.sweeps import SAVED_SWEEPS, fig8_runner, saved_sweep_names
     from repro.sim.runner import SimulationRunner
     from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
 
     schemes: List[str] = []
     benches: List[str] = []
     grid: List[str] = []
-    out = DEFAULT_SWEEP_OUT
+    out: Optional[str] = None
     misses: Optional[int] = None
+    saved: Optional[str] = None
     it = iter(args)
     for arg in it:
         value: Optional[str] = None
-        if arg == "--scheme" or arg.startswith("--scheme="):
+        if arg == "--saved" or arg.startswith("--saved="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value not in SAVED_SWEEPS:
+                print(
+                    f"--saved requires one of: {', '.join(saved_sweep_names())}",
+                    file=sys.stderr,
+                )
+                return 2
+            saved = value
+        elif arg == "--scheme" or arg.startswith("--scheme="):
             value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
             if not value:
                 print("--scheme requires a name or spec string", file=sys.stderr)
@@ -219,13 +249,35 @@ def _sweep_main(args: List[str]) -> int:
         else:
             print(f"unknown sweep option {arg}", file=sys.stderr)
             return 2
-    if not schemes:
+    if saved is not None:
+        if schemes or grid:
+            print(
+                "--saved names a complete figure sweep; it cannot be "
+                "combined with --scheme or --grid",
+                file=sys.stderr,
+            )
+            return 2
+        if out is None:
+            out = f"SWEEP_{saved}.json"
+    elif not schemes:
         schemes = ["PIC_X32"]
+    if out is None:
+        out = DEFAULT_SWEEP_OUT
     try:
-        sweep = SweepSpec.from_args(
-            schemes, grid, benches if benches else None
-        )
-        runner = SimulationRunner(misses_per_benchmark=misses)
+        if saved is not None:
+            sweep = SAVED_SWEEPS[saved](benchmarks=benches if benches else None)
+            # fig8 pins [26]'s platform (4 channels, 2.6 GHz, 128 B lines);
+            # the other figure sweeps run on the paper's default runner.
+            runner = (
+                fig8_runner(misses)
+                if saved == "fig8"
+                else SimulationRunner(misses_per_benchmark=misses)
+            )
+        else:
+            sweep = SweepSpec.from_args(
+                schemes, grid, benches if benches else None
+            )
+            runner = SimulationRunner(misses_per_benchmark=misses)
         report = run_sweep(sweep, runner)
     except ReproError as exc:
         print(f"sweep error: {exc}", file=sys.stderr)
@@ -264,9 +316,12 @@ def main(argv=None) -> int:
         print("  --no-result-cache   disable the on-disk result cache")
         print("  --force             recompute (and refresh) every cached cell")
         print("  --storage KIND      tree storage backend: object | array | columnar")
+        print("  --replay MODE       replay kernel: batched (default) | scalar")
         print("Sweep options (after 'sweep'):")
         print("  --scheme NAME|SPEC  base scheme (repeatable; spec strings ok)")
-        print("  --grid F=V1,V2      grid axis over a spec field (repeatable)")
+        print("  --grid F=V1,V2      grid axis over a spec field, or over the")
+        print("                      benchmark parameters 'misses' / 'wss'")
+        print("  --saved FIGURE      run a saved figure sweep: fig5 | fig7 | fig8")
         print("  --bench NAME        benchmark subset (repeatable)")
         print("  --misses N          per-benchmark LLC miss budget")
         print(f"  --out FILE          JSON report path (default {DEFAULT_SWEEP_OUT})")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.eval.table_cache import cached_figure_table
 from repro.sim.runner import SimulationRunner
 from repro.workloads.spec import benchmark_names
 
@@ -44,19 +45,30 @@ def run(
 
     Returns ``table[benchmark][capacity_bytes] = runtime / runtime_8KB``.
     The same sweep is available declaratively as
-    :func:`repro.eval.sweeps.fig5_sweep`.
+    :func:`repro.eval.sweeps.fig5_sweep`. The assembled table is
+    memoised on disk keyed by every cell's canonical identity
+    (:mod:`repro.eval.table_cache`); ``--force`` refreshes it.
     """
     runner = SimulationRunner(misses_per_benchmark=misses)
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    cycles_by_bench: Dict[str, Dict[int, float]] = {}
-    for name in names:
-        cycles_by_bench[name] = {
-            capacity: runner.run_one(
-                scheme, name, plb_capacity_bytes=capacity
-            ).cycles
-            for capacity in capacities
-        }
-    return normalise(cycles_by_bench, capacities)
+
+    def build() -> Dict[str, Dict[int, float]]:
+        cycles_by_bench: Dict[str, Dict[int, float]] = {}
+        for name in names:
+            cycles_by_bench[name] = {
+                capacity: runner.run_one(
+                    scheme, name, plb_capacity_bytes=capacity
+                ).cycles
+                for capacity in capacities
+            }
+        return normalise(cycles_by_bench, capacities)
+
+    cell_keys = [
+        runner.result_key(scheme, name, plb_capacity_bytes=capacity)
+        for name in names
+        for capacity in capacities
+    ]
+    return cached_figure_table("fig5", runner, cell_keys, build)
 
 
 def main() -> None:

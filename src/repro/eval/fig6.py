@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence
 
+from repro.eval.table_cache import cached_figure_table
 from repro.sim.metrics import format_table, slowdown_table
 from repro.sim.runner import SimulationRunner
 from repro.workloads.spec import benchmark_names
@@ -23,12 +24,27 @@ def run(
     schemes: Sequence[str] = SCHEMES,
     misses: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Slowdown table: ``table[scheme][benchmark]`` plus ``geomean``."""
+    """Slowdown table: ``table[scheme][benchmark]`` plus ``geomean``.
+
+    The assembled table is memoised on disk keyed by every cell's
+    canonical identity — scheme specs, benchmarks, trace parameters and
+    the insecure baselines (:mod:`repro.eval.table_cache`); ``--force``
+    refreshes it.
+    """
     runner = SimulationRunner(misses_per_benchmark=misses)
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    results = runner.run_suite(schemes, names)
-    baselines = runner.baselines(names)
-    return slowdown_table(results, baselines, schemes)
+
+    def build() -> Dict[str, Dict[str, float]]:
+        results = runner.run_suite(schemes, names)
+        baselines = runner.baselines(names)
+        return slowdown_table(results, baselines, schemes)
+
+    cell_keys = [
+        runner.result_key(scheme, name)
+        for scheme in schemes
+        for name in names
+    ] + [runner.result_key("insecure", name) for name in names]
+    return cached_figure_table("fig6", runner, cell_keys, build)
 
 
 def main() -> None:

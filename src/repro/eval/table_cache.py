@@ -1,0 +1,185 @@
+"""Experiment-level memoisation of assembled figure tables.
+
+The result cache makes every *cell* incremental, but a figure run still
+pays the assembly tail — loading dozens of cached cells, normalising and
+aggregating them — on every invocation. This layer memoises the
+*assembled table itself*, keyed by the canonical identity of everything
+that built it: the figure name plus the :meth:`SimulationRunner.result_key
+<repro.sim.runner.SimulationRunner.result_key>` of every cell the figure
+consumes. Those keys already canonicalise the sized scheme specs, the
+benchmark list, and the trace parameters (seed, processor/DRAM config,
+miss budget, warmup), so any knob that could change a cell re-keys the
+table automatically — there is no hand-maintained invalidation list.
+
+``--force`` (``REPRO_FORCE=1``) is *honoured and refreshing*: a forced
+run skips the table load, rebuilds from scratch (the runner's own force
+flag already refreshes the cell caches underneath), and overwrites the
+cached table.
+
+Tables are stored as JSON with a type-preserving encoding (dict keys may
+be ints — fig5's capacity axis — which raw JSON would silently turn into
+strings). Robustness rules mirror the trace/result caches: atomic
+writes, corrupt entries treated as misses and unlinked, an unusable
+directory silently disables the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+#: Environment variable controlling the figure-table cache location.
+#: Unset means the per-user default; a path overrides it;
+#: ``0``/``off``/``none`` disables.
+FIGURE_CACHE_ENV = "REPRO_FIGURE_CACHE"
+
+#: Schema version mixed into every key (bump on encoding changes).
+FIGURE_CACHE_VERSION = 1
+
+_DISABLED_VALUES = {"0", "off", "none", "disable", "disabled"}
+
+
+def default_figure_cache_dir() -> Optional[Path]:
+    """Resolve the cache directory from the environment (None = disabled)."""
+    value = os.environ.get(FIGURE_CACHE_ENV)
+    if value is None:
+        return Path.home() / ".cache" / "repro" / "figures"
+    if value.strip().lower() in _DISABLED_VALUES or not value.strip():
+        return None
+    return Path(value)
+
+
+def figure_key(figure: str, cell_keys: Iterable[str]) -> str:
+    """Digest of a figure's full input identity.
+
+    ``cell_keys`` are the runner result-cache keys of every cell the
+    figure consumes (baselines included), *in assembly order* — row and
+    column order are part of an assembled table's identity, so a
+    reordered scheme list keys a fresh entry rather than serving a
+    differently-ordered cached one.
+    """
+    import repro
+
+    parts = [
+        f"schema={FIGURE_CACHE_VERSION}",
+        f"repro={getattr(repro, '__version__', '0')}",
+        f"figure={figure}",
+    ]
+    parts.extend(cell_keys)
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:40]
+
+
+# -- type-preserving JSON encoding ---------------------------------------------
+#
+# Figure tables are dicts keyed by benchmark names *and* integers (PLB
+# capacities); JSON objects only take string keys, so dicts are encoded
+# as explicit key/value pair lists and decoded back losslessly.
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode(obj):
+    if isinstance(obj, dict):
+        return {"__kv__": [[_encode(k), _encode(v)] for k, v in obj.items()]}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(item) for item in obj]
+    if isinstance(obj, _SCALARS):
+        return obj
+    raise TypeError(f"figure tables cannot carry {type(obj).__name__} values")
+
+
+def _decode(obj):
+    if isinstance(obj, dict):
+        if set(obj) != {"__kv__"}:
+            raise ValueError("corrupt figure-table encoding")
+        return {_decode(k): _decode(v) for k, v in obj["__kv__"]}
+    if isinstance(obj, list):
+        return [_decode(item) for item in obj]
+    return obj
+
+
+class FigureTableCache:
+    """Directory of encoded figure tables keyed by :func:`figure_key`."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        # Hit/miss/store counters for tests and diagnostics.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry location for a key."""
+        return self.root / f"{key}.figure.json"
+
+    def load(self, key: str):
+        """Return the cached table, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            table = _decode(payload)
+        except (OSError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return table
+
+    def store(self, key: str, table) -> bool:
+        """Atomically persist a table; returns False if unusable."""
+        try:
+            payload = json.dumps(_encode(table), sort_keys=False)
+        except TypeError:
+            return False
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(payload, "utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+
+def cached_figure_table(
+    figure: str,
+    runner,
+    cell_keys: Iterable[str],
+    build: Callable[[], object],
+    cache: Optional[FigureTableCache] = None,
+):
+    """Memoise one assembled figure table on disk.
+
+    ``runner.force`` (the ``--force`` / ``REPRO_FORCE`` flag) skips the
+    load and refreshes the stored entry with the rebuilt table; a
+    disabled cache (``REPRO_FIGURE_CACHE=off``) degrades to calling
+    ``build()`` directly.
+    """
+    if cache is None:
+        root = default_figure_cache_dir()
+        cache = FigureTableCache(root) if root is not None else None
+    if cache is None:
+        return build()
+    key = figure_key(figure, cell_keys)
+    if not runner.force:
+        table = cache.load(key)
+        if table is not None:
+            return table
+    table = build()
+    cache.store(key, table)
+    return table

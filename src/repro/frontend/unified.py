@@ -214,6 +214,41 @@ class PlbFrontend(Frontend):
             fanout=self._compressed_fanout,
         )
 
+    # -- batched frontend planning -----------------------------------------------
+
+    def plan_batch(self, addrs: Sequence[int]) -> int:
+        """Pre-resolve (chain, tags) for a run of upcoming accesses.
+
+        The chain and per-level i||a_i tags are pure functions of the
+        address, so a whole batch of future misses can be planned in one
+        pass — every ``space.chain``/``space.tag`` attribute resolution is
+        hoisted out of the loop, repeat-address runs are short-circuited,
+        and already-planned addresses cost one dict probe. ``access``
+        then finds every address hot in the chain cache. The cache bound
+        (and its clear-at-limit policy) is exactly the scalar path's, and
+        the planned entries are bit-for-bit what ``access`` would compute,
+        so planning is invisible to every simulated outcome.
+
+        Returns the number of addresses actually planned (cold entries).
+        """
+        cache = self._chain_cache
+        chain_of = self.space.chain
+        tag = self.space.tag
+        level_range = tuple(range(self.space_levels))
+        planned = 0
+        last = None
+        for addr in addrs:
+            if addr == last or addr in cache:
+                last = addr
+                continue
+            last = addr
+            if len(cache) >= CHAIN_CACHE_LIMIT:
+                cache.clear()
+            chain = chain_of(addr)
+            cache[addr] = (chain, tuple(tag(i, chain[i]) for i in level_range))
+            planned += 1
+        return planned
+
     # -- PMMAC helpers ---------------------------------------------------------------
 
     def _verify(self, block: Block, tagged_addr: int, counter: int) -> None:

@@ -16,10 +16,15 @@ import sys
 import zlib
 from array import array
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.config import ProcessorConfig
 from repro.proc.cache import Cache
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 #: On-disk trace container: magic, format version, flags, name length,
 #: four scalar counters, event count, payload CRC32.
@@ -47,11 +52,55 @@ class MissTrace:
     l1_hits: int = 0
     l2_hits: int = 0
     events: List[MissEvent] = field(default_factory=list)
+    #: Lazily-built columnar view: (events list reference, length,
+    #: line_addr column, is_write column). The list *reference* (not its
+    #: id — CPython's free list recycles addresses, so an id could alias
+    #: a new list after a rebind) plus the length key the cache. Cache
+    #: bookkeeping, not data — excluded from equality and repr.
+    _columns: Optional[Tuple[List[MissEvent], int, object, object]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def llc_misses(self) -> int:
         """Demand misses (excludes eviction writebacks)."""
         return sum(1 for e in self.events if not e.is_write)
+
+    # -- columnar view --------------------------------------------------------
+
+    def columns(self) -> Tuple[object, object]:
+        """Struct-of-arrays view of the event list: (line_addrs, is_write).
+
+        With numpy available the columns are an ``int64`` array and a bool
+        array (the batched replay kernel's native operands); without it
+        they fall back to ``array('q')`` / ``array('b')`` with identical
+        element values. The view is lazily materialised from ``events``
+        and cached; rebinding ``events`` or changing its length
+        invalidates the cache (in-place same-length element mutation does
+        not — mutate via append/rebind, as every producer in this repo
+        does).
+        """
+        events = self.events
+        n = len(events)
+        cached = self._columns
+        if cached is not None and cached[0] is events and cached[1] == n:
+            return cached[2], cached[3]
+        if _np is not None:
+            line_addrs = _np.fromiter(
+                (e.line_addr for e in events), dtype=_np.int64, count=n
+            )
+            is_write = _np.fromiter(
+                (e.is_write for e in events), dtype=_np.bool_, count=n
+            )
+        else:
+            line_addrs = array("q", (e.line_addr for e in events))
+            is_write = array("b", (1 if e.is_write else 0 for e in events))
+        self._columns = (events, n, line_addrs, is_write)
+        return line_addrs, is_write
+
+    def _seed_columns(self, line_addrs, is_write) -> None:
+        """Install a pre-built columnar view (binary-load fast path)."""
+        self._columns = (self.events, len(self.events), line_addrs, is_write)
 
     @property
     def mpki(self) -> float:
@@ -68,10 +117,20 @@ class MissTrace:
         by default and guarded by a CRC32 so corruption is detected on load.
         """
         name_bytes = self.name.encode("utf-8")
-        packed = array("Q", ((e.line_addr << 1) | e.is_write for e in self.events))
-        if sys.byteorder == "big":  # pragma: no cover - LE-canonical format
-            packed.byteswap()
-        payload = packed.tobytes()
+        if _np is not None:
+            # Columnar fast path: pack every event word in one vectorised
+            # sweep (and leave the columns cached for the replay kernel).
+            # Byte-identical to the scalar array('Q') path below.
+            line_addrs, is_write = self.columns()
+            words = (line_addrs.astype(_np.uint64) << _np.uint64(1)) | is_write
+            payload = words.astype("<u8").tobytes()
+        else:
+            packed = array(
+                "Q", ((e.line_addr << 1) | e.is_write for e in self.events)
+            )
+            if sys.byteorder == "big":  # pragma: no cover - LE-canonical format
+                packed.byteswap()
+            payload = packed.tobytes()
         flags = 0
         if compress:
             payload = zlib.compress(payload, 6)
@@ -125,12 +184,25 @@ class MissTrace:
                 raise ValueError(f"trace payload decompression failed: {exc}") from exc
         if len(payload) != 8 * num_events:
             raise ValueError("trace event section has wrong length")
-        packed = array("Q")
-        packed.frombytes(payload)
-        if sys.byteorder == "big":  # pragma: no cover - LE-canonical format
-            packed.byteswap()
-        events = [MissEvent(word >> 1, bool(word & 1)) for word in packed]
-        return cls(
+        line_col = is_write_col = None
+        if _np is not None:
+            # Vectorised unpack; the decoded columns are seeded straight
+            # into the columnar-view cache so a cache-loaded trace reaches
+            # the batched replay kernel without a second pass.
+            words = _np.frombuffer(payload, dtype="<u8")
+            line_col = (words >> _np.uint64(1)).astype(_np.int64)
+            is_write_col = (words & _np.uint64(1)) != 0
+            events = [
+                MissEvent(addr, w)
+                for addr, w in zip(line_col.tolist(), is_write_col.tolist())
+            ]
+        else:
+            packed = array("Q")
+            packed.frombytes(payload)
+            if sys.byteorder == "big":  # pragma: no cover - LE-canonical format
+                packed.byteswap()
+            events = [MissEvent(word >> 1, bool(word & 1)) for word in packed]
+        trace = cls(
             name=name,
             instructions=instructions,
             mem_refs=mem_refs,
@@ -138,6 +210,9 @@ class MissTrace:
             l2_hits=l2_hits,
             events=events,
         )
+        if line_col is not None:
+            trace._seed_columns(line_col, is_write_col)
+        return trace
 
 
 class CacheHierarchy:

@@ -9,6 +9,7 @@ access count.
 """
 
 from repro.sim.metrics import SimResult, slowdown_table
+from repro.sim.replay import REPLAY_ENV, REPLAY_MODES, default_replay_mode
 from repro.sim.result_cache import ResultCache
 from repro.sim.runner import SimulationRunner
 from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
@@ -25,6 +26,9 @@ __all__ = [
     "sweep_table",
     "insecure_cycles",
     "replay_trace",
+    "REPLAY_ENV",
+    "REPLAY_MODES",
+    "default_replay_mode",
     "OramTimingModel",
     "TraceCache",
     "ResultCache",

@@ -1,0 +1,161 @@
+"""Batched replay kernel: the trace-to-backend path over columns.
+
+The scalar replay loop in :mod:`repro.sim.system` pays per-event Python
+work four times over: ``MissEvent`` attribute access, a per-event integer
+division for line->block translation, per-event latency-dict probes, and
+cold per-access tag-chain arithmetic inside ``Frontend.access``. This
+module is the struct-of-arrays spelling of the same loop:
+
+1. the trace's columnar view (:meth:`MissTrace.columns`) replaces the
+   event-object stream — one ``int64`` address column, one bool column;
+2. line->block translation happens in one vectorised shift/divide over
+   the whole column (scalar fallback when numpy is unavailable);
+3. the frontend pre-plans the batch (``plan_batch`` resolves the (chain,
+   tags) for every distinct upcoming address in one pass, short-circuiting
+   repeat-address runs) before the access loop starts;
+4. the access loop itself runs with every constant pre-resolved (bound
+   ``access`` method, hoisted ``Op`` values, one shared write payload),
+   recording only the per-event tree-access count;
+5. latency is resolved by a vectorised gather through a dense
+   lookup table indexed by tree-access count, instead of a dict probe per
+   event.
+
+Bit-identical by construction: the frontend sees exactly the scalar
+sequence of ``access`` calls, and the final cycle count is accumulated
+event-by-event in trace order with the same start value and the same
+per-event float operands — only the *bookkeeping around* the loop is
+batched. ``tests/test_replay_differential.py`` locks this down in
+lockstep against the scalar kernel.
+
+Mode selection: ``REPRO_REPLAY=batched`` (default) or ``scalar`` —
+the escape hatch that re-runs the historical per-event loop.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.backend.ops import Op
+from repro.proc.hierarchy import MissTrace
+from repro.sim.timing import OramTimingModel
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Environment variable selecting the replay kernel.
+REPLAY_ENV = "REPRO_REPLAY"
+
+#: Supported replay kernels.
+REPLAY_MODES = ("batched", "scalar")
+
+
+def default_replay_mode() -> str:
+    """Replay kernel from ``REPRO_REPLAY`` (defaults to ``batched``)."""
+    value = os.environ.get(REPLAY_ENV, "").strip().lower()
+    return value if value in REPLAY_MODES else "batched"
+
+
+def resolve_replay_mode(mode=None) -> str:
+    """Validate an explicit mode, or fall back to the environment."""
+    if mode is None:
+        return default_replay_mode()
+    if mode not in REPLAY_MODES:
+        raise ValueError(
+            f"unknown replay mode {mode!r}; choose from {REPLAY_MODES}"
+        )
+    return mode
+
+
+def translate_block_addrs(
+    line_addrs, lines_per_block: int
+) -> List[int]:
+    """Line-address column -> plain-int block addresses, vectorised.
+
+    ``line_addr // lines_per_block`` for every event in one sweep; a
+    power-of-two divisor (the common geometry) becomes a single shift.
+    The result is a plain Python list — the access loop's operand — whose
+    elements are exactly the scalar per-event divisions.
+    """
+    if _np is not None and isinstance(line_addrs, _np.ndarray):
+        if lines_per_block == 1:
+            return line_addrs.tolist()
+        if lines_per_block & (lines_per_block - 1) == 0:
+            return (line_addrs >> (lines_per_block.bit_length() - 1)).tolist()
+        return (line_addrs // lines_per_block).tolist()
+    if lines_per_block == 1:
+        return list(line_addrs)
+    return [addr // lines_per_block for addr in line_addrs]
+
+
+def _latency_gather(
+    ns: Sequence[int], timing: OramTimingModel
+) -> Sequence[float]:
+    """Per-event latencies for a tree-access-count column.
+
+    The latency model is a pure function of the per-event tree-access
+    count, which takes only a handful of distinct values; each distinct
+    value is composed once and the per-event sequence is recovered by a
+    dense vectorised table gather (dict fallback without numpy — and
+    whenever a latency is not a float, so accumulation operand *types*
+    match the scalar kernel exactly, not just their values).
+    """
+    distinct: Dict[int, float] = {
+        n: timing.miss_latency(n) for n in set(ns)
+    }
+    if (
+        _np is not None
+        and distinct
+        and all(type(v) is float for v in distinct.values())
+    ):
+        lut = _np.zeros(max(distinct) + 1, dtype=_np.float64)
+        for n, latency in distinct.items():
+            lut[n] = latency
+        return lut[_np.array(ns, dtype=_np.int64)].tolist()
+    return [distinct[n] for n in ns]
+
+
+def replay_cycles_batched(
+    frontend,
+    trace: MissTrace,
+    timing: OramTimingModel,
+    cycles,
+    lines_per_block: int,
+    payload: bytes,
+):
+    """Drive every event through the frontend; return total cycles.
+
+    ``cycles`` carries the caller's base-cycle count; the return value is
+    bit-identical to the scalar kernel's (same start value, same per-event
+    accumulation order and operands).
+    """
+    line_addrs, is_write = trace.columns()
+    addrs = translate_block_addrs(line_addrs, lines_per_block)
+    writes = is_write.tolist() if hasattr(is_write, "tolist") else list(is_write)
+
+    # Batched frontend planning: resolve the (chain, tags) for the whole
+    # run of upcoming misses before the first access.
+    plan = getattr(frontend, "plan_batch", None)
+    if plan is not None:
+        plan(addrs)
+
+    access = frontend.access
+    read_op = Op.READ
+    write_op = Op.WRITE
+    ns: List[int] = []
+    record = ns.append
+    for addr, w in zip(addrs, writes):
+        if w:
+            result = access(addr, write_op, payload)
+        else:
+            result = access(addr, read_op)
+        record(result.tree_accesses)
+
+    # Latency accumulation: vectorised gather, scalar-ordered summation
+    # (float addition is not associative; the event-order left fold is the
+    # bit pattern the golden digests pin).
+    for latency in _latency_gather(ns, timing):
+        cycles += latency
+    return cycles

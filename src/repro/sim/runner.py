@@ -419,6 +419,26 @@ class SimulationRunner:
             self.result_cache.store(key, result)
         return result
 
+    def derive(self, **changes) -> "SimulationRunner":
+        """A runner with constructor fields replaced, caches shared.
+
+        The derived runner keeps this runner's processor/DRAM config,
+        seed and on-disk cache locations (the same payload a worker
+        process is built from) with ``changes`` applied on top — e.g.
+        ``runner.derive(misses_per_benchmark=2000)`` for a sweep axis
+        over the miss budget. In-memory trace state is *not* shared: a
+        different budget means different traces by construction.
+        """
+        payload = self._spawn_payload()
+        unknown = sorted(set(changes) - set(payload))
+        if unknown:
+            raise TypeError(
+                f"unknown runner field(s) {', '.join(unknown)}; "
+                f"valid: {', '.join(sorted(payload))}"
+            )
+        payload.update(changes)
+        return SimulationRunner(**payload)  # type: ignore[arg-type]
+
     def _spawn_payload(self) -> Dict[str, object]:
         """Constructor kwargs that recreate this runner in a worker process."""
         return dict(

@@ -41,45 +41,72 @@ from repro.spec import (
     get_spec,
     parse_field_value,
     parse_scheme_string,
+    parse_size,
     render_scheme_string,
     resolve_field,
     resolve_spec,
 )
 from repro.utils.stats import geometric_mean
-from repro.workloads.spec import SPEC_BENCHMARKS, benchmark_names
+from repro.workloads.spec import benchmark, benchmark_names, scaled_benchmark_name
+
+#: Grid axes over *benchmark parameters* rather than spec fields:
+#: ``misses`` sweeps the per-benchmark LLC miss budget (a runner knob),
+#: ``wss`` sweeps the working-set size (a derived-benchmark override).
+BENCH_AXES = ("misses", "wss")
 
 
 def parse_grid_axis(text: str) -> Tuple[str, Tuple[object, ...]]:
     """Parse one ``--grid`` argument: ``"plb=4KiB,8KiB"`` -> axis tuple.
 
-    The key accepts full spec field names or the mini-language aliases;
-    values parse by the field's type (sizes, bools, ``none``).
+    The key accepts full spec field names, the mini-language aliases, or
+    one of the benchmark-parameter axes in :data:`BENCH_AXES`
+    (``"misses=2000,8000"``, ``"wss=4MiB,16MiB"``); values parse by the
+    field's type (sizes, bools, ``none`` — bench axes are positive
+    sizes/integers).
     """
     if "=" not in text:
         raise SpecError(
             f"grid axis {text!r} is not of the form field=value[,value...]"
         )
     key, _, rest = text.partition("=")
-    field_name = resolve_field(key)
-    values = tuple(
-        parse_field_value(field_name, item)
-        for item in rest.split(",")
-        if item.strip()
-    )
+    items = [item for item in rest.split(",") if item.strip()]
+    axis = key.strip().lower()
+    if axis in BENCH_AXES:
+        values = tuple(_parse_bench_value(axis, item) for item in items)
+    else:
+        axis = resolve_field(key)
+        values = tuple(parse_field_value(axis, item) for item in items)
     if not values:
         raise SpecError(f"grid axis {text!r} lists no values")
     if len(set(values)) != len(values):
         raise SpecError(f"grid axis {text!r} repeats a value")
-    return field_name, values
+    return axis, values
+
+
+def _parse_bench_value(axis: str, value: object) -> int:
+    """Parse one benchmark-parameter axis value (positive integer)."""
+    parsed = parse_size(value) if isinstance(value, str) else value
+    if not isinstance(parsed, int) or isinstance(parsed, bool) or parsed < 1:
+        raise SpecError(
+            f"bench axis {axis!r} expects positive integers, got {value!r}"
+        )
+    return parsed
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A declarative sweep: base schemes x a grid of spec-field axes."""
+    """A declarative sweep: base schemes x spec-field x bench-param axes.
+
+    ``grid`` axes vary :class:`~repro.spec.SchemeSpec` fields;
+    ``bench_grid`` axes vary benchmark parameters (:data:`BENCH_AXES`:
+    the per-benchmark miss budget and the working-set size), expanding
+    the benchmark/runner side of the matrix instead of the scheme side.
+    """
 
     schemes: Tuple[SchemeLike, ...]
     grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
     benchmarks: Tuple[str, ...] = ()
+    bench_grid: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
 
     def __post_init__(self):
         if not self.schemes:
@@ -97,15 +124,33 @@ class SweepSpec:
             seen.add(field_name)
             if not values:
                 raise SpecError(f"grid axis {field_name!r} lists no values")
+        bench_seen = set()
+        normalised: List[Tuple[str, Tuple[int, ...]]] = []
+        for axis, values in self.bench_grid:
+            if axis not in BENCH_AXES:
+                raise SpecError(
+                    f"unknown bench axis {axis!r}; choose from {BENCH_AXES}"
+                )
+            if axis in bench_seen:
+                raise SpecError(f"bench axis {axis!r} appears twice")
+            bench_seen.add(axis)
+            if not values:
+                raise SpecError(f"bench axis {axis!r} lists no values")
+            # Normalise, don't just validate: direct construction may
+            # spell values as size strings ("4MiB"); downstream consumers
+            # (names_for, runner.derive) get the parsed integers.
+            normalised.append(
+                (axis, tuple(_parse_bench_value(axis, v) for v in values))
+            )
+        object.__setattr__(self, "bench_grid", tuple(normalised))
         # Fail fast on unknown schemes/benchmarks at construction time.
         for scheme in self.schemes:
             resolve_spec(scheme)
         for name in self.benchmarks:
-            if name not in SPEC_BENCHMARKS:
-                raise SpecError(
-                    f"unknown benchmark {name!r}; "
-                    f"available: {sorted(SPEC_BENCHMARKS)}"
-                )
+            try:
+                benchmark(name)
+            except KeyError as exc:
+                raise SpecError(str(exc)) from None
 
     @classmethod
     def from_args(
@@ -118,13 +163,22 @@ class SweepSpec:
 
         ``grid`` is either a mapping ``{field: values}`` (field names or
         aliases; values raw or mini-language strings) or an iterable of
-        ``"field=v1,v2"`` axis strings.
+        ``"field=v1,v2"`` axis strings. Axes named after a benchmark
+        parameter (:data:`BENCH_AXES`) are routed to ``bench_grid``;
+        everything else resolves as a spec field.
         """
         axes: List[Tuple[str, Tuple[object, ...]]] = []
+        bench_axes: List[Tuple[str, Tuple[int, ...]]] = []
         if grid is None:
             pass
         elif isinstance(grid, Mapping):
             for key, values in grid.items():
+                axis = str(key).strip().lower()
+                if axis in BENCH_AXES:
+                    bench_axes.append(
+                        (axis, tuple(_parse_bench_value(axis, v) for v in values))
+                    )
+                    continue
                 field_name = resolve_field(key)
                 parsed = tuple(
                     parse_field_value(field_name, value)
@@ -134,11 +188,17 @@ class SweepSpec:
                 )
                 axes.append((field_name, parsed))
         else:
-            axes = [parse_grid_axis(item) for item in grid]
+            for item in grid:
+                axis, values = parse_grid_axis(item)
+                if axis in BENCH_AXES:
+                    bench_axes.append((axis, values))  # type: ignore[arg-type]
+                else:
+                    axes.append((axis, values))
         return cls(
             schemes=tuple(schemes),
             grid=tuple(axes),
             benchmarks=tuple(benchmarks) if benchmarks is not None else (),
+            bench_grid=tuple(bench_axes),
         )
 
     def points(self) -> List[Tuple[str, SchemeSpec]]:
@@ -176,6 +236,31 @@ class SweepSpec:
         """Benchmarks to sweep (all SPEC stand-ins when unspecified)."""
         return list(self.benchmarks) if self.benchmarks else benchmark_names()
 
+    def bench_points(self) -> List[Dict[str, int]]:
+        """Expanded benchmark-parameter combos (``[{}]`` when no axes).
+
+        Same ordering convention as :meth:`points`: declaration order,
+        last axis varying fastest, so reports are deterministic.
+        """
+        axes = [axis for axis, _values in self.bench_grid]
+        value_axes = [values for _axis, values in self.bench_grid]
+        return [
+            dict(zip(axes, combo)) for combo in itertools.product(*value_axes)
+        ]
+
+    def names_for(self, combo: Mapping[str, int]) -> List[str]:
+        """Benchmark names for one bench-grid combo (``wss`` applied).
+
+        A ``wss`` override derives self-describing benchmark names
+        (``"mcf@wss=8388608"``) that any process can resolve; without one
+        this is just :meth:`bench_names`.
+        """
+        names = self.bench_names()
+        wss = combo.get("wss")
+        if wss is None:
+            return names
+        return [scaled_benchmark_name(name, wss) for name in names]
+
 
 def run_sweep(
     sweep: SweepSpec,
@@ -187,53 +272,74 @@ def run_sweep(
 ) -> Dict[str, object]:
     """Execute a sweep; returns a deterministic, JSON-safe report.
 
-    ``report["cells"]`` holds one entry per (grid point, benchmark) with
-    the point's full spec, the serialized :class:`SimResult`, and (when
-    ``include_baselines``) the slowdown vs the insecure-DRAM baseline.
-    Cells are ordered (points, then benchmarks) regardless of worker
-    scheduling, and results are bitwise identical serial vs parallel and
-    warm-cache vs cold — the experiment engine's core guarantee.
+    ``report["cells"]`` holds one entry per (bench-grid combo, grid
+    point, benchmark) with the point's full spec, the serialized
+    :class:`SimResult`, and (when ``include_baselines``) the slowdown vs
+    the insecure-DRAM baseline. A ``misses`` bench axis runs each combo
+    on a derived runner (:meth:`SimulationRunner.derive`); a ``wss``
+    axis derives the benchmark names themselves, so every cell records
+    the miss budget and (possibly derived) benchmark it measured. Cells
+    are ordered (bench combos, then points, then benchmarks) regardless
+    of worker scheduling, and results are bitwise identical serial vs
+    parallel and warm-cache vs cold — the experiment engine's core
+    guarantee.
     """
     if runner is None:
         runner = SimulationRunner()
-    names = sweep.bench_names()
     points = sweep.points()
-    # Feed the runner *labels*, not spec values: the string path preserves
-    # every explicit grid delta (even one equal to a registry default)
-    # against the runner's per-benchmark sizing.
-    results = runner.run_suite(
-        [label for label, _spec in points],
-        names,
-        workers=workers,
-        progress=progress,
-    )
-    baselines: Dict[str, SimResult] = {}
-    if include_baselines:
-        baselines = runner.baselines(names, workers=workers, progress=progress)
+    labels = [label for label, _spec in points]
+    combos = sweep.bench_points()
+    multi_miss = any("misses" in combo for combo in combos)
     cells: List[Dict[str, object]] = []
-    for label, spec in points:
-        for name in names:
-            result = results[label][name]
-            cell: Dict[str, object] = {
-                "scheme": label,
-                "benchmark": name,
-                "spec": spec.to_dict(),
-                "result": dataclasses.asdict(result),
-            }
-            if include_baselines:
-                cell["slowdown"] = result.cycles / baselines[name].cycles
-            cells.append(cell)
+    baseline_rows: Dict[str, Dict[str, object]] = {}
+    for combo in combos:
+        names = sweep.names_for(combo)
+        cell_runner = (
+            runner.derive(misses_per_benchmark=combo["misses"])
+            if "misses" in combo
+            else runner
+        )
+        # Feed the runner *labels*, not spec values: the string path
+        # preserves every explicit grid delta (even one equal to a
+        # registry default) against the runner's per-benchmark sizing.
+        results = cell_runner.run_suite(
+            labels, names, workers=workers, progress=progress
+        )
+        baselines: Dict[str, SimResult] = {}
+        if include_baselines:
+            baselines = cell_runner.baselines(
+                names, workers=workers, progress=progress
+            )
+            for name, result in baselines.items():
+                key = (
+                    f"{name}@misses={cell_runner.misses}" if multi_miss else name
+                )
+                baseline_rows[key] = dataclasses.asdict(result)
+        for label, spec in points:
+            for name in names:
+                result = results[label][name]
+                cell: Dict[str, object] = {
+                    "scheme": label,
+                    "benchmark": name,
+                    "misses": cell_runner.misses,
+                    "spec": spec.to_dict(),
+                    "result": dataclasses.asdict(result),
+                }
+                if include_baselines:
+                    cell["slowdown"] = result.cycles / baselines[name].cycles
+                cells.append(cell)
     import repro
 
     return {
         "kind": "sweep",
         "version": getattr(repro, "__version__", "0"),
-        "schemes": [label for label, _spec in points],
-        "grid": {field_name: list(values) for field_name, values in sweep.grid},
-        "benchmarks": names,
-        "baselines": {
-            name: dataclasses.asdict(result) for name, result in baselines.items()
+        "schemes": labels,
+        "grid": {
+            **{field_name: list(values) for field_name, values in sweep.grid},
+            **{axis: list(values) for axis, values in sweep.bench_grid},
         },
+        "benchmarks": sweep.bench_names(),
+        "baselines": baseline_rows,
         "cells": cells,
     }
 
@@ -241,20 +347,37 @@ def run_sweep(
 def sweep_table(report: Mapping[str, object]) -> str:
     """Render a sweep report as an aligned text table.
 
-    One row per grid point; cells are slowdowns vs insecure when the
-    report carries baselines, raw megacycles otherwise.
+    One row per (bench-grid combo, grid point); cells are slowdowns vs
+    insecure when the report carries baselines, raw megacycles
+    otherwise. Bench-parameter axes fold into the row label (``wss``
+    derivations are stripped back off the benchmark column names), so a
+    combo never collapses into another combo's row.
     """
-    names: List[str] = list(report["benchmarks"])  # type: ignore[arg-type]
+    # Columns are base benchmark names (derivations fold into row labels).
+    names: List[str] = list(
+        dict.fromkeys(
+            str(name).partition("@")[0]
+            for name in report["benchmarks"]  # type: ignore[union-attr]
+        )
+    )
     have_baselines = bool(report.get("baselines"))
+    grid = report.get("grid", {})
+    show_misses = "misses" in grid  # type: ignore[operator]
     table: Dict[str, Dict[str, float]] = {}
     for cell in report["cells"]:  # type: ignore[union-attr]
-        label = cell["scheme"]
+        bench, _sep, bench_suffix = str(cell["benchmark"]).partition("@")
+        suffixes = [bench_suffix] if bench_suffix else []
+        if show_misses:
+            suffixes.append(f"misses={cell['misses']}")
+        label = cell["scheme"] + (
+            f" [{','.join(suffixes)}]" if suffixes else ""
+        )
         value = (
             cell["slowdown"]
             if have_baselines
             else cell["result"]["cycles"] / 1e6
         )
-        table.setdefault(label, {})[cell["benchmark"]] = value
+        table.setdefault(label, {})[bench] = value
     for row in table.values():
         row["geomean"] = geometric_mean(
             [value for key, value in row.items() if key != "geomean"]

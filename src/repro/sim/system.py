@@ -51,6 +51,37 @@ def insecure_cycles(
     )
 
 
+def _replay_cycles_scalar(
+    frontend: Frontend,
+    trace: MissTrace,
+    timing: OramTimingModel,
+    cycles,
+    lines_per_block: int,
+    payload: bytes,
+):
+    """The historical per-event replay loop (``REPRO_REPLAY=scalar``).
+
+    The latency model is a pure function of the per-event tree-access
+    count, which takes only a handful of distinct values; memoising it
+    keeps the replay loop free of repeated float composition (the same
+    float is accumulated in the same order, so cycles are bit-identical).
+    """
+    access = frontend.access
+    latency_for: dict = {}
+    for event in trace.events:
+        block_addr = event.line_addr // lines_per_block
+        if event.is_write:
+            result = access(block_addr, Op.WRITE, payload)
+        else:
+            result = access(block_addr, Op.READ)
+        n = result.tree_accesses
+        latency = latency_for.get(n)
+        if latency is None:
+            latency_for[n] = latency = timing.miss_latency(n)
+        cycles += latency
+    return cycles
+
+
 def replay_trace(
     frontend: Frontend,
     trace: MissTrace,
@@ -58,8 +89,21 @@ def replay_trace(
     proc: ProcessorConfig = ProcessorConfig(),
     scheme: str = "oram",
     block_bytes: Optional[int] = None,
+    mode: Optional[str] = None,
 ) -> SimResult:
-    """Feed every LLC miss/eviction through the Frontend and sum latency."""
+    """Feed every LLC miss/eviction through the Frontend and sum latency.
+
+    ``mode`` selects the replay kernel: ``"batched"`` (the default — the
+    columnar pipeline of :mod:`repro.sim.replay`) or ``"scalar"`` (the
+    historical per-event loop). ``None`` defers to ``REPRO_REPLAY``. The
+    two kernels are bit-identical in every simulated outcome — SimResult,
+    frontend statistics, and final tree contents — a property pinned by
+    the lockstep differential suite; the choice is performance-only and
+    therefore never part of any result-cache key.
+    """
+    from repro.sim.replay import replay_cycles_batched, resolve_replay_mode
+
+    mode = resolve_replay_mode(mode)
     if block_bytes is None:
         config = getattr(frontend, "config", None)
         if config is not None:
@@ -84,23 +128,10 @@ def replay_trace(
     prf_calls0 = crypto.prf.call_count if crypto is not None else 0
     prf_hits0 = crypto.prf.cache_hits if crypto is not None else 0
 
-    # The latency model is a pure function of the per-event tree-access
-    # count, which takes only a handful of distinct values; memoising it
-    # keeps the replay loop free of repeated float composition (the same
-    # float is accumulated in the same order, so cycles are bit-identical).
-    access = frontend.access
-    latency_for: dict = {}
-    for event in trace.events:
-        block_addr = event.line_addr // lines_per_block
-        if event.is_write:
-            result = access(block_addr, Op.WRITE, payload)
-        else:
-            result = access(block_addr, Op.READ)
-        n = result.tree_accesses
-        latency = latency_for.get(n)
-        if latency is None:
-            latency_for[n] = latency = timing.miss_latency(n)
-        cycles += latency
+    kernel = (
+        replay_cycles_batched if mode == "batched" else _replay_cycles_scalar
+    )
+    cycles = kernel(frontend, trace, timing, cycles, lines_per_block, payload)
 
     stats = frontend.stats
     plb_hit_rate = (

@@ -17,6 +17,7 @@ than any cache.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Tuple
 
@@ -148,14 +149,76 @@ SPEC_BENCHMARKS: Dict[str, SpecStandIn] = {
 }
 
 
+#: Parsed derived stand-ins, memoised by their self-describing name.
+_DERIVED_CACHE: Dict[str, SpecStandIn] = {}
+
+
+def scaled_benchmark_name(name: str, wss_bytes: int) -> str:
+    """Self-describing name of a WSS-overridden stand-in.
+
+    ``scaled_benchmark_name("mcf", 8 << 20)`` -> ``"mcf@wss=8388608"``;
+    a no-op override returns the base name unchanged. A name that is
+    *already* derived re-derives from its base (the override replaces,
+    it does not stack). The returned name round-trips through
+    :func:`benchmark` *in any process* — the override is parsed back out
+    of the name, never looked up in mutable registry state — which is
+    what lets worker pools and on-disk cache keys treat derived
+    benchmarks exactly like registered ones.
+    """
+    name = name.partition("@")[0]
+    base = SPEC_BENCHMARKS.get(name)
+    if base is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(SPEC_BENCHMARKS)}"
+        )
+    if not isinstance(wss_bytes, int) or isinstance(wss_bytes, bool) or wss_bytes < 1:
+        raise ValueError(f"wss override must be a positive byte count, got {wss_bytes!r}")
+    if wss_bytes == base.wss_bytes:
+        return name
+    return f"{name}@wss={wss_bytes}"
+
+
+def _parse_derived(name: str) -> "SpecStandIn | None":
+    """Decode a ``base@wss=BYTES`` derived name (None if not one)."""
+    base_name, sep, suffix = name.partition("@")
+    if not sep or base_name not in SPEC_BENCHMARKS:
+        return None
+    key, eq, value = suffix.partition("=")
+    if key != "wss" or not eq:
+        return None
+    try:
+        wss_bytes = int(value)
+    except ValueError:
+        return None
+    if wss_bytes < 1:
+        return None
+    return dataclasses.replace(
+        SPEC_BENCHMARKS[base_name], name=name, wss_bytes=wss_bytes
+    )
+
+
 def benchmark(name: str) -> SpecStandIn:
-    """Stand-in by SPEC short name (see :data:`SPEC_BENCHMARKS`)."""
+    """Stand-in by SPEC short name (see :data:`SPEC_BENCHMARKS`).
+
+    Also accepts self-describing derived names of the form
+    ``"mcf@wss=8388608"`` — the base stand-in with its working-set size
+    overridden (the sweep engine's benchmark-parameter grid axis).
+    """
     try:
         return SPEC_BENCHMARKS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; available: {sorted(SPEC_BENCHMARKS)}"
-        ) from None
+        pass
+    derived = _DERIVED_CACHE.get(name)
+    if derived is None:
+        derived = _parse_derived(name)
+        if derived is not None:
+            _DERIVED_CACHE[name] = derived
+    if derived is not None:
+        return derived
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: {sorted(SPEC_BENCHMARKS)} "
+        "(or a derived 'name@wss=BYTES' override)"
+    )
 
 
 def benchmark_names() -> List[str]:

@@ -8,6 +8,7 @@ import pytest
 
 from repro.config import OramConfig
 from repro.crypto.suite import CryptoSuite
+from repro.eval.table_cache import FIGURE_CACHE_ENV
 from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.trace_cache import CACHE_ENV
 from repro.utils.rng import DeterministicRng
@@ -15,17 +16,19 @@ from repro.utils.rng import DeterministicRng
 
 @pytest.fixture(autouse=True, scope="session")
 def _hermetic_caches(tmp_path_factory):
-    """Point the on-disk trace and result caches at per-session temp dirs.
+    """Point the on-disk trace/result/figure caches at per-session temp dirs.
 
     Keeps tests from reading (or polluting) the developer's user-level
     caches while still exercising the disk-cache code paths. Mirrored in
     benchmarks/conftest.py, which is a separate conftest scope.
     """
     previous = {
-        env: os.environ.get(env) for env in (CACHE_ENV, RESULT_CACHE_ENV)
+        env: os.environ.get(env)
+        for env in (CACHE_ENV, RESULT_CACHE_ENV, FIGURE_CACHE_ENV)
     }
     os.environ[CACHE_ENV] = str(tmp_path_factory.mktemp("trace-cache"))
     os.environ[RESULT_CACHE_ENV] = str(tmp_path_factory.mktemp("result-cache"))
+    os.environ[FIGURE_CACHE_ENV] = str(tmp_path_factory.mktemp("figure-cache"))
     yield
     for env, value in previous.items():
         if value is None:

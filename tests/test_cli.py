@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.sim.replay import REPLAY_ENV
 from repro.sim.result_cache import RESULT_CACHE_ENV
 from repro.sim.runner import FORCE_ENV, WORKERS_ENV
 from repro.sim.trace_cache import CACHE_ENV
@@ -53,7 +54,10 @@ class TestCliFlags:
         would otherwise leak into the rest of the session (e.g.
         ``REPRO_WORKERS=4`` flipping later suites into pool mode).
         """
-        keys = (WORKERS_ENV, CACHE_ENV, RESULT_CACHE_ENV, STORAGE_ENV, FORCE_ENV)
+        keys = (
+            WORKERS_ENV, CACHE_ENV, RESULT_CACHE_ENV, STORAGE_ENV, FORCE_ENV,
+            REPLAY_ENV,
+        )
         saved = {key: os.environ.get(key) for key in keys}
         yield
         for key, value in saved.items():
@@ -123,6 +127,20 @@ class TestCliFlags:
         assert main(["--force", "table2"]) == 0
         assert os.environ.get(FORCE_ENV) == "1"
 
+    def test_replay_flag_sets_env(self, monkeypatch):
+        monkeypatch.delenv(REPLAY_ENV, raising=False)
+        assert main(["--replay", "scalar", "table2"]) == 0
+        assert os.environ.get(REPLAY_ENV) == "scalar"
+
+    def test_replay_equals_form(self, monkeypatch):
+        monkeypatch.delenv(REPLAY_ENV, raising=False)
+        assert main(["--replay=batched", "table2"]) == 0
+        assert os.environ.get(REPLAY_ENV) == "batched"
+
+    def test_replay_flag_rejects_unknown(self, capsys):
+        assert main(["--replay", "vectorised", "table2"]) == 2
+        assert "batched" in capsys.readouterr().err
+
     def test_unknown_option_rejected(self, capsys):
         assert main(["--frobnicate", "table2"]) == 2
         assert "unknown option" in capsys.readouterr().err
@@ -134,6 +152,7 @@ class TestCliFlags:
         assert "--no-result-cache" in out and "--storage" in out
         assert "--force" in out and "--grid" in out
         assert "bench" in out and "sweep" in out
+        assert "--replay" in out and "--saved" in out
 
 
 class TestCliSweep:
@@ -143,7 +162,7 @@ class TestCliSweep:
         monkeypatch.setenv(RESULT_CACHE_ENV, str(tmp_path / "results"))
         # The CLI writes flags straight into os.environ (monkeypatch can't
         # see that); restore them so e.g. --workers can't leak session-wide.
-        keys = (WORKERS_ENV, FORCE_ENV, STORAGE_ENV)
+        keys = (WORKERS_ENV, FORCE_ENV, STORAGE_ENV, REPLAY_ENV)
         saved = {key: os.environ.get(key) for key in keys}
         yield
         for key, value in saved.items():
@@ -215,3 +234,71 @@ class TestCliSweep:
             "--misses", "120", "--out", str(out),
         ])
         assert code == 0 and out.exists()
+
+    def test_sweep_bench_grid_axes(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep",
+            "--scheme", "PC_X32",
+            "--bench", "gob",
+            "--grid", "misses=100,200",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "misses=100" in capsys.readouterr().out
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        assert [cell["misses"] for cell in report["cells"]] == [100, 200]
+
+    def test_saved_sweep_runs_fig5(self, tmp_path, capsys):
+        out = tmp_path / "saved.json"
+        code = main([
+            "sweep", "--saved", "fig5",
+            "--bench", "gob", "--misses", "120",
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "geomean" in printed and f"wrote {out}" in printed
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        # The fig5 sweep: PC_X32 across the four PLB capacities.
+        assert len(report["cells"]) == 4
+        assert {c["spec"]["plb_capacity_bytes"] for c in report["cells"]} == {
+            8 * 1024, 32 * 1024, 64 * 1024, 128 * 1024
+        }
+
+    def test_saved_sweep_default_out_names_figure(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "sweep", "--saved", "fig7", "--bench", "gob", "--misses", "120",
+        ])
+        assert code == 0
+        assert (tmp_path / "SWEEP_fig7.json").exists()
+
+    def test_saved_sweep_fig8_uses_platform_runner(self, tmp_path, capsys):
+        out = tmp_path / "fig8.json"
+        code = main([
+            "sweep", "--saved", "fig8",
+            "--bench", "gob", "--misses", "120",
+            "--out", str(out),
+        ])
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        # [26]'s parameters: every scheme row pins Z=3.
+        assert all(
+            c["spec"]["blocks_per_bucket"] == 3 for c in report["cells"]
+        )
+
+    def test_saved_rejects_unknown_figure(self, capsys):
+        assert main(["sweep", "--saved", "fig99"]) == 2
+        assert "fig5" in capsys.readouterr().err
+
+    def test_saved_rejects_scheme_combination(self, capsys):
+        code = main(["sweep", "--saved", "fig5", "--scheme", "PC_X32"])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err

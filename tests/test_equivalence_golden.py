@@ -339,6 +339,45 @@ class TestReplayEquivalence:
         assert isinstance(frontend.backend, ColumnarPathOramBackend)
         assert isinstance(frontend.backend.storage, ColumnarTreeStorage)
 
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_batched_replay_kernel_bitwise_identical(self, scheme):
+        """Golden digests for the batched replay pipeline vs the scalar
+        escape hatch (``REPRO_REPLAY``): same SimResult, same digest."""
+        frontends = {
+            mode: build_frontend(
+                scheme, num_blocks=2**12, rng=DeterministicRng(7)
+            )
+            for mode in ("scalar", "batched")
+        }
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        results = {
+            mode: replay_trace(
+                frontend, micro_trace(), timing, scheme=scheme, mode=mode
+            )
+            for mode, frontend in frontends.items()
+        }
+        assert results["scalar"] == results["batched"]
+        assert result_digest(results["scalar"]) == result_digest(results["batched"])
+
+    @pytest.mark.parametrize("scheme", ["P_X16", "PIC_X32"])
+    def test_batched_replay_final_tree_contents_identical(self, scheme):
+        from repro.storage.snapshot import tree_digest
+
+        trees = {}
+        for mode in ("scalar", "batched"):
+            frontend = build_frontend(
+                scheme, num_blocks=2**12, rng=DeterministicRng(7)
+            )
+            replay_trace(
+                frontend,
+                micro_trace(),
+                OramTimingModel(tree_latency_cycles=1000.0),
+                scheme=scheme,
+                mode=mode,
+            )
+            trees[mode] = tree_digest(frontend.backend.storage)
+        assert trees["scalar"] == trees["batched"]
+
     @pytest.mark.parametrize("scheme", ["PC_X32", "PI_X8", "PIC_X32"])
     def test_prf_cache_bitwise_identical(self, scheme):
         from repro.crypto.suite import CryptoSuite

@@ -1,0 +1,125 @@
+"""Batched PRF leaf derivation: ``leaf_for_many`` vs scalar ``leaf_for``.
+
+The batched spelling must be bit-identical to the equivalent scalar call
+sequence — leaves, ``call_count``, ``cache_hits`` and the LRU state it
+leaves behind — across cache-hit/miss mixes, empty/singleton batches,
+disabled caches, eviction pressure and both PRF primitives.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prf import Prf
+
+KEY = b"batched-prf-key!"
+
+
+def scalar_reference(prf: Prf, addrs, counts, levels, subblock=0):
+    return [
+        prf.leaf_for(addr, count, levels, subblock)
+        for addr, count in zip(addrs, counts)
+    ]
+
+
+class TestLeafForMany:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**40),
+                st.integers(min_value=0, max_value=2**70),
+            ),
+            max_size=50,
+        ),
+        levels=st.integers(min_value=1, max_value=30),
+        subblock=st.integers(min_value=0, max_value=7),
+    )
+    def test_matches_scalar_sequence(self, pairs, levels, subblock):
+        addrs = [a for a, _ in pairs]
+        counts = [c for _, c in pairs]
+        batched_prf, scalar_prf = Prf(KEY), Prf(KEY)
+        batched = batched_prf.leaf_for_many(addrs, counts, levels, subblock)
+        scalar = scalar_reference(scalar_prf, addrs, counts, levels, subblock)
+        assert batched == scalar
+        assert batched_prf.call_count == scalar_prf.call_count
+        assert batched_prf.cache_hits == scalar_prf.cache_hits
+        assert batched_prf._leaf_cache == scalar_prf._leaf_cache
+        assert list(batched_prf._leaf_cache) == list(scalar_prf._leaf_cache)
+
+    def test_hit_miss_mix_accounting(self):
+        """A batch straddling warm and cold keys accounts both exactly."""
+        prf = Prf(KEY)
+        prf.leaf_for(1, 0, 16)
+        prf.leaf_for(2, 0, 16)  # warm two keys
+        leaves = prf.leaf_for_many([1, 3, 2, 3, 1], [0, 0, 0, 0, 0], 16)
+        # calls: 2 scalar + 5 batched; hits: keys 1, 2 warm, then 3 and 1
+        # re-hit within the batch itself.
+        assert prf.call_count == 7
+        assert prf.cache_hits == 4
+        assert leaves[0] == prf.leaf_for(1, 0, 16)
+        assert leaves[1] == leaves[3]  # repeated (3, 0) pair
+
+    def test_empty_batch(self):
+        prf = Prf(KEY)
+        assert prf.leaf_for_many([], [], 20) == []
+        assert prf.call_count == 0 and prf.cache_hits == 0
+
+    def test_singleton_batch(self):
+        batched_prf, scalar_prf = Prf(KEY), Prf(KEY)
+        assert batched_prf.leaf_for_many([9], [4], 20) == [
+            scalar_prf.leaf_for(9, 4, 20)
+        ]
+        assert batched_prf.call_count == 1 and batched_prf.cache_hits == 0
+
+    def test_degenerate_levels_bypasses_cache_and_counters(self):
+        prf = Prf(KEY)
+        assert prf.leaf_for_many([1, 2], [3, 4], 0) == [0, 0]
+        assert prf.call_count == 0 and prf.cache_hits == 0
+        assert not prf._leaf_cache
+
+    def test_mismatched_batch_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            Prf(KEY).leaf_for_many([1, 2], [3], 16)
+
+    def test_cache_disabled(self):
+        cached, uncached = Prf(KEY), Prf(KEY, leaf_cache_entries=0)
+        addrs = [5, 5, 6, 5]
+        counts = [1, 1, 1, 1]
+        assert cached.leaf_for_many(addrs, counts, 18) == uncached.leaf_for_many(
+            addrs, counts, 18
+        )
+        assert uncached.cache_hits == 0
+        assert cached.call_count == uncached.call_count == 4
+
+    def test_eviction_pressure_matches_scalar(self):
+        """Under a tiny LRU the eviction sequence stays scalar-identical."""
+        batched_prf = Prf(KEY, leaf_cache_entries=3)
+        scalar_prf = Prf(KEY, leaf_cache_entries=3)
+        addrs = [1, 2, 3, 4, 1, 2, 5, 3, 1] * 3
+        counts = [0] * len(addrs)
+        batched = batched_prf.leaf_for_many(addrs, counts, 16)
+        scalar = scalar_reference(scalar_prf, addrs, counts, 16)
+        assert batched == scalar
+        assert batched_prf.cache_hits == scalar_prf.cache_hits
+        assert list(batched_prf._leaf_cache) == list(scalar_prf._leaf_cache)
+
+    def test_aes_mode_matches_scalar(self):
+        batched_prf = Prf(b"0123456789abcdef", mode=Prf.MODE_AES)
+        scalar_prf = Prf(b"0123456789abcdef", mode=Prf.MODE_AES)
+        addrs = [0, 1, 0, 2]
+        counts = [0, 7, 0, 9]
+        assert batched_prf.leaf_for_many(addrs, counts, 12) == scalar_reference(
+            scalar_prf, addrs, counts, 12
+        )
+        assert batched_prf.call_count == scalar_prf.call_count
+        assert batched_prf.cache_hits == scalar_prf.cache_hits
+
+    def test_lru_refresh_within_batch(self):
+        """A batch hit refreshes recency exactly like a scalar hit."""
+        prf = Prf(KEY, leaf_cache_entries=2)
+        prf.leaf_for_many([1, 2, 1, 3], [0, 0, 0, 0], 16)
+        # (1,0) was refreshed by the third item, so (2,0) was evicted.
+        assert (1, 0, 16, 0) in prf._leaf_cache
+        assert (2, 0, 16, 0) not in prf._leaf_cache
+        assert (3, 0, 16, 0) in prf._leaf_cache

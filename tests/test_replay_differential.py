@@ -1,0 +1,235 @@
+"""Lockstep differential: batched replay pipeline vs the scalar kernel.
+
+PR-4 methodology applied to the replay loop itself: the batched kernel
+(columnar trace columns, vectorised line->block translation, plan_batch
+frontend planning, vectorised latency gather) must be *performance-only*.
+Two frontends built from the same spec and seed replay the same trace —
+one through ``REPRO_REPLAY=scalar``, one through the batched pipeline —
+and after every access batch the harness compares:
+
+- the per-batch ``SimResult`` (every field, diagnostic counters
+  included);
+- the full ``FrontendStats`` block;
+- the SHA-256 tree digest(s) of the backend storage — the complete
+  external memory state.
+
+The matrix spans scheme x storage combinations (object, array and
+columnar backends under PLB/compressed/PMMAC/recursive frontends) and
+multiple trace seeds, so a divergence anywhere in the pipeline fails at
+the first batch that exposes it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.presets import build_frontend
+from repro.proc.hierarchy import MissEvent, MissTrace
+from repro.sim.replay import (
+    REPLAY_MODES,
+    default_replay_mode,
+    resolve_replay_mode,
+    translate_block_addrs,
+)
+from repro.sim.system import replay_trace
+from repro.sim.timing import OramTimingModel
+from repro.storage.snapshot import tree_digest
+from repro.utils.rng import DeterministicRng
+
+BLOCKS = 2**10
+
+
+def make_trace(seed: int, events: int, blocks: int = BLOCKS) -> MissTrace:
+    rng = DeterministicRng(seed)
+    trace = MissTrace(
+        name=f"diff-{seed}", instructions=50_000, mem_refs=20_000,
+        l1_hits=15_000, l2_hits=3_000,
+    )
+    trace.events = [
+        MissEvent(rng.randrange(blocks), rng.random() < 0.3)
+        for _ in range(events)
+    ]
+    return trace
+
+
+def chunked(trace: MissTrace, batch: int):
+    """Sub-traces of ``batch`` events each (scalar counters repeated)."""
+    for start in range(0, len(trace.events), batch):
+        chunk = MissTrace(
+            name=trace.name,
+            instructions=trace.instructions,
+            mem_refs=trace.mem_refs,
+            l1_hits=trace.l1_hits,
+            l2_hits=trace.l2_hits,
+        )
+        chunk.events = trace.events[start : start + batch]
+        yield chunk
+
+
+def frontend_digests(frontend):
+    """Tree digest(s) of a frontend's backend storage (all trees)."""
+    backends = getattr(frontend, "backends", None)
+    if backends is not None:  # recursive: one tree per level
+        return [tree_digest(b.storage) for b in backends]
+    return [tree_digest(frontend.backend.storage)]
+
+
+def stats_image(frontend):
+    return {
+        f.name: getattr(frontend.stats, f.name)
+        for f in dataclasses.fields(frontend.stats)
+    }
+
+
+#: The scheme x storage lockstep matrix (>= 4 combinations, all three
+#: storage backends, recursive + PLB + compressed + PMMAC frontends).
+COMBOS = [
+    ("P_X16", "object"),
+    ("PC_X32", "array"),
+    ("PI_X8", "columnar"),
+    ("PIC_X32", "columnar"),
+    ("R_X8", "object"),
+    ("PC_X32", "columnar"),
+]
+
+SEEDS = (8, 91, 2015)
+
+
+class TestLockstep:
+    @pytest.mark.parametrize("scheme,storage", COMBOS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_is_bit_identical_per_batch(self, scheme, storage, seed):
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        scalar_fe = build_frontend(
+            scheme, num_blocks=BLOCKS, rng=DeterministicRng(7), storage=storage
+        )
+        batched_fe = build_frontend(
+            scheme, num_blocks=BLOCKS, rng=DeterministicRng(7), storage=storage
+        )
+        trace = make_trace(seed, events=600)
+        for index, chunk in enumerate(chunked(trace, batch=150)):
+            scalar_result = replay_trace(
+                scalar_fe, chunk, timing, scheme=scheme, mode="scalar"
+            )
+            batched_result = replay_trace(
+                batched_fe, chunk, timing, scheme=scheme, mode="batched"
+            )
+            context = f"{scheme}/{storage} seed={seed} batch={index}"
+            assert scalar_result == batched_result, context
+            # Diagnostic counters too — the kernels must drive the PRF
+            # cache through the exact same state sequence.
+            assert scalar_result.prf_cache_hits == batched_result.prf_cache_hits, context
+            assert repr(scalar_result.cycles) == repr(batched_result.cycles), context
+            assert stats_image(scalar_fe) == stats_image(batched_fe), context
+            assert frontend_digests(scalar_fe) == frontend_digests(batched_fe), context
+
+    def test_whole_trace_multi_seed_sweep(self):
+        """Longer single-shot replays across every preset scheme."""
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        for scheme in ("R_X8", "P_X16", "PC_X32", "PI_X8", "PIC_X32"):
+            for seed in (3, 44):
+                results = {}
+                for mode in REPLAY_MODES:
+                    frontend = build_frontend(
+                        scheme, num_blocks=BLOCKS, rng=DeterministicRng(7)
+                    )
+                    results[mode] = (
+                        replay_trace(
+                            frontend,
+                            make_trace(seed, events=900),
+                            timing,
+                            scheme=scheme,
+                            mode=mode,
+                        ),
+                        frontend_digests(frontend),
+                    )
+                assert results["scalar"] == results["batched"], (scheme, seed)
+
+
+class TestPlanBatch:
+    def test_plan_batch_is_invisible_to_outcomes(self):
+        """Pre-planning any address set never changes simulated results."""
+        planned = build_frontend("PC_X32", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        unplanned = build_frontend("PC_X32", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        addrs = [5, 5, 9, 130, 9, 5, 1000, 130]
+        planned.plan_batch(addrs)
+        for addr in addrs:
+            a = planned.access(addr)
+            b = unplanned.access(addr)
+            assert (a.data, a.tree_accesses, a.posmap_tree_accesses) == (
+                b.data, b.tree_accesses, b.posmap_tree_accesses
+            )
+        assert stats_image(planned) == stats_image(unplanned)
+        assert frontend_digests(planned) == frontend_digests(unplanned)
+
+    def test_plan_batch_counts_cold_addresses_once(self):
+        frontend = build_frontend("PC_X32", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        assert frontend.plan_batch([3, 3, 3, 7, 7, 3]) == 2  # runs short-circuit
+        assert frontend.plan_batch([3, 7]) == 0  # already cached
+        assert frontend.plan_batch([]) == 0
+
+    def test_recursive_frontend_plans_chains(self):
+        frontend = build_frontend("R_X8", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        assert frontend.plan_batch([0, 1, 1, 2]) == 3
+        assert frontend.plan_batch([2, 0]) == 0
+        # Planned chains are exactly what access would compute.
+        assert frontend._chain_cache[2] == frontend.space.chain(2)
+
+    def test_plan_batch_respects_cache_limit(self):
+        from repro.frontend import unified
+
+        frontend = build_frontend("P_X16", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        limit = unified.CHAIN_CACHE_LIMIT
+        try:
+            unified.CHAIN_CACHE_LIMIT = 4
+            frontend.plan_batch(range(10))
+            assert len(frontend._chain_cache) <= 4
+        finally:
+            unified.CHAIN_CACHE_LIMIT = limit
+
+
+class TestKernelSelection:
+    def test_default_mode_is_batched(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLAY", raising=False)
+        assert default_replay_mode() == "batched"
+
+    def test_env_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY", "scalar")
+        assert default_replay_mode() == "scalar"
+        assert resolve_replay_mode(None) == "scalar"
+
+    def test_env_garbage_falls_back_to_batched(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY", "quantum")
+        assert default_replay_mode() == "batched"
+
+    def test_explicit_mode_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY", "scalar")
+        assert resolve_replay_mode("batched") == "batched"
+
+    def test_unknown_explicit_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown replay mode"):
+            resolve_replay_mode("vectorised")
+
+    def test_replay_trace_rejects_unknown_mode(self):
+        frontend = build_frontend("P_X16", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        with pytest.raises(ValueError, match="unknown replay mode"):
+            replay_trace(
+                frontend,
+                make_trace(1, events=4),
+                OramTimingModel(tree_latency_cycles=1000.0),
+                mode="quantum",
+            )
+
+
+class TestTranslation:
+    def test_identity_and_shift_and_divide(self):
+        trace = make_trace(5, events=64, blocks=2**12)
+        line_addrs, _ = trace.columns()
+        expect1 = [e.line_addr for e in trace.events]
+        assert translate_block_addrs(line_addrs, 1) == expect1
+        assert translate_block_addrs(line_addrs, 4) == [a // 4 for a in expect1]
+        assert translate_block_addrs(line_addrs, 3) == [a // 3 for a in expect1]
+
+    def test_plain_sequence_fallback(self):
+        assert translate_block_addrs([0, 5, 9, 16], 4) == [0, 1, 2, 4]
+        assert translate_block_addrs([7, 8], 1) == [7, 8]

@@ -189,3 +189,225 @@ class TestRunSweep:
         assert "geomean" in text
         for label in report["schemes"]:
             assert label in text
+
+
+class TestBenchGrid:
+    """Grid axes over benchmark parameters (miss budget, WSS)."""
+
+    def test_parse_misses_axis(self):
+        assert parse_grid_axis("misses=2000,8000") == ("misses", (2000, 8000))
+
+    def test_parse_wss_axis_with_sizes(self):
+        assert parse_grid_axis("wss=4MiB,16MiB") == (
+            "wss", (4 << 20, 16 << 20)
+        )
+
+    def test_from_args_routes_bench_axes(self):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid=["plb=4KiB,8KiB", "misses=100,200", "wss=1MiB"],
+            benchmarks=BENCHES,
+        )
+        assert sweep.grid == (("plb_capacity_bytes", (4096, 8192)),)
+        assert sweep.bench_grid == (
+            ("misses", (100, 200)), ("wss", (1 << 20,))
+        )
+
+    def test_from_args_mapping_routes_bench_axes(self):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid={"misses": ["100", 200], "wss": ["2MiB"]},
+            benchmarks=BENCHES,
+        )
+        assert sweep.bench_grid == (
+            ("misses", (100, 200)), ("wss", (2 << 20,))
+        )
+
+    def test_bench_points_cartesian_last_axis_fastest(self):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid=["misses=100,200", "wss=1MiB,2MiB"],
+            benchmarks=BENCHES,
+        )
+        assert sweep.bench_points() == [
+            {"misses": 100, "wss": 1 << 20},
+            {"misses": 100, "wss": 2 << 20},
+            {"misses": 200, "wss": 1 << 20},
+            {"misses": 200, "wss": 2 << 20},
+        ]
+
+    def test_no_bench_axes_single_empty_combo(self):
+        assert tiny_sweep().bench_points() == [{}]
+
+    def test_names_for_derives_wss_names(self):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"], grid=["wss=1MiB"], benchmarks=("gob",)
+        )
+        assert sweep.names_for({"wss": 1 << 20}) == [f"gob@wss={1 << 20}"]
+        assert sweep.names_for({}) == ["gob"]
+
+    def test_wss_matching_base_keeps_name(self):
+        from repro.workloads.spec import benchmark
+
+        base_wss = benchmark("gob").wss_bytes
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"], grid=[f"wss={base_wss}"], benchmarks=("gob",)
+        )
+        assert sweep.names_for({"wss": base_wss}) == ["gob"]
+
+    def test_bench_axis_rejects_zero(self):
+        with pytest.raises(SpecError, match="positive integers"):
+            parse_grid_axis("misses=0,100")
+
+    def test_bench_axis_rejects_duplicates(self):
+        with pytest.raises(SpecError, match="repeats a value"):
+            parse_grid_axis("wss=1MiB,1048576")
+
+    def test_duplicate_bench_axis_rejected(self):
+        with pytest.raises(SpecError, match="appears twice"):
+            SweepSpec(
+                schemes=("PC_X32",),
+                bench_grid=(("misses", (1,)), ("misses", (2,))),
+            )
+
+    def test_unknown_bench_axis_rejected_on_direct_construction(self):
+        with pytest.raises(SpecError, match="unknown bench axis"):
+            SweepSpec(schemes=("PC_X32",), bench_grid=(("budget", (1,)),))
+
+    def test_run_sweep_expands_misses_axis(self, tmp_path):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"], grid=["misses=100,200"], benchmarks=("gob",)
+        )
+        report = run_sweep(sweep, _runner(tmp_path))
+        assert [cell["misses"] for cell in report["cells"]] == [100, 200]
+        assert report["grid"]["misses"] == [100, 200]
+        # More budget, more simulated misses: results genuinely differ.
+        by_misses = {c["misses"]: c["result"] for c in report["cells"]}
+        assert by_misses[100]["llc_misses"] < by_misses[200]["llc_misses"]
+        # Baselines are keyed per miss budget, never collapsed.
+        assert set(report["baselines"]) == {
+            "gob@misses=100", "gob@misses=200"
+        }
+
+    def test_run_sweep_expands_wss_axis(self, tmp_path):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"], grid=["wss=1MiB,4MiB"], benchmarks=("gob",)
+        )
+        report = run_sweep(sweep, _runner(tmp_path))
+        names = [cell["benchmark"] for cell in report["cells"]]
+        assert names == [f"gob@wss={1 << 20}", f"gob@wss={4 << 20}"]
+        # A larger working set misses more per kilo-instruction.
+        cells = report["cells"]
+        assert cells[0]["result"]["mpki"] < cells[1]["result"]["mpki"]
+
+    def test_bench_grid_composes_with_spec_grid(self, tmp_path):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid=["plb=4KiB,8KiB", "misses=100,200"],
+            benchmarks=("gob",),
+        )
+        report = run_sweep(sweep, _runner(tmp_path))
+        # 2 bench combos x 2 grid points x 1 benchmark.
+        assert len(report["cells"]) == 4
+        seen = {
+            (c["misses"], c["spec"]["plb_capacity_bytes"])
+            for c in report["cells"]
+        }
+        assert seen == {(100, 4096), (100, 8192), (200, 4096), (200, 8192)}
+        text = sweep_table(report)
+        assert "misses=100" in text and "misses=200" in text
+
+    def test_bench_grid_serial_parallel_identical(self, tmp_path):
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"], grid=["misses=100,200"], benchmarks=BENCHES
+        )
+        serial = run_sweep(sweep, _runner(tmp_path / "a"))
+        parallel = run_sweep(sweep, _runner(tmp_path / "b"), workers=3)
+        assert serial == parallel
+
+
+class TestDerivedBenchmarks:
+    def test_benchmark_accepts_derived_name(self):
+        from repro.workloads.spec import benchmark
+
+        derived = benchmark("mcf@wss=1048576")
+        assert derived.wss_bytes == 1 << 20
+        assert derived.name == "mcf@wss=1048576"
+        assert derived.patterns == benchmark("mcf").patterns
+
+    def test_scaled_benchmark_name_round_trips(self):
+        from repro.workloads.spec import benchmark, scaled_benchmark_name
+
+        name = scaled_benchmark_name("gob", 3 << 20)
+        assert benchmark(name).wss_bytes == 3 << 20
+
+    def test_scaled_benchmark_rejects_unknown_base(self):
+        from repro.workloads.spec import scaled_benchmark_name
+
+        with pytest.raises(KeyError):
+            scaled_benchmark_name("nope", 1 << 20)
+
+    def test_scaled_benchmark_rejects_bad_wss(self):
+        from repro.workloads.spec import scaled_benchmark_name
+
+        with pytest.raises(ValueError):
+            scaled_benchmark_name("gob", 0)
+
+    def test_unknown_derived_name_rejected(self):
+        from repro.workloads.spec import benchmark
+
+        with pytest.raises(KeyError):
+            benchmark("gob@wss=banana")
+        with pytest.raises(KeyError):
+            benchmark("nope@wss=1024")
+
+    def test_runner_sizes_for_derived_wss(self, tmp_path):
+        runner = _runner(tmp_path)
+        small, _ = runner.sized_spec("PC_X32", "gob@wss=1048576")
+        large, _ = runner.sized_spec("PC_X32", "gob@wss=16777216")
+        assert large.num_blocks > small.num_blocks
+
+
+class TestRunnerDerive:
+    def test_derive_overrides_misses_and_keeps_caches(self, tmp_path):
+        runner = _runner(tmp_path)
+        derived = runner.derive(misses_per_benchmark=42)
+        assert derived.misses == 42
+        assert derived.seed == runner.seed
+        assert derived.trace_cache.root == runner.trace_cache.root
+        assert derived.result_cache.root == runner.result_cache.root
+
+    def test_derive_rejects_unknown_field(self, tmp_path):
+        with pytest.raises(TypeError, match="unknown runner field"):
+            _runner(tmp_path).derive(budget=3)
+
+
+class TestReviewRegressions:
+    """Pinned fixes from the PR-5 review pass."""
+
+    def test_bench_grid_string_values_normalised_on_construction(self):
+        sweep = SweepSpec(
+            schemes=("PC_X32",), bench_grid=(("wss", ("4MiB",)),)
+        )
+        assert sweep.bench_grid == (("wss", (4 << 20,)),)
+        assert sweep.bench_points() == [{"wss": 4 << 20}]
+        assert sweep.names_for({"wss": 4 << 20})  # no ValueError
+
+    def test_bench_grid_garbage_value_fails_at_construction(self):
+        with pytest.raises(SpecError):
+            SweepSpec(schemes=("PC_X32",), bench_grid=(("misses", ("lots",)),))
+
+    def test_wss_axis_over_derived_benchmark_rebases(self):
+        """A wss override replaces (never stacks on) an existing one."""
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid=["wss=2MiB"],
+            benchmarks=(f"gob@wss={1 << 20}",),
+        )
+        assert sweep.names_for({"wss": 2 << 20}) == ["gob"]  # 2MiB == gob base
+        sweep = SweepSpec.from_args(
+            schemes=["PC_X32"],
+            grid=["wss=4MiB"],
+            benchmarks=(f"gob@wss={1 << 20}",),
+        )
+        assert sweep.names_for({"wss": 4 << 20}) == [f"gob@wss={4 << 20}"]
