@@ -34,12 +34,21 @@ explicitly.
 The ``sweep`` subcommand expands a parameter grid over scheme specs
 (``--scheme`` accepts registry names or spec strings like
 ``"PIC_X32:plb=32KiB"``; ``--grid field=v1,v2`` adds an axis — spec
-fields, or the benchmark parameters ``misses``/``wss``), prints the
-slowdown table, and writes a JSON report (``--out``, default
-``SWEEP.json``). ``--saved fig5|fig7|fig8`` runs the corresponding saved
-figure sweep from :mod:`repro.eval.sweeps` (fig8 on [26]'s platform
-runner) and defaults the report to ``SWEEP_<figure>.json``. Global flags
-go *before* ``sweep``; everything after it belongs to the subcommand.
+fields, the benchmark parameters ``misses``/``wss``, or the serving
+scenario ``tenants``/``shards``), prints the slowdown table, and writes
+a JSON report (``--out``, default ``SWEEP.json``). ``--saved
+fig5|fig7|fig8`` runs the corresponding saved figure sweep from
+:mod:`repro.eval.sweeps` (fig8 on [26]'s platform runner) and defaults
+the report to ``SWEEP_<figure>.json``; an unknown name lists the
+available sweeps. Global flags go *before* the subcommand; everything
+after it belongs to the subcommand.
+
+The ``serve`` subcommand runs the multi-tenant serving layer
+(:mod:`repro.serve`): N simulated tenant clients round-robined over a
+``--bench`` roster, multiplexed onto M ORAM shards with bounded
+admission queues, printing per-tenant/per-shard stats and writing the
+full JSON report (``--out``, default ``SERVE.json``). ``--demo`` is the
+small fixed-seed smoke scenario CI runs and archives.
 """
 
 from __future__ import annotations
@@ -94,18 +103,24 @@ _ORDER = (
 #: Default JSON report path for the ``sweep`` subcommand.
 DEFAULT_SWEEP_OUT = "SWEEP.json"
 
+#: Default JSON report path for the ``serve`` subcommand.
+DEFAULT_SERVE_OUT = "SERVE.json"
+
+#: Subcommands with their own flag namespace after the name.
+_SUBCOMMANDS = ("sweep", "serve")
+
 #: Global flags that consume a separate value token (``--flag VALUE``).
 _VALUE_FLAGS = (
     "--workers", "--trace-cache", "--result-cache", "--storage", "--replay",
 )
 
 
-def _find_sweep(raw: List[str]) -> Optional[int]:
-    """Index of a *positional* leading ``sweep`` token, else None.
+def _find_subcommand(raw: List[str]) -> Optional[int]:
+    """Index of a *positional* leading subcommand token, else None.
 
     Flag values are skipped, so a cache directory literally named
     ``sweep`` (``--trace-cache sweep fig6``) is never mistaken for the
-    subcommand; a ``sweep`` after another experiment name falls through
+    subcommand; a subcommand after another experiment name falls through
     to the normal unknown-experiment error.
     """
     skip_value = False
@@ -118,14 +133,14 @@ def _find_sweep(raw: List[str]) -> Optional[int]:
             continue
         if token.startswith("--"):
             continue
-        return index if token == "sweep" else None
+        return index if token in _SUBCOMMANDS else None
     return None
 
 
 def _usage_error(message: str) -> int:
     print(message, file=sys.stderr)
     print(
-        f"choose from: {', '.join(_ORDER)}, 'bench', 'sweep' or 'all'",
+        f"choose from: {', '.join(_ORDER)}, 'bench', 'sweep', 'serve' or 'all'",
         file=sys.stderr,
     )
     return 2
@@ -194,7 +209,7 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
 
 def _sweep_main(args: List[str]) -> int:
     """The ``sweep`` subcommand: grid x schemes x benchmarks -> table+JSON."""
-    from repro.eval.sweeps import SAVED_SWEEPS, fig8_runner, saved_sweep_names
+    from repro.eval.sweeps import fig8_runner, saved_sweep
     from repro.sim.runner import SimulationRunner
     from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
 
@@ -209,11 +224,8 @@ def _sweep_main(args: List[str]) -> int:
         value: Optional[str] = None
         if arg == "--saved" or arg.startswith("--saved="):
             value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
-            if value not in SAVED_SWEEPS:
-                print(
-                    f"--saved requires one of: {', '.join(saved_sweep_names())}",
-                    file=sys.stderr,
-                )
+            if not value:
+                print("--saved requires a figure sweep name", file=sys.stderr)
                 return 2
             saved = value
         elif arg == "--scheme" or arg.startswith("--scheme="):
@@ -265,7 +277,8 @@ def _sweep_main(args: List[str]) -> int:
         out = DEFAULT_SWEEP_OUT
     try:
         if saved is not None:
-            sweep = SAVED_SWEEPS[saved](benchmarks=benches if benches else None)
+            # Unknown names raise a ReproError listing every saved sweep.
+            sweep = saved_sweep(saved)(benchmarks=benches if benches else None)
             # fig8 pins [26]'s platform (4 channels, 2.6 GHz, 128 B lines);
             # the other figure sweeps run on the paper's default runner.
             runner = (
@@ -289,14 +302,169 @@ def _sweep_main(args: List[str]) -> int:
     return 0
 
 
+#: ``serve --demo`` presets: a small, fixed-seed 4-tenant / 2-shard
+#: scenario (mixed workloads including an interleaved ``"a+b"`` entry)
+#: that finishes in seconds — the CI smoke scenario.
+_SERVE_DEMO = dict(
+    tenants=4,
+    shards=2,
+    requests=400,
+    misses=600,
+    benches=["hmmer", "gob", "hmmer+gob", "h264"],
+)
+
+
+def _serve_main(args: List[str]) -> int:
+    """The ``serve`` subcommand: N tenants on M shards -> stats + JSON."""
+    from repro.serve import OramService, POLICIES, ServeConfig, tenants_for
+    from repro.sim.runner import SimulationRunner
+
+    values: Dict[str, Optional[int]] = {
+        "tenants": None, "shards": None, "requests": None, "burst": None,
+        "max-batch": None, "queue-cap": None, "seed": None, "misses": None,
+    }
+    scheme = "PC_X32"
+    benches: List[str] = []
+    policy: Optional[str] = None
+    mode = "serial"
+    out: Optional[str] = None
+    demo = False
+    it = iter(args)
+    for arg in it:
+        value: Optional[str] = None
+        name = arg[2:].split("=", 1)[0] if arg.startswith("--") else ""
+        if name in values:
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value is None or not value.isdigit() or int(value) < 1:
+                print(f"--{name} requires a positive integer", file=sys.stderr)
+                return 2
+            values[name] = int(value)
+        elif arg == "--demo":
+            demo = True
+        elif arg == "--scheme" or arg.startswith("--scheme="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--scheme requires a name or spec string", file=sys.stderr)
+                return 2
+            scheme = value
+        elif arg == "--bench" or arg.startswith("--bench="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--bench requires a benchmark name", file=sys.stderr)
+                return 2
+            benches.append(value)
+        elif arg == "--policy" or arg.startswith("--policy="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value not in POLICIES:
+                print(
+                    f"--policy requires one of: {', '.join(POLICIES)}",
+                    file=sys.stderr,
+                )
+                return 2
+            policy = value
+        elif arg == "--mode" or arg.startswith("--mode="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value not in ("serial", "async"):
+                print("--mode requires 'serial' or 'async'", file=sys.stderr)
+                return 2
+            mode = value
+        elif arg == "--out" or arg.startswith("--out="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--out requires a file path", file=sys.stderr)
+                return 2
+            out = value
+        else:
+            print(f"unknown serve option {arg}", file=sys.stderr)
+            return 2
+    if demo:
+        # Presets fill anything not given explicitly; the seed stays at
+        # the runner default, so demo artifacts are reproducible.
+        for key in ("tenants", "shards", "requests", "misses"):
+            if values[key] is None:
+                values[key] = _SERVE_DEMO[key]  # type: ignore[assignment]
+        if not benches:
+            benches = list(_SERVE_DEMO["benches"])  # type: ignore[arg-type]
+    if not benches:
+        benches = ["hmmer", "gob"]
+    try:
+        runner = SimulationRunner(
+            misses_per_benchmark=values["misses"],
+            **({"seed": values["seed"]} if values["seed"] is not None else {}),
+        )
+        config = ServeConfig(
+            scheme=scheme,
+            shards=values["shards"] if values["shards"] is not None else 1,
+            burst=values["burst"] if values["burst"] is not None else 4,
+            max_batch=(
+                values["max-batch"] if values["max-batch"] is not None else 32
+            ),
+            queue_capacity=(
+                values["queue-cap"] if values["queue-cap"] is not None else 64
+            ),
+            policy=policy if policy is not None else "defer",
+        )
+        service = OramService(
+            tenants_for(
+                benches,
+                values["tenants"] if values["tenants"] is not None else 2,
+                requests=values["requests"],
+            ),
+            runner=runner,
+            config=config,
+        )
+        service.run(mode=mode)
+    except ReproError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:  # unknown benchmark names in --bench
+        print(f"serve error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    report = service.report()
+    totals = report["totals"]
+    print(
+        f"serve: scheme {report['scheme']}, "
+        f"{len(report['tenants'])} tenant(s) on {len(report['shards'])} "
+        f"shard(s), policy {config.policy}, mode {mode}"
+    )
+    for tenant in report["tenants"]:
+        print(
+            f"  {tenant['name']:<16} completed {tenant['completed']:>6}"
+            f"  shed {tenant['shed']:>4}"
+            f"  cycles {tenant['cycles']:>14.1f}"
+            f"  p95<={tenant['latency_cycles']['p95_bound']:.0f}cyc"
+        )
+    for shard in report["shards"]:
+        depth = shard["queue_depth"]
+        print(
+            f"  shard {shard['shard']}: requests {shard['requests']}"
+            f"  batches {shard['batches']}"
+            f"  mean depth {depth['mean']:.1f} (max {depth['max']})"
+            f"  shed {shard['shed']}  deferred {shard['deferred']}"
+        )
+    print(
+        f"  totals: {totals['requests']} requests in {report['epochs']} "
+        f"epochs, {totals['cycles'] / 1e6:.2f} Mcycles"
+    )
+    if out is None:
+        out = DEFAULT_SERVE_OUT
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+    return 0
+
+
+_SUBCOMMAND_MAINS = {"sweep": _sweep_main, "serve": _serve_main}
+
+
 def main(argv=None) -> int:
     """Dispatch experiment names; returns a process exit code."""
     raw = list(sys.argv[1:] if argv is None else argv)
-    split = _find_sweep(raw)
+    split = _find_subcommand(raw)
     if split is not None:
         if _parse_flags(raw[:split]) is None:
             return 2
-        return _sweep_main(raw[split + 1 :])
+        return _SUBCOMMAND_MAINS[raw[split]](raw[split + 1 :])
     args = _parse_flags(raw)
     if args is None:
         return 2
@@ -308,6 +476,7 @@ def main(argv=None) -> int:
         print("  all           run everything in order")
         print("  bench         replay-throughput microbenchmark (BENCH_replay.json)")
         print("  sweep         parameter-grid sweep over scheme specs (SWEEP.json)")
+        print("  serve         multi-tenant ORAM serving scenario (SERVE.json)")
         print("Options:")
         print("  --workers N         parallel (scheme, benchmark) fan-out")
         print("  --trace-cache DIR   miss-trace cache location")
@@ -319,12 +488,26 @@ def main(argv=None) -> int:
         print("  --replay MODE       replay kernel: batched (default) | scalar")
         print("Sweep options (after 'sweep'):")
         print("  --scheme NAME|SPEC  base scheme (repeatable; spec strings ok)")
-        print("  --grid F=V1,V2      grid axis over a spec field, or over the")
-        print("                      benchmark parameters 'misses' / 'wss'")
+        print("  --grid F=V1,V2      grid axis over a spec field, the benchmark")
+        print("                      parameters 'misses' / 'wss', or the serving")
+        print("                      scenario 'tenants' / 'shards'")
         print("  --saved FIGURE      run a saved figure sweep: fig5 | fig7 | fig8")
         print("  --bench NAME        benchmark subset (repeatable)")
         print("  --misses N          per-benchmark LLC miss budget")
         print(f"  --out FILE          JSON report path (default {DEFAULT_SWEEP_OUT})")
+        print("Serve options (after 'serve'):")
+        print("  --tenants N         simulated tenant clients (round-robin roster)")
+        print("  --shards M          ORAM instances in the pool")
+        print("  --scheme NAME|SPEC  ORAM scheme for every shard")
+        print("  --bench NAME        tenant workload roster entry (repeatable;")
+        print("                      interleaved 'a+b' mixes allowed)")
+        print("  --requests N        per-tenant request cap")
+        print("  --burst/--max-batch/--queue-cap N   admission & batching knobs")
+        print("  --policy defer|shed backpressure at a full shard queue")
+        print("  --mode serial|async epoch driver (identical simulated results)")
+        print("  --seed N / --misses N   runner seed and trace miss budget")
+        print("  --demo              small fixed scenario (the CI smoke artifact)")
+        print(f"  --out FILE          JSON report path (default {DEFAULT_SERVE_OUT})")
         return 0
     if args == ["all"]:
         args = list(_ORDER)

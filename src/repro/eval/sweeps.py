@@ -25,8 +25,9 @@ programmatic discovery.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.errors import SpecError
 from repro.eval import fig5 as _fig5
 from repro.eval import fig7 as _fig7
 from repro.sim.runner import SimulationRunner
@@ -166,3 +167,19 @@ SAVED_SWEEPS = {
 def saved_sweep_names() -> List[str]:
     """Names of all saved figure sweeps."""
     return sorted(SAVED_SWEEPS)
+
+
+def saved_sweep(name: str) -> Callable[..., SweepSpec]:
+    """The saved sweep factory for ``name``.
+
+    Unknown names raise :class:`~repro.errors.SpecError` listing every
+    available saved sweep, so callers (the ``sweep --saved`` CLI
+    included) surface the whole menu instead of a bare KeyError.
+    """
+    try:
+        return SAVED_SWEEPS[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown saved sweep {name!r}; "
+            f"available: {', '.join(saved_sweep_names())}"
+        ) from None

@@ -1,0 +1,576 @@
+"""ORAM-as-a-service: N simulated tenants over M sharded ORAM instances.
+
+The service multiplexes tenant request streams over a pool of
+independently-built ORAM shards, each driven by the *same*
+:class:`~repro.sim.engine.ReplayEngine` core the offline replay kernel
+uses — serving is not a fork of replay, it is replay fed by an admission
+queue. That shared core is what makes the headline property possible:
+a single-tenant, single-shard serve of a benchmark trace is
+**bit-identical** to :func:`~repro.sim.system.replay_trace` on the same
+trace (see :func:`serve_replay_equivalent` and
+``tests/test_serve_lockstep.py``).
+
+Scheduling is epoch-based, and every simulated outcome is decided by
+three shared, deterministic steps:
+
+1. **Admission** (:meth:`OramService._admit`) — tenants are considered
+   in fixed index order; each offers up to ``burst`` requests, routed to
+   shards by an address hash. Per-shard epoch queues are bounded by
+   ``queue_capacity``; an arrival at a full queue is either **shed**
+   (dropped permanently, counted, cursor advances) or **deferred** (the
+   tenant stops issuing for this epoch and retries the same request
+   next epoch) per the configured backpressure policy.
+2. **Execution** (:meth:`OramShard.execute`) — each shard drains its
+   epoch queue in admission (ticket) order, coalesced into
+   ``max_batch``-sized runs through ``ReplayEngine.run_batch`` — which
+   is where concurrent misses meet ``plan_batch``/``leaf_for_many``.
+   Shards are mutually independent, so they may run in any interleaving.
+3. **Accounting** (:meth:`OramService._account`) — after the epoch
+   barrier, per-tenant counters/histograms are updated in (shard index,
+   queue position) order. Simulated queue wait is the prefix sum of
+   service latencies ahead of a request in its shard's epoch queue.
+
+The serial driver (:meth:`OramService.run_serial`) and the asyncio
+driver (:meth:`OramService.run_async` — real tenant client tasks, an
+admission queue, shard worker tasks yielding between batches, an
+epoch-end barrier) call exactly these three steps, so both produce
+identical simulated results; only wall-clock observations differ.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.proc.hierarchy import MissTrace
+from repro.sim.engine import ReplayEngine
+from repro.sim.metrics import SimResult
+from repro.sim.runner import SimulationRunner
+from repro.sim.system import base_cycles
+from repro.serve.stats import ShardStats, TenantStats
+from repro.serve.workload import (
+    Request,
+    TenantSpec,
+    tenant_region_blocks,
+    tenant_requests,
+)
+from repro.utils.rng import DeterministicRng
+
+#: Backpressure policies for a full shard queue.
+POLICIES = ("defer", "shed")
+
+#: Fallback sizing benchmark when every tenant uses an explicit event
+#: stream (only ``block_bytes``/``onchip``/``plb`` sizing is taken from
+#: it; ``num_blocks`` is always overridden with the pool capacity).
+_SIZING_FALLBACK = "mcf"
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(n - 1, 1).bit_length() if n > 1 else 1
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving scenario (the seed lives on the runner)."""
+
+    scheme: str = "PC_X32"
+    shards: int = 1
+    burst: int = 4
+    max_batch: int = 32
+    queue_capacity: int = 64
+    policy: str = "defer"
+    shard_blocks: Optional[int] = None
+    record_accesses: bool = False
+
+    def __post_init__(self):
+        for field in ("shards", "burst", "max_batch", "queue_capacity"):
+            if getattr(self, field) < 1:
+                raise ConfigurationError(f"serve config: {field} must be >= 1")
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"serve config: unknown policy {self.policy!r}; "
+                f"choose from {POLICIES}"
+            )
+        if self.shard_blocks is not None and self.shard_blocks < 2:
+            raise ConfigurationError("serve config: shard_blocks must be >= 2")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "shards": self.shards,
+            "burst": self.burst,
+            "max_batch": self.max_batch,
+            "queue_capacity": self.queue_capacity,
+            "policy": self.policy,
+            "shard_blocks": self.shard_blocks,
+        }
+
+
+class _Admitted:
+    """One admitted request in a shard's epoch queue."""
+
+    __slots__ = ("tenant", "local_addr", "is_write", "wall_start", "wall_end")
+
+    def __init__(self, tenant: int, local_addr: int, is_write: bool):
+        self.tenant = tenant
+        self.local_addr = local_addr
+        self.is_write = is_write
+        self.wall_start = time.perf_counter()
+        self.wall_end = self.wall_start
+
+
+class OramShard:
+    """One ORAM instance in the pool: frontend + engine + address directory.
+
+    With a single shard the service address space maps onto the ORAM
+    identically (no renumbering — the lockstep guarantee depends on it).
+    With multiple shards, each shard assigns dense local addresses to
+    the global addresses hashed onto it in first-touch order, which is
+    deterministic because admission is.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        frontend,
+        engine: ReplayEngine,
+        capacity: int,
+        identity: bool,
+        max_batch: int,
+        record_accesses: bool = False,
+    ):
+        self.index = index
+        self.frontend = frontend
+        self.engine = engine
+        self.capacity = capacity
+        self.identity = identity
+        self.max_batch = max_batch
+        self.stats = ShardStats(index)
+        self.stats.record_accesses = record_accesses
+        self._directory: Dict[int, int] = {}
+
+    def map_addr(self, global_addr: int) -> int:
+        """Global service address -> this shard's local block address."""
+        if self.identity:
+            return global_addr
+        local = self._directory.get(global_addr)
+        if local is None:
+            local = len(self._directory)
+            if local >= self.capacity:
+                raise ReproError(
+                    f"shard {self.index} directory overflow: "
+                    f"{self.capacity} blocks mapped; raise shard_blocks"
+                )
+            self._directory[global_addr] = local
+        return local
+
+    def _run_chunk(
+        self, chunk: Sequence[_Admitted]
+    ) -> List[Tuple[_Admitted, float]]:
+        """One coalesced ``run_batch`` over a slice of the epoch queue."""
+        latencies = self.engine.run_batch(
+            [r.local_addr for r in chunk], [r.is_write for r in chunk]
+        )
+        end = time.perf_counter()
+        out = []
+        for request, latency in zip(chunk, latencies):
+            self.stats.record_access(
+                request.tenant, request.local_addr, request.is_write
+            )
+            self.stats.busy_cycles += latency
+            request.wall_end = end
+            out.append((request, latency))
+        self.stats.batches += 1
+        return out
+
+    def execute(
+        self, requests: Sequence[_Admitted]
+    ) -> List[Tuple[_Admitted, float]]:
+        """Drain one epoch queue in ticket order (serial driver)."""
+        executed: List[Tuple[_Admitted, float]] = []
+        for start in range(0, len(requests), self.max_batch):
+            executed.extend(self._run_chunk(requests[start : start + self.max_batch]))
+        if requests:
+            self.stats.epochs_busy += 1
+        return executed
+
+    async def execute_async(
+        self, requests: Sequence[_Admitted]
+    ) -> List[Tuple[_Admitted, float]]:
+        """Same drain, yielding to the event loop between batches."""
+        executed: List[Tuple[_Admitted, float]] = []
+        for start in range(0, len(requests), self.max_batch):
+            executed.extend(self._run_chunk(requests[start : start + self.max_batch]))
+            await asyncio.sleep(0)
+        if requests:
+            self.stats.epochs_busy += 1
+        return executed
+
+
+class _TenantState:
+    """Mutable serving state of one tenant: stream, cursor, stats, region."""
+
+    __slots__ = ("spec", "stream", "cursor", "offset", "region_blocks", "stats")
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        stream: List[Request],
+        offset: int,
+        region_blocks: int,
+    ):
+        self.spec = spec
+        self.stream = stream
+        self.cursor = 0
+        self.offset = offset
+        self.region_blocks = region_blocks
+        self.stats = TenantStats(spec.name, spec.workload_label)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.stream) - self.cursor
+
+
+class OramService:
+    """The multi-tenant serving layer over a pool of ORAM shards."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        runner: Optional[SimulationRunner] = None,
+        config: ServeConfig = ServeConfig(),
+        observer=None,
+    ):
+        if not tenants:
+            raise ConfigurationError("a serve scenario needs at least one tenant")
+        self.runner = runner if runner is not None else SimulationRunner()
+        self.config = config
+        sizing_bench = next(
+            (t.benchmark for t in tenants if t.benchmark is not None),
+            _SIZING_FALLBACK,
+        )
+        probe_spec, self.scheme_label = self.runner.sized_spec(
+            config.scheme, sizing_bench
+        )
+        self.block_bytes = probe_spec.block_bytes
+        lines_per_block = max(self.block_bytes // self.runner.proc.line_bytes, 1)
+        # Materialise every tenant stream up front (trace-cache backed),
+        # laying tenant regions back to back in the service address space.
+        self._tenants: List[_TenantState] = []
+        offset = 0
+        for spec in tenants:
+            stream = tenant_requests(spec, self.runner, lines_per_block)
+            region = tenant_region_blocks(spec, self.block_bytes, stream)
+            self._tenants.append(_TenantState(spec, stream, offset, region))
+            offset += region
+        total_blocks = _next_pow2(max(offset, 2))
+        if config.shard_blocks is not None:
+            capacity = _next_pow2(config.shard_blocks)
+        elif config.shards == 1:
+            capacity = total_blocks
+        else:
+            capacity = _next_pow2(max(2 * total_blocks // config.shards, 64))
+        self.shards: List[OramShard] = []
+        for index in range(config.shards):
+            spec, _label = self.runner.sized_spec(
+                config.scheme, sizing_bench, num_blocks=capacity
+            )
+            frontend = spec.build(
+                rng=DeterministicRng((self.runner.seed + index) ^ 0xA5A5),
+                observer=observer,
+            )
+            engine = ReplayEngine(
+                frontend, self.runner.timing_for(frontend), proc=self.runner.proc
+            )
+            self.shards.append(
+                OramShard(
+                    index,
+                    frontend,
+                    engine,
+                    capacity=capacity,
+                    identity=(config.shards == 1),
+                    max_batch=config.max_batch,
+                    record_accesses=config.record_accesses,
+                )
+            )
+        self.epochs = 0
+        self._wall_start: Optional[float] = None
+        self._wall_elapsed = 0.0
+
+    # -- setup helpers ---------------------------------------------------------
+
+    def preload(self, tenant_index: int, addr: int, data: bytes) -> None:
+        """Write a block before serving starts, outside all accounting.
+
+        The touched shard's engine is re-created afterwards so its
+        baseline counters (and cycle fold) exclude the preload traffic.
+        """
+        if self.epochs or any(t.cursor for t in self._tenants):
+            raise ReproError("preload must happen before serving starts")
+        shard = self._route(self._tenants[tenant_index].offset + addr)
+        from repro.backend.ops import Op
+
+        payload = bytes(data).ljust(self.block_bytes, b"\0")[: self.block_bytes]
+        shard.frontend.access(
+            shard.map_addr(self._tenants[tenant_index].offset + addr),
+            Op.WRITE,
+            payload,
+        )
+        shard.engine = ReplayEngine(
+            shard.frontend, shard.engine.timing, proc=self.runner.proc
+        )
+
+    def _shard_index(self, global_addr: int) -> int:
+        if self.config.shards == 1:
+            return 0
+        key = global_addr.to_bytes(8, "little", signed=True)
+        return zlib.crc32(key) % self.config.shards
+
+    def _route(self, global_addr: int) -> OramShard:
+        return self.shards[self._shard_index(global_addr)]
+
+    # -- the three deterministic steps -----------------------------------------
+
+    def _next_candidates(self, tenant_index: int) -> List[Request]:
+        """Pure peek: the next ``burst`` requests of one tenant's stream."""
+        state = self._tenants[tenant_index]
+        return state.stream[state.cursor : state.cursor + self.config.burst]
+
+    def _admit(
+        self, candidate_lists: Sequence[Sequence[Request]]
+    ) -> List[List[_Admitted]]:
+        """Bounded admission in fixed tenant order — the single mutation
+        site for cursors and shed/defer counters."""
+        queues: List[List[_Admitted]] = [[] for _ in self.shards]
+        capacity = self.config.queue_capacity
+        shed = self.config.policy == "shed"
+        for tenant_index, candidates in enumerate(candidate_lists):
+            state = self._tenants[tenant_index]
+            for local_addr, is_write in candidates:
+                global_addr = state.offset + local_addr
+                shard_index = self._shard_index(global_addr)
+                if len(queues[shard_index]) >= capacity:
+                    if shed:
+                        state.cursor += 1
+                        state.stats.issued += 1
+                        state.stats.shed += 1
+                        self.shards[shard_index].stats.shed += 1
+                        continue
+                    state.stats.deferred += 1
+                    self.shards[shard_index].stats.deferred += 1
+                    break  # defer: stop issuing this epoch, retry next
+                state.cursor += 1
+                state.stats.issued += 1
+                queues[shard_index].append(
+                    _Admitted(
+                        tenant_index,
+                        self.shards[shard_index].map_addr(global_addr),
+                        bool(is_write),
+                    )
+                )
+        for shard, queue in zip(self.shards, queues):
+            shard.stats.record_depth(len(queue))
+        return queues
+
+    def _account(
+        self,
+        executed_by_shard: Sequence[Optional[List[Tuple[_Admitted, float]]]],
+    ) -> None:
+        """Post-barrier accounting in (shard index, queue position) order."""
+        for executed in executed_by_shard:
+            if not executed:
+                continue
+            wait = 0.0
+            for request, latency in executed:
+                stats = self._tenants[request.tenant].stats
+                stats.completed += 1
+                stats.cycles += latency
+                stats.service_cycles.record(latency)
+                stats.latency_cycles.record(wait + latency)
+                stats.wall_us.record(
+                    (request.wall_end - request.wall_start) * 1e6
+                )
+                wait += latency
+
+    # -- drivers ---------------------------------------------------------------
+
+    def _unfinished(self) -> bool:
+        return any(t.remaining for t in self._tenants)
+
+    def _max_epochs(self) -> int:
+        return 2 * sum(len(t.stream) for t in self._tenants) + 16
+
+    def _check_progress(self, admitted: int) -> None:
+        if admitted == 0 and self._unfinished():
+            raise ReproError(
+                "serve made no progress in an epoch; "
+                "queue_capacity/policy starve every tenant"
+            )
+        if self.epochs > self._max_epochs():
+            raise ReproError("serve exceeded its epoch budget without draining")
+
+    def run_serial(self) -> "OramService":
+        """Drain every tenant stream with the serial epoch loop."""
+        started = time.perf_counter()
+        while self._unfinished():
+            queues = self._admit(
+                [self._next_candidates(i) for i in range(len(self._tenants))]
+            )
+            executed = [shard.execute(queue) for shard, queue in zip(self.shards, queues)]
+            self._account(executed)
+            self.epochs += 1
+            self._check_progress(sum(len(q) for q in queues))
+        self._wall_elapsed += time.perf_counter() - started
+        return self
+
+    async def _run_async(self) -> None:
+        admission: asyncio.Queue = asyncio.Queue()
+        completions: asyncio.Queue = asyncio.Queue()
+        tenant_cmds = [asyncio.Queue() for _ in self._tenants]
+        shard_inboxes = [asyncio.Queue() for _ in self.shards]
+
+        async def tenant_client(index: int) -> None:
+            # A closed-loop simulated client: each epoch it offers its
+            # next burst to the admission queue and waits for the next
+            # epoch signal. The offer is a pure peek — admission itself
+            # stays serialized in the coordinator.
+            while await tenant_cmds[index].get() is not None:
+                await admission.put((index, self._next_candidates(index)))
+
+        async def shard_worker(index: int) -> None:
+            shard = self.shards[index]
+            while True:
+                queue = await shard_inboxes[index].get()
+                if queue is None:
+                    return
+                await completions.put((index, await shard.execute_async(queue)))
+
+        tasks = [
+            asyncio.ensure_future(tenant_client(i))
+            for i in range(len(self._tenants))
+        ] + [
+            asyncio.ensure_future(shard_worker(j)) for j in range(len(self.shards))
+        ]
+        try:
+            while self._unfinished():
+                for cmds in tenant_cmds:
+                    cmds.put_nowait("epoch")
+                offers: Dict[int, List[Request]] = {}
+                for _ in self._tenants:
+                    index, candidates = await admission.get()
+                    offers[index] = candidates
+                # Offers arrive in event-loop order; admission re-imposes
+                # tenant order, so the simulated outcome is identical to
+                # the serial driver's.
+                queues = self._admit(
+                    [offers[i] for i in range(len(self._tenants))]
+                )
+                busy = [j for j, queue in enumerate(queues) if queue]
+                for j in busy:
+                    shard_inboxes[j].put_nowait(queues[j])
+                executed: List[Optional[List[Tuple[_Admitted, float]]]] = [
+                    None
+                ] * len(self.shards)
+                for _ in busy:  # epoch barrier
+                    j, done = await completions.get()
+                    executed[j] = done
+                self._account(executed)
+                self.epochs += 1
+                self._check_progress(sum(len(q) for q in queues))
+        finally:
+            for cmds in tenant_cmds:
+                cmds.put_nowait(None)
+            for inbox in shard_inboxes:
+                inbox.put_nowait(None)
+            await asyncio.gather(*tasks)
+
+    def run_async(self) -> "OramService":
+        """Drain every tenant stream with the asyncio front door."""
+        started = time.perf_counter()
+        asyncio.run(self._run_async())
+        self._wall_elapsed += time.perf_counter() - started
+        return self
+
+    def run(self, mode: str = "serial") -> "OramService":
+        if mode == "serial":
+            return self.run_serial()
+        if mode == "async":
+            return self.run_async()
+        raise ConfigurationError(
+            f"unknown serve mode {mode!r}; choose from ('serial', 'async')"
+        )
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """JSON-safe image of the whole run (the ``serve`` CLI artifact)."""
+        total_cycles = 0.0
+        for shard in self.shards:
+            total_cycles += shard.stats.busy_cycles
+        return {
+            "kind": "serve",
+            "scheme": self.scheme_label,
+            "seed": self.runner.seed,
+            "config": self.config.to_dict(),
+            "epochs": self.epochs,
+            "wall_seconds": self._wall_elapsed,
+            "tenants": [t.stats.to_dict() for t in self._tenants],
+            "shards": [s.stats.to_dict() for s in self.shards],
+            "totals": {
+                "requests": sum(t.stats.completed for t in self._tenants),
+                "issued": sum(t.stats.issued for t in self._tenants),
+                "shed": sum(t.stats.shed for t in self._tenants),
+                "deferred": sum(t.stats.deferred for t in self._tenants),
+                "cycles": total_cycles,
+            },
+        }
+
+    @property
+    def tenant_stats(self) -> List[TenantStats]:
+        return [t.stats for t in self._tenants]
+
+    @property
+    def shard_stats(self) -> List[ShardStats]:
+        return [s.stats for s in self.shards]
+
+
+def serve_replay_equivalent(
+    trace: MissTrace,
+    scheme: str,
+    runner: SimulationRunner,
+    *,
+    mode: str = "serial",
+    burst: int = 8,
+    max_batch: int = 32,
+    queue_capacity: int = 64,
+) -> SimResult:
+    """Serve one benchmark trace 1-tenant/1-shard and return its SimResult.
+
+    The shard's engine is seeded with ``base_cycles`` *before* serving —
+    the same fold order as :func:`~repro.sim.system.replay_trace` — and
+    the service address space maps identically onto the single shard, so
+    the returned result is bit-identical to offline replay of the same
+    trace (cycles, counters, and the post-run tree digest). Backpressure
+    is fixed to ``defer`` because shedding would drop requests.
+    """
+    config = ServeConfig(
+        scheme=scheme,
+        shards=1,
+        burst=burst,
+        max_batch=max_batch,
+        queue_capacity=queue_capacity,
+        policy="defer",
+    )
+    service = OramService(
+        [TenantSpec(name=trace.name, benchmark=trace.name)],
+        runner=runner,
+        config=config,
+    )
+    shard = service.shards[0]
+    shard.engine.cycles = base_cycles(trace, runner.proc)
+    service.run(mode=mode)
+    return shard.engine.result(trace, scheme=service.scheme_label)

@@ -1,0 +1,179 @@
+"""Per-tenant and per-shard accounting for the serving layer.
+
+Everything here is observational: recording a latency or a queue depth
+never feeds back into scheduling or simulated state, so wall-clock
+histograms can coexist with bit-reproducible simulated outcomes. All
+``to_dict`` images are JSON-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List, Optional
+
+
+class LatencyHistogram:
+    """Power-of-two-bucketed latency histogram with exact moments.
+
+    Buckets are ``[2^(k-1), 2^k)`` by integer magnitude (bucket 0 holds
+    values < 1), which spans simulated-cycle and wall-microsecond scales
+    without configuration. ``quantile_bound(q)`` reports the upper edge
+    of the bucket containing the q-quantile — a guaranteed upper bound,
+    which is the useful direction for SLO reporting.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length()
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile_bound(self, q: float) -> float:
+        """Upper edge of the bucket holding the q-quantile (0 when empty)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= target:
+                return float(1 << bucket)
+        return float(1 << max(self._buckets))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50_bound": self.quantile_bound(0.50),
+            "p95_bound": self.quantile_bound(0.95),
+            "p99_bound": self.quantile_bound(0.99),
+            # Keyed by bucket upper edge so the JSON artifact is
+            # self-describing without knowing the bucketing rule.
+            "buckets": {
+                str(1 << bucket): self._buckets[bucket]
+                for bucket in sorted(self._buckets)
+            },
+        }
+
+
+class TenantStats:
+    """One tenant's serving record.
+
+    ``cycles`` is the left-fold sum of the tenant's own service
+    latencies in stream order — the quantity the determinism tests pin
+    serial-vs-concurrent. ``service_cycles`` histograms the pure engine
+    service time; ``latency_cycles`` adds the simulated queue wait ahead
+    of the request in its shard's epoch queue; ``wall_us`` is the
+    observational wall-clock time from admission to completion.
+    """
+
+    def __init__(self, name: str, benchmark: str) -> None:
+        self.name = name
+        self.benchmark = benchmark
+        self.issued = 0
+        self.completed = 0
+        self.shed = 0
+        self.deferred = 0
+        self.cycles = 0.0
+        self.service_cycles = LatencyHistogram()
+        self.latency_cycles = LatencyHistogram()
+        self.wall_us = LatencyHistogram()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "benchmark": self.benchmark,
+            "issued": self.issued,
+            "completed": self.completed,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "cycles": self.cycles,
+            "service_cycles": self.service_cycles.to_dict(),
+            "latency_cycles": self.latency_cycles.to_dict(),
+            "wall_us": self.wall_us.to_dict(),
+        }
+
+
+class ShardStats:
+    """One shard's serving record, including the access-sequence digest.
+
+    The digest is a running SHA-256 over ``(tenant index, local address,
+    is_write)`` triples in execution order — a compact witness of the
+    shard's exact access sequence, which the determinism suite compares
+    across serial and concurrent runs (and which a full recorded
+    sequence would reproduce).
+    """
+
+    _PACK = struct.Struct("<qqB")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.requests = 0
+        self.batches = 0
+        self.epochs_busy = 0
+        self.shed = 0
+        self.deferred = 0
+        self.busy_cycles = 0.0
+        self.depth_samples = 0
+        self.depth_total = 0
+        self.depth_max = 0
+        self._digest = hashlib.sha256()
+        self.accesses: List[tuple] = []
+        self.record_accesses = False
+
+    def record_depth(self, depth: int) -> None:
+        self.depth_samples += 1
+        self.depth_total += depth
+        if depth > self.depth_max:
+            self.depth_max = depth
+
+    def record_access(self, tenant_index: int, local_addr: int, is_write: bool) -> None:
+        self.requests += 1
+        self._digest.update(
+            self._PACK.pack(tenant_index, local_addr, 1 if is_write else 0)
+        )
+        if self.record_accesses:
+            self.accesses.append((tenant_index, local_addr, is_write))
+
+    @property
+    def access_digest(self) -> str:
+        return self._digest.hexdigest()
+
+    @property
+    def mean_depth(self) -> float:
+        return self.depth_total / self.depth_samples if self.depth_samples else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.index,
+            "requests": self.requests,
+            "batches": self.batches,
+            "epochs_busy": self.epochs_busy,
+            "shed": self.shed,
+            "deferred": self.deferred,
+            "busy_cycles": self.busy_cycles,
+            "queue_depth": {
+                "samples": self.depth_samples,
+                "mean": self.mean_depth,
+                "max": self.depth_max,
+            },
+            "access_digest": self.access_digest,
+        }

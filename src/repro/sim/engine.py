@@ -1,0 +1,216 @@
+"""The per-access replay core, factored out as a reusable engine object.
+
+Historically the access loop lived inside :func:`repro.sim.system.replay_trace`
+(scalar kernel) and :func:`repro.sim.replay.replay_cycles_batched` (batched
+kernel), both hard-wired to a complete :class:`MissTrace`. The serving
+layer (:mod:`repro.serve`) needs the *same* core — translate, plan,
+access, gather latencies, accumulate cycles in event order — driven by
+live request batches instead of one offline trace. :class:`ReplayEngine`
+is that core:
+
+- ``run_batch(addrs, writes)`` executes one run of block-level requests
+  through the frontend exactly the way the batched replay kernel does
+  (``plan_batch`` pre-pass, hoisted-constant access loop, vectorised
+  latency gather, event-ordered left-fold accumulation) and returns the
+  per-event latencies so callers can do per-request accounting;
+- ``run_trace(trace)`` / ``run_trace_scalar(trace)`` are the historical
+  whole-trace kernels expressed over the same state;
+- ``result(trace, scheme)`` assembles the :class:`SimResult` from the
+  counters the engine snapshotted at construction.
+
+Because a sequence of ``run_batch`` calls performs the identical
+per-event operations in the identical order as one whole-trace call
+(float accumulation is a left fold either way, and ``plan_batch`` is
+memoisation invisible to every simulated outcome), serving a trace in
+admission-queue batches is bit-identical to replaying it offline — the
+property ``tests/test_serve_lockstep.py`` pins against ``replay_trace``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.backend.ops import Op
+from repro.config import ProcessorConfig
+from repro.proc.hierarchy import MissTrace
+from repro.sim.metrics import SimResult
+from repro.sim.replay import _latency_gather, translate_block_addrs
+from repro.sim.timing import OramTimingModel
+
+
+def frontend_block_bytes(frontend) -> int:
+    """Block size of a frontend's (first) ORAM configuration."""
+    config = getattr(frontend, "config", None)
+    if config is not None:
+        return config.block_bytes
+    configs = getattr(frontend, "configs", None)
+    if not configs:
+        raise TypeError(
+            f"{type(frontend).__name__} exposes neither 'config' nor "
+            "'configs'; pass block_bytes explicitly"
+        )
+    return configs[0].block_bytes
+
+
+class ReplayEngine:
+    """Stateful access core: one frontend, one timing model, running cycles.
+
+    ``cycles`` starts at 0.0; callers that need the full processor model
+    seed it (``engine.cycles = base_cycles(trace, proc)``) before the
+    first batch, so the accumulation fold is exactly the historical
+    kernel's (base value first, then per-event latencies in event order).
+    """
+
+    def __init__(
+        self,
+        frontend,
+        timing: OramTimingModel,
+        proc: ProcessorConfig = ProcessorConfig(),
+        block_bytes: Optional[int] = None,
+        lines_per_block: Optional[int] = None,
+        payload: Optional[bytes] = None,
+    ):
+        self.frontend = frontend
+        self.timing = timing
+        self.proc = proc
+        if block_bytes is None:
+            block_bytes = frontend_block_bytes(frontend)
+        self.block_bytes = block_bytes
+        self.lines_per_block = (
+            lines_per_block
+            if lines_per_block is not None
+            else max(block_bytes // proc.line_bytes, 1)
+        )
+        self.payload = payload if payload is not None else bytes(block_bytes)
+        self.cycles: float = 0.0
+        self.events = 0
+        # Baselines for delta counters: a caller may hand the engine a
+        # frontend (or crypto suite) that has already served traffic.
+        self._data_bytes0 = frontend.data_bytes_moved
+        self._posmap_bytes0 = frontend.posmap_bytes_moved
+        crypto = getattr(frontend, "crypto", None)
+        self._crypto = crypto
+        self._prf_calls0 = crypto.prf.call_count if crypto is not None else 0
+        self._prf_hits0 = crypto.prf.cache_hits if crypto is not None else 0
+        # Scalar-kernel latency memo (per-event dict probe semantics).
+        self._latency_memo: dict = {}
+
+    # -- address translation ---------------------------------------------------
+
+    def translate(self, line_addrs) -> List[int]:
+        """Line-address column -> block addresses for this geometry."""
+        return translate_block_addrs(line_addrs, self.lines_per_block)
+
+    # -- the batched core ------------------------------------------------------
+
+    def run_batch(
+        self, addrs: Sequence[int], writes: Sequence[bool]
+    ) -> Sequence[float]:
+        """Drive one batch of block-level requests through the frontend.
+
+        The batch is planned (``plan_batch`` when the frontend offers
+        it), accessed event by event with hoisted constants, and its
+        latencies are resolved by the vectorised gather then accumulated
+        onto ``self.cycles`` as an event-ordered left fold — exactly the
+        batched replay kernel, so splitting a trace across successive
+        ``run_batch`` calls is bit-identical to one whole-trace call.
+
+        Returns the per-event latencies (the serving layer's per-request
+        service times).
+        """
+        plan = getattr(self.frontend, "plan_batch", None)
+        if plan is not None:
+            plan(addrs)
+        access = self.frontend.access
+        read_op = Op.READ
+        write_op = Op.WRITE
+        payload = self.payload
+        ns: List[int] = []
+        record = ns.append
+        for addr, w in zip(addrs, writes):
+            if w:
+                result = access(addr, write_op, payload)
+            else:
+                result = access(addr, read_op)
+            record(result.tree_accesses)
+        latencies = _latency_gather(ns, self.timing)
+        for latency in latencies:
+            self.cycles += latency
+        self.events += len(ns)
+        return latencies
+
+    def run_trace(self, trace: MissTrace) -> None:
+        """Whole-trace batched replay (the PR-5 columnar pipeline)."""
+        line_addrs, is_write = trace.columns()
+        addrs = self.translate(line_addrs)
+        writes = (
+            is_write.tolist() if hasattr(is_write, "tolist") else list(is_write)
+        )
+        self.run_batch(addrs, writes)
+
+    # -- the scalar escape hatch ----------------------------------------------
+
+    def run_trace_scalar(self, trace: MissTrace) -> None:
+        """The historical per-event replay loop (``REPRO_REPLAY=scalar``).
+
+        The latency model is a pure function of the per-event tree-access
+        count, which takes only a handful of distinct values; memoising it
+        keeps the replay loop free of repeated float composition (the same
+        float is accumulated in the same order, so cycles are
+        bit-identical).
+        """
+        access = self.frontend.access
+        payload = self.payload
+        lines_per_block = self.lines_per_block
+        latency_for = self._latency_memo
+        timing = self.timing
+        cycles = self.cycles
+        for event in trace.events:
+            block_addr = event.line_addr // lines_per_block
+            if event.is_write:
+                result = access(block_addr, Op.WRITE, payload)
+            else:
+                result = access(block_addr, Op.READ)
+            n = result.tree_accesses
+            latency = latency_for.get(n)
+            if latency is None:
+                latency_for[n] = latency = timing.miss_latency(n)
+            cycles += latency
+        self.cycles = cycles
+        self.events += len(trace.events)
+
+    # -- result assembly -------------------------------------------------------
+
+    def result(self, trace: MissTrace, scheme: str = "oram") -> SimResult:
+        """Assemble the :class:`SimResult` for a trace this engine served."""
+        frontend = self.frontend
+        stats = frontend.stats
+        plb_hit_rate = (
+            stats.plb_hits / (stats.plb_hits + stats.plb_misses)
+            if (stats.plb_hits + stats.plb_misses)
+            else 0.0
+        )
+        crypto = self._crypto
+        return SimResult(
+            benchmark=trace.name,
+            scheme=scheme,
+            cycles=self.cycles,
+            instructions=trace.instructions,
+            llc_misses=trace.llc_misses,
+            oram_accesses=len(trace.events),
+            tree_accesses=stats.tree_accesses,
+            data_bytes=frontend.data_bytes_moved - self._data_bytes0,
+            posmap_bytes=frontend.posmap_bytes_moved - self._posmap_bytes0,
+            plb_hit_rate=plb_hit_rate,
+            mpki=trace.mpki,
+            prf_calls=(
+                crypto.prf.call_count - self._prf_calls0
+                if crypto is not None
+                else 0
+            ),
+            prf_cache_hits=(
+                crypto.prf.cache_hits - self._prf_hits0
+                if crypto is not None
+                else 0
+            ),
+        )

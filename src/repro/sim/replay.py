@@ -36,7 +36,6 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Sequence, Tuple
 
-from repro.backend.ops import Op
 from repro.proc.hierarchy import MissTrace
 from repro.sim.timing import OramTimingModel
 
@@ -129,33 +128,19 @@ def replay_cycles_batched(
 
     ``cycles`` carries the caller's base-cycle count; the return value is
     bit-identical to the scalar kernel's (same start value, same per-event
-    accumulation order and operands).
+    accumulation order and operands). Since PR 6 this is a thin wrapper
+    over :class:`repro.sim.engine.ReplayEngine` — the shared access core
+    that also powers the :mod:`repro.serve` layer.
     """
-    line_addrs, is_write = trace.columns()
-    addrs = translate_block_addrs(line_addrs, lines_per_block)
-    writes = is_write.tolist() if hasattr(is_write, "tolist") else list(is_write)
+    from repro.sim.engine import ReplayEngine
 
-    # Batched frontend planning: resolve the (chain, tags) for the whole
-    # run of upcoming misses before the first access.
-    plan = getattr(frontend, "plan_batch", None)
-    if plan is not None:
-        plan(addrs)
-
-    access = frontend.access
-    read_op = Op.READ
-    write_op = Op.WRITE
-    ns: List[int] = []
-    record = ns.append
-    for addr, w in zip(addrs, writes):
-        if w:
-            result = access(addr, write_op, payload)
-        else:
-            result = access(addr, read_op)
-        record(result.tree_accesses)
-
-    # Latency accumulation: vectorised gather, scalar-ordered summation
-    # (float addition is not associative; the event-order left fold is the
-    # bit pattern the golden digests pin).
-    for latency in _latency_gather(ns, timing):
-        cycles += latency
-    return cycles
+    engine = ReplayEngine(
+        frontend,
+        timing,
+        lines_per_block=lines_per_block,
+        payload=payload,
+        block_bytes=len(payload),
+    )
+    engine.cycles = cycles
+    engine.run_trace(trace)
+    return engine.cycles

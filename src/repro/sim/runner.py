@@ -65,13 +65,11 @@ from typing import (
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
-from repro.frontend.recursive import RecursiveFrontend
-from repro.frontend.unified import PlbFrontend
 from repro.proc.hierarchy import CacheHierarchy, MissTrace
 from repro.sim.metrics import SimResult
 from repro.sim.result_cache import ResultCache, default_result_cache_dir, result_key
 from repro.sim.system import insecure_cycles, replay_trace
-from repro.sim.timing import OramTimingModel
+from repro.sim.timing import OramTimingModel, timing_for_frontend
 from repro.sim.trace_cache import TraceCache, default_cache_dir, trace_key
 from repro.spec import (
     SchemeSpec,
@@ -321,15 +319,7 @@ class SimulationRunner:
 
     def timing_for(self, frontend) -> OramTimingModel:
         """Timing model matched to a frontend's tree geometry."""
-        if isinstance(frontend, RecursiveFrontend):
-            return OramTimingModel.for_recursive(
-                frontend.configs, self.dram, self.proc_ghz
-            )
-        return OramTimingModel.for_config(
-            frontend.config, self.dram, self.proc_ghz, pmmac=frontend.pmmac
-            if isinstance(frontend, PlbFrontend)
-            else False,
-        )
+        return timing_for_frontend(frontend, self.dram, self.proc_ghz)
 
     # -- experiments ------------------------------------------------------------------
 

@@ -54,15 +54,23 @@ from repro.workloads.spec import benchmark, benchmark_names, scaled_benchmark_na
 #: ``wss`` sweeps the working-set size (a derived-benchmark override).
 BENCH_AXES = ("misses", "wss")
 
+#: Grid axes over *serving-scenario parameters*: ``tenants`` sweeps the
+#: simulated client count, ``shards`` the ORAM pool size. Any serve axis
+#: turns the sweep into an "N tenants on M shards" scenario sweep run
+#: through :mod:`repro.serve` (one cell per combo, the benchmark list
+#: becoming the round-robin tenant roster) instead of offline replay.
+SERVE_AXES = ("tenants", "shards")
+
 
 def parse_grid_axis(text: str) -> Tuple[str, Tuple[object, ...]]:
     """Parse one ``--grid`` argument: ``"plb=4KiB,8KiB"`` -> axis tuple.
 
-    The key accepts full spec field names, the mini-language aliases, or
+    The key accepts full spec field names, the mini-language aliases,
     one of the benchmark-parameter axes in :data:`BENCH_AXES`
-    (``"misses=2000,8000"``, ``"wss=4MiB,16MiB"``); values parse by the
-    field's type (sizes, bools, ``none`` — bench axes are positive
-    sizes/integers).
+    (``"misses=2000,8000"``, ``"wss=4MiB,16MiB"``), or one of the
+    serving-scenario axes in :data:`SERVE_AXES` (``"tenants=2,4"``,
+    ``"shards=1,2"``); values parse by the field's type (sizes, bools,
+    ``none`` — bench and serve axes are positive sizes/integers).
     """
     if "=" not in text:
         raise SpecError(
@@ -71,7 +79,7 @@ def parse_grid_axis(text: str) -> Tuple[str, Tuple[object, ...]]:
     key, _, rest = text.partition("=")
     items = [item for item in rest.split(",") if item.strip()]
     axis = key.strip().lower()
-    if axis in BENCH_AXES:
+    if axis in BENCH_AXES or axis in SERVE_AXES:
         values = tuple(_parse_bench_value(axis, item) for item in items)
     else:
         axis = resolve_field(key)
@@ -84,11 +92,11 @@ def parse_grid_axis(text: str) -> Tuple[str, Tuple[object, ...]]:
 
 
 def _parse_bench_value(axis: str, value: object) -> int:
-    """Parse one benchmark-parameter axis value (positive integer)."""
+    """Parse one benchmark- or serve-parameter axis value (positive int)."""
     parsed = parse_size(value) if isinstance(value, str) else value
     if not isinstance(parsed, int) or isinstance(parsed, bool) or parsed < 1:
         raise SpecError(
-            f"bench axis {axis!r} expects positive integers, got {value!r}"
+            f"axis {axis!r} expects positive integers, got {value!r}"
         )
     return parsed
 
@@ -101,12 +109,17 @@ class SweepSpec:
     ``bench_grid`` axes vary benchmark parameters (:data:`BENCH_AXES`:
     the per-benchmark miss budget and the working-set size), expanding
     the benchmark/runner side of the matrix instead of the scheme side.
+    ``serve_grid`` axes (:data:`SERVE_AXES`) vary the multi-tenant
+    serving scenario — any serve axis switches :func:`run_sweep` from
+    offline replay to :mod:`repro.serve` scenario cells, with the
+    benchmark list as the round-robin tenant roster.
     """
 
     schemes: Tuple[SchemeLike, ...]
     grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
     benchmarks: Tuple[str, ...] = ()
     bench_grid: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    serve_grid: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
 
     def __post_init__(self):
         if not self.schemes:
@@ -143,6 +156,27 @@ class SweepSpec:
                 (axis, tuple(_parse_bench_value(axis, v) for v in values))
             )
         object.__setattr__(self, "bench_grid", tuple(normalised))
+        serve_seen = set()
+        serve_normalised: List[Tuple[str, Tuple[int, ...]]] = []
+        for axis, values in self.serve_grid:
+            if axis not in SERVE_AXES:
+                raise SpecError(
+                    f"unknown serve axis {axis!r}; choose from {SERVE_AXES}"
+                )
+            if axis in serve_seen:
+                raise SpecError(f"serve axis {axis!r} appears twice")
+            serve_seen.add(axis)
+            if not values:
+                raise SpecError(f"serve axis {axis!r} lists no values")
+            serve_normalised.append(
+                (axis, tuple(_parse_bench_value(axis, v) for v in values))
+            )
+        object.__setattr__(self, "serve_grid", tuple(serve_normalised))
+        if self.serve_grid and self.bench_grid:
+            raise SpecError(
+                "serve axes (tenants/shards) cannot be combined with "
+                "bench axes (misses/wss) in one sweep"
+            )
         # Fail fast on unknown schemes/benchmarks at construction time.
         for scheme in self.schemes:
             resolve_spec(scheme)
@@ -164,18 +198,21 @@ class SweepSpec:
         ``grid`` is either a mapping ``{field: values}`` (field names or
         aliases; values raw or mini-language strings) or an iterable of
         ``"field=v1,v2"`` axis strings. Axes named after a benchmark
-        parameter (:data:`BENCH_AXES`) are routed to ``bench_grid``;
+        parameter (:data:`BENCH_AXES`) are routed to ``bench_grid``,
+        serving-scenario axes (:data:`SERVE_AXES`) to ``serve_grid``;
         everything else resolves as a spec field.
         """
         axes: List[Tuple[str, Tuple[object, ...]]] = []
         bench_axes: List[Tuple[str, Tuple[int, ...]]] = []
+        serve_axes: List[Tuple[str, Tuple[int, ...]]] = []
         if grid is None:
             pass
         elif isinstance(grid, Mapping):
             for key, values in grid.items():
                 axis = str(key).strip().lower()
-                if axis in BENCH_AXES:
-                    bench_axes.append(
+                if axis in BENCH_AXES or axis in SERVE_AXES:
+                    target = bench_axes if axis in BENCH_AXES else serve_axes
+                    target.append(
                         (axis, tuple(_parse_bench_value(axis, v) for v in values))
                     )
                     continue
@@ -192,6 +229,8 @@ class SweepSpec:
                 axis, values = parse_grid_axis(item)
                 if axis in BENCH_AXES:
                     bench_axes.append((axis, values))  # type: ignore[arg-type]
+                elif axis in SERVE_AXES:
+                    serve_axes.append((axis, values))  # type: ignore[arg-type]
                 else:
                     axes.append((axis, values))
         return cls(
@@ -199,6 +238,7 @@ class SweepSpec:
             grid=tuple(axes),
             benchmarks=tuple(benchmarks) if benchmarks is not None else (),
             bench_grid=tuple(bench_axes),
+            serve_grid=tuple(serve_axes),
         )
 
     def points(self) -> List[Tuple[str, SchemeSpec]]:
@@ -248,6 +288,16 @@ class SweepSpec:
             dict(zip(axes, combo)) for combo in itertools.product(*value_axes)
         ]
 
+    def serve_points(self) -> List[Dict[str, int]]:
+        """Expanded serving-scenario combos (``[]`` when no serve axes)."""
+        if not self.serve_grid:
+            return []
+        axes = [axis for axis, _values in self.serve_grid]
+        value_axes = [values for _axis, values in self.serve_grid]
+        return [
+            dict(zip(axes, combo)) for combo in itertools.product(*value_axes)
+        ]
+
     def names_for(self, combo: Mapping[str, int]) -> List[str]:
         """Benchmark names for one bench-grid combo (``wss`` applied).
 
@@ -282,12 +332,15 @@ def run_sweep(
     are ordered (bench combos, then points, then benchmarks) regardless
     of worker scheduling, and results are bitwise identical serial vs
     parallel and warm-cache vs cold — the experiment engine's core
-    guarantee.
+    guarantee. A sweep with serve axes (:data:`SERVE_AXES`) runs
+    multi-tenant serving scenarios instead — see :func:`_run_serve_sweep`.
     """
     if runner is None:
         runner = SimulationRunner()
     points = sweep.points()
     labels = [label for label, _spec in points]
+    if sweep.serve_grid:
+        return _run_serve_sweep(sweep, runner, points)
     combos = sweep.bench_points()
     multi_miss = any("misses" in combo for combo in combos)
     cells: List[Dict[str, object]] = []
@@ -344,6 +397,65 @@ def run_sweep(
     }
 
 
+def _run_serve_sweep(
+    sweep: SweepSpec,
+    runner: SimulationRunner,
+    points: List[Tuple[str, SchemeSpec]],
+) -> Dict[str, object]:
+    """The serve branch of :func:`run_sweep`: scenario cells, no baselines.
+
+    One cell per (grid point, tenants x shards combo): the benchmark
+    list becomes the round-robin tenant roster of an
+    :class:`~repro.serve.OramService` run, and the cell's ``result``
+    carries the pool's total busy cycles (so :func:`sweep_table`'s
+    megacycles rendering applies unchanged) next to the full per-tenant
+    serve report. Insecure baselines are meaningless for a shared pool,
+    so serve reports never carry them.
+    """
+    from repro.serve import OramService, ServeConfig, tenants_for
+
+    names = sweep.bench_names()
+    roster = ",".join(names)
+    cells: List[Dict[str, object]] = []
+    for combo in sweep.serve_points():
+        tenants = combo.get("tenants", 2)
+        shards = combo.get("shards", 1)
+        for label, spec in points:
+            service = OramService(
+                tenants_for(names, tenants),
+                runner=runner,
+                config=ServeConfig(scheme=label, shards=shards),
+            )
+            service.run("serial")
+            serve_report = service.report()
+            cells.append(
+                {
+                    "scheme": label,
+                    "benchmark": roster,
+                    "tenants": tenants,
+                    "shards": shards,
+                    "misses": runner.misses,
+                    "spec": spec.to_dict(),
+                    "result": {"cycles": serve_report["totals"]["cycles"]},
+                    "serve": serve_report,
+                }
+            )
+    import repro
+
+    return {
+        "kind": "sweep",
+        "version": getattr(repro, "__version__", "0"),
+        "schemes": [label for label, _spec in points],
+        "grid": {
+            **{field_name: list(values) for field_name, values in sweep.grid},
+            **{axis: list(values) for axis, values in sweep.serve_grid},
+        },
+        "benchmarks": [roster],
+        "baselines": {},
+        "cells": cells,
+    }
+
+
 def sweep_table(report: Mapping[str, object]) -> str:
     """Render a sweep report as an aligned text table.
 
@@ -369,6 +481,9 @@ def sweep_table(report: Mapping[str, object]) -> str:
         suffixes = [bench_suffix] if bench_suffix else []
         if show_misses:
             suffixes.append(f"misses={cell['misses']}")
+        for serve_axis in SERVE_AXES:
+            if serve_axis in cell:
+                suffixes.append(f"{serve_axis}={cell[serve_axis]}")
         label = cell["scheme"] + (
             f" [{','.join(suffixes)}]" if suffixes else ""
         )

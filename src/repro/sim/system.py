@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.backend.ops import Op
 from repro.config import ProcessorConfig
 from repro.frontend.base import Frontend
 from repro.proc.hierarchy import MissTrace
@@ -51,37 +50,6 @@ def insecure_cycles(
     )
 
 
-def _replay_cycles_scalar(
-    frontend: Frontend,
-    trace: MissTrace,
-    timing: OramTimingModel,
-    cycles,
-    lines_per_block: int,
-    payload: bytes,
-):
-    """The historical per-event replay loop (``REPRO_REPLAY=scalar``).
-
-    The latency model is a pure function of the per-event tree-access
-    count, which takes only a handful of distinct values; memoising it
-    keeps the replay loop free of repeated float composition (the same
-    float is accumulated in the same order, so cycles are bit-identical).
-    """
-    access = frontend.access
-    latency_for: dict = {}
-    for event in trace.events:
-        block_addr = event.line_addr // lines_per_block
-        if event.is_write:
-            result = access(block_addr, Op.WRITE, payload)
-        else:
-            result = access(block_addr, Op.READ)
-        n = result.tree_accesses
-        latency = latency_for.get(n)
-        if latency is None:
-            latency_for[n] = latency = timing.miss_latency(n)
-        cycles += latency
-    return cycles
-
-
 def replay_trace(
     frontend: Frontend,
     trace: MissTrace,
@@ -100,59 +68,20 @@ def replay_trace(
     frontend statistics, and final tree contents — a property pinned by
     the lockstep differential suite; the choice is performance-only and
     therefore never part of any result-cache key.
+
+    Both kernels run on a :class:`~repro.sim.engine.ReplayEngine` — the
+    same access core the :mod:`repro.serve` layer drives with live
+    request batches, so serving inherits every bit-identity guarantee the
+    differential harnesses prove here.
     """
-    from repro.sim.replay import replay_cycles_batched, resolve_replay_mode
+    from repro.sim.engine import ReplayEngine
+    from repro.sim.replay import resolve_replay_mode
 
     mode = resolve_replay_mode(mode)
-    if block_bytes is None:
-        config = getattr(frontend, "config", None)
-        if config is not None:
-            block_bytes = config.block_bytes
-        else:
-            configs = getattr(frontend, "configs", None)
-            if not configs:
-                raise TypeError(
-                    f"{type(frontend).__name__} exposes neither 'config' nor "
-                    "'configs'; pass block_bytes explicitly"
-                )
-            block_bytes = configs[0].block_bytes
-    lines_per_block = max(block_bytes // proc.line_bytes, 1)
-    payload = bytes(block_bytes)
-    cycles = base_cycles(trace, proc)
-    data_bytes0 = frontend.data_bytes_moved
-    posmap_bytes0 = frontend.posmap_bytes_moved
-    # PRF leaf-derivation accounting (PLB/unified frontends own a crypto
-    # suite; the recursive and linear baselines derive no PRF leaves).
-    # Deltas, because a caller may hand the same suite to several replays.
-    crypto = getattr(frontend, "crypto", None)
-    prf_calls0 = crypto.prf.call_count if crypto is not None else 0
-    prf_hits0 = crypto.prf.cache_hits if crypto is not None else 0
-
-    kernel = (
-        replay_cycles_batched if mode == "batched" else _replay_cycles_scalar
-    )
-    cycles = kernel(frontend, trace, timing, cycles, lines_per_block, payload)
-
-    stats = frontend.stats
-    plb_hit_rate = (
-        stats.plb_hits / (stats.plb_hits + stats.plb_misses)
-        if (stats.plb_hits + stats.plb_misses)
-        else 0.0
-    )
-    return SimResult(
-        benchmark=trace.name,
-        scheme=scheme,
-        cycles=cycles,
-        instructions=trace.instructions,
-        llc_misses=trace.llc_misses,
-        oram_accesses=len(trace.events),
-        tree_accesses=stats.tree_accesses,
-        data_bytes=frontend.data_bytes_moved - data_bytes0,
-        posmap_bytes=frontend.posmap_bytes_moved - posmap_bytes0,
-        plb_hit_rate=plb_hit_rate,
-        mpki=trace.mpki,
-        prf_calls=(crypto.prf.call_count - prf_calls0) if crypto is not None else 0,
-        prf_cache_hits=(
-            (crypto.prf.cache_hits - prf_hits0) if crypto is not None else 0
-        ),
-    )
+    engine = ReplayEngine(frontend, timing, proc=proc, block_bytes=block_bytes)
+    engine.cycles = base_cycles(trace, proc)
+    if mode == "batched":
+        engine.run_trace(trace)
+    else:
+        engine.run_trace_scalar(trace)
+    return engine.result(trace, scheme)

@@ -80,3 +80,30 @@ class OramTimingModel:
         if self.pmmac:
             latency += t.sha3_latency
         return latency
+
+
+def timing_for_frontend(
+    frontend,
+    dram: Optional[DramConfig] = None,
+    proc_ghz: float = 1.3,
+) -> OramTimingModel:
+    """Timing model matched to a frontend's tree geometry.
+
+    One shared resolver for every frontend kind: multi-tree Recursive
+    frontends (``configs``) get the averaged per-level model, everything
+    else the single-tree model with PMMAC latency when the frontend
+    verifies (``PlbFrontend.pmmac``). Both the experiment runner and the
+    serving layer derive their timing here, so a served shard prices an
+    access exactly like the replay harness does.
+    """
+    from repro.frontend.recursive import RecursiveFrontend
+    from repro.frontend.unified import PlbFrontend
+
+    if isinstance(frontend, RecursiveFrontend):
+        return OramTimingModel.for_recursive(frontend.configs, dram, proc_ghz)
+    return OramTimingModel.for_config(
+        frontend.config,
+        dram,
+        proc_ghz,
+        pmmac=frontend.pmmac if isinstance(frontend, PlbFrontend) else False,
+    )

@@ -7,7 +7,14 @@ synthetic generators that span the same locality spectrum (see DESIGN.md
 thereof, one tuned stand-in per named benchmark.
 """
 
-from repro.workloads.spec import SPEC_BENCHMARKS, SpecStandIn, benchmark, benchmark_names
+from repro.workloads.spec import (
+    MULTI_TENANT_MIXES,
+    SPEC_BENCHMARKS,
+    SpecStandIn,
+    benchmark,
+    benchmark_names,
+    interleaved_name,
+)
 from repro.workloads.synthetic import (
     hot_cold,
     pointer_chase,
@@ -18,10 +25,12 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "MULTI_TENANT_MIXES",
     "SPEC_BENCHMARKS",
     "SpecStandIn",
     "benchmark",
     "benchmark_names",
+    "interleaved_name",
     "sequential_stream",
     "strided_stream",
     "uniform_random",

@@ -149,8 +149,89 @@ SPEC_BENCHMARKS: Dict[str, SpecStandIn] = {
 }
 
 
+#: Recommended multi-tenant interleaved mixes (see :func:`interleaved_name`),
+#: spanning the locality spectrum: cache-friendly pair, mixed-locality
+#: pair, and a streaming-vs-pointer-chase worst case.
+MULTI_TENANT_MIXES: Tuple[str, ...] = ("hmmer+gob", "gcc+h264", "mcf+libq")
+
+#: Floor for a scaled mix component's region (one trivially small tenant
+#: would otherwise collapse to an empty address range).
+_MIN_COMPONENT_BYTES = 4096
+
 #: Parsed derived stand-ins, memoised by their self-describing name.
 _DERIVED_CACHE: Dict[str, SpecStandIn] = {}
+
+
+def interleaved_name(names) -> str:
+    """Self-describing name of a multi-tenant interleaved workload.
+
+    ``interleaved_name(["gcc", "mcf"])`` -> ``"gcc+mcf"``: each component
+    runs its own access-pattern mixture inside a private region of one
+    shared address space (tenant regions are laid out back to back), with
+    references interleaved so every component gets an equal share — the
+    memory image of N tenants timesharing one ORAM. The name round-trips
+    through :func:`benchmark` in any process, exactly like ``@wss=``
+    derived names, so sweeps, worker pools and on-disk caches treat mixes
+    as first-class benchmarks.
+    """
+    parts = list(names)
+    if len(parts) < 2:
+        raise ValueError("an interleaved mix needs at least two components")
+    for part in parts:
+        if part not in SPEC_BENCHMARKS:
+            raise KeyError(
+                f"unknown mix component {part!r}; "
+                f"available: {sorted(SPEC_BENCHMARKS)}"
+            )
+    return "+".join(parts)
+
+
+def _region_pattern(factory: PatternFactory, comp_wss: int, offset: int):
+    """A component pattern confined to its own region of the mix space."""
+
+    def make(_wss: int, rng: DeterministicRng) -> Iterator[int]:
+        return (addr + offset for addr in factory(comp_wss, rng))
+
+    return make
+
+
+def _parse_mix(name: str, wss_bytes: "int | None" = None) -> "SpecStandIn | None":
+    """Decode an ``a+b[+c...]`` interleaved mix (None if not one).
+
+    Components keep their own pattern mixtures but are confined to
+    disjoint back-to-back regions; each component's patterns are
+    re-weighted to 1 so every tenant contributes an equal share of
+    references. A ``wss_bytes`` override rescales every region
+    proportionally (the sweep engine's ``wss`` axis).
+    """
+    if "+" not in name:
+        return None
+    parts = name.split("+")
+    if len(parts) < 2 or any(part not in SPEC_BENCHMARKS for part in parts):
+        return None
+    comps = [SPEC_BENCHMARKS[part] for part in parts]
+    native_total = sum(comp.wss_bytes for comp in comps)
+    scale = 1.0 if wss_bytes is None else wss_bytes / native_total
+    full_name = name if wss_bytes is None else f"{name}@wss={wss_bytes}"
+    patterns = []
+    offset = 0
+    for comp in comps:
+        comp_wss = max(int(comp.wss_bytes * scale), _MIN_COMPONENT_BYTES)
+        weight_total = sum(weight for weight, _factory in comp.patterns)
+        for weight, factory in comp.patterns:
+            patterns.append(
+                (weight / weight_total, _region_pattern(factory, comp_wss, offset))
+            )
+        offset += comp_wss
+    return SpecStandIn(
+        name=full_name,
+        wss_bytes=max(wss_bytes if wss_bytes is not None else native_total, offset),
+        patterns=tuple(patterns),
+        write_fraction=sum(c.write_fraction for c in comps) / len(comps),
+        gap_instructions=max(
+            round(sum(c.gap_instructions for c in comps) / len(comps)), 1
+        ),
+    )
 
 
 def scaled_benchmark_name(name: str, wss_bytes: int) -> str:
@@ -159,14 +240,17 @@ def scaled_benchmark_name(name: str, wss_bytes: int) -> str:
     ``scaled_benchmark_name("mcf", 8 << 20)`` -> ``"mcf@wss=8388608"``;
     a no-op override returns the base name unchanged. A name that is
     *already* derived re-derives from its base (the override replaces,
-    it does not stack). The returned name round-trips through
-    :func:`benchmark` *in any process* — the override is parsed back out
-    of the name, never looked up in mutable registry state — which is
-    what lets worker pools and on-disk cache keys treat derived
+    it does not stack); interleaved mixes (``"gcc+mcf"``) scale every
+    component region proportionally. The returned name round-trips
+    through :func:`benchmark` *in any process* — the override is parsed
+    back out of the name, never looked up in mutable registry state —
+    which is what lets worker pools and on-disk cache keys treat derived
     benchmarks exactly like registered ones.
     """
     name = name.partition("@")[0]
     base = SPEC_BENCHMARKS.get(name)
+    if base is None:
+        base = _parse_mix(name)
     if base is None:
         raise KeyError(
             f"unknown benchmark {name!r}; available: {sorted(SPEC_BENCHMARKS)}"
@@ -181,7 +265,7 @@ def scaled_benchmark_name(name: str, wss_bytes: int) -> str:
 def _parse_derived(name: str) -> "SpecStandIn | None":
     """Decode a ``base@wss=BYTES`` derived name (None if not one)."""
     base_name, sep, suffix = name.partition("@")
-    if not sep or base_name not in SPEC_BENCHMARKS:
+    if not sep:
         return None
     key, eq, value = suffix.partition("=")
     if key != "wss" or not eq:
@@ -192,17 +276,20 @@ def _parse_derived(name: str) -> "SpecStandIn | None":
         return None
     if wss_bytes < 1:
         return None
-    return dataclasses.replace(
-        SPEC_BENCHMARKS[base_name], name=name, wss_bytes=wss_bytes
-    )
+    if base_name in SPEC_BENCHMARKS:
+        return dataclasses.replace(
+            SPEC_BENCHMARKS[base_name], name=name, wss_bytes=wss_bytes
+        )
+    return _parse_mix(base_name, wss_bytes)
 
 
 def benchmark(name: str) -> SpecStandIn:
     """Stand-in by SPEC short name (see :data:`SPEC_BENCHMARKS`).
 
-    Also accepts self-describing derived names of the form
-    ``"mcf@wss=8388608"`` — the base stand-in with its working-set size
-    overridden (the sweep engine's benchmark-parameter grid axis).
+    Also accepts self-describing derived names: ``"mcf@wss=8388608"``
+    (working-set override — the sweep engine's benchmark-parameter grid
+    axis), ``"gcc+mcf"`` (multi-tenant interleaved mix, see
+    :func:`interleaved_name`), and ``"gcc+mcf@wss=BYTES"`` (both).
     """
     try:
         return SPEC_BENCHMARKS[name]
@@ -210,14 +297,14 @@ def benchmark(name: str) -> SpecStandIn:
         pass
     derived = _DERIVED_CACHE.get(name)
     if derived is None:
-        derived = _parse_derived(name)
+        derived = _parse_derived(name) if "@" in name else _parse_mix(name)
         if derived is not None:
             _DERIVED_CACHE[name] = derived
     if derived is not None:
         return derived
     raise KeyError(
         f"unknown benchmark {name!r}; available: {sorted(SPEC_BENCHMARKS)} "
-        "(or a derived 'name@wss=BYTES' override)"
+        "(or a derived 'name@wss=BYTES' / interleaved 'a+b' mix)"
     )
 
 

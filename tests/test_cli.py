@@ -302,3 +302,101 @@ class TestCliSweep:
         code = main(["sweep", "--saved", "fig5", "--scheme", "PC_X32"])
         assert code == 2
         assert "cannot be combined" in capsys.readouterr().err
+
+    def test_serve_grid_axes_run_scenarios(self, tmp_path, capsys):
+        out = tmp_path / "serve_sweep.json"
+        code = main([
+            "sweep",
+            "--scheme", "PC_X32",
+            "--bench", "gob",
+            "--grid", "shards=1,2",
+            "--misses", "120",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "shards=2" in capsys.readouterr().out
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        assert [cell["shards"] for cell in report["cells"]] == [1, 2]
+        assert all(cell["serve"]["kind"] == "serve" for cell in report["cells"])
+
+
+class TestCliServe:
+    @pytest.fixture(autouse=True)
+    def _isolated_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "traces"))
+        monkeypatch.setenv(RESULT_CACHE_ENV, str(tmp_path / "results"))
+
+    def test_serve_smoke_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main([
+            "serve",
+            "--tenants", "2", "--shards", "2",
+            "--bench", "gob", "--bench", "hmmer",
+            "--requests", "40", "--misses", "150",
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "2 tenant(s) on 2 shard(s)" in printed
+        assert f"wrote {out}" in printed
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        assert report["kind"] == "serve"
+        assert [t["name"] for t in report["tenants"]] == ["t0:gob", "t1:hmmer"]
+        assert report["totals"]["requests"] == 80
+
+    def test_serve_demo_preset(self, tmp_path, capsys):
+        out = tmp_path / "demo.json"
+        # Explicit flags override the demo presets (smaller here for speed)
+        # while still exercising the demo roster, which includes a mix.
+        code = main([
+            "serve", "--demo",
+            "--requests", "30", "--misses", "150",
+            "--out", str(out),
+        ])
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text("utf-8"))
+        assert len(report["tenants"]) == 4
+        assert len(report["shards"]) == 2
+        assert any("+" in t["benchmark"] for t in report["tenants"])
+
+    def test_serve_async_mode(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main([
+            "serve", "--tenants", "1", "--bench", "gob",
+            "--requests", "25", "--misses", "150", "--mode", "async",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "mode async" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_option(self, capsys):
+        assert main(["serve", "--frobnicate"]) == 2
+        assert "unknown serve option" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_policy(self, capsys):
+        assert main(["serve", "--policy", "panic"]) == 2
+        assert "defer" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_mode(self, capsys):
+        assert main(["serve", "--mode", "threads"]) == 2
+        assert "serial" in capsys.readouterr().err
+
+    def test_serve_unknown_benchmark_is_serve_error(self, capsys):
+        code = main(["serve", "--bench", "nonesuch", "--requests", "5"])
+        assert code == 2
+        assert "serve error" in capsys.readouterr().err
+
+    def test_serve_rejects_non_positive_counts(self, capsys):
+        assert main(["serve", "--tenants", "0"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_list_mentions_serve(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out and "--tenants" in out and "--policy" in out

@@ -1,0 +1,140 @@
+"""Multi-tenant interleaved workload entries (``"a+b"`` mixes).
+
+The mixes are self-describing derived benchmarks: the name alone decodes
+to an interleaved stand-in in any process, so sweeps, worker pools, the
+serving layer's tenant rosters, and both on-disk caches treat them as
+first-class benchmarks. These tests pin the name round-trip, the
+region/interleaving semantics, and the cache-key behaviour.
+"""
+
+from itertools import islice
+from typing import List
+
+import pytest
+
+from repro.sim.runner import SimulationRunner
+from repro.utils.rng import DeterministicRng
+from repro.workloads import (
+    MULTI_TENANT_MIXES,
+    benchmark,
+    benchmark_names,
+    interleaved_name,
+)
+from repro.workloads.spec import SPEC_BENCHMARKS, scaled_benchmark_name
+
+
+class TestMixNames:
+    def test_interleaved_name_round_trips(self):
+        name = interleaved_name(["gcc", "mcf"])
+        assert name == "gcc+mcf"
+        spec = benchmark(name)
+        assert spec.name == "gcc+mcf"
+        assert (
+            spec.wss_bytes
+            == benchmark("gcc").wss_bytes + benchmark("mcf").wss_bytes
+        )
+
+    def test_registered_mixes_all_resolve(self):
+        for name in MULTI_TENANT_MIXES:
+            spec = benchmark(name)
+            assert spec.name == name
+            assert spec.wss_bytes > 0
+
+    def test_interleaved_name_validates_components(self):
+        with pytest.raises(ValueError, match="at least two"):
+            interleaved_name(["gcc"])
+        with pytest.raises(KeyError, match="nonesuch"):
+            interleaved_name(["gcc", "nonesuch"])
+
+    def test_unknown_mix_component_raises_with_hint(self):
+        with pytest.raises(KeyError, match="'a\\+b' mix"):
+            benchmark("gcc+nonesuch")
+
+    def test_mixes_stay_out_of_the_default_roster(self):
+        # Adding mixes to SPEC_BENCHMARKS would silently change every
+        # default figure sweep; they must remain derived-name-only.
+        assert benchmark_names() == list(SPEC_BENCHMARKS)
+        assert not any("+" in name for name in benchmark_names())
+
+
+def sample_addrs(name: str, count: int, seed: int) -> List[int]:
+    """First ``count`` byte addresses of a stand-in's reference stream."""
+    spec = benchmark(name)
+    return [
+        addr for _gap, _w, addr in islice(spec.refs(DeterministicRng(seed)), count)
+    ]
+
+
+class TestMixSemantics:
+    def test_components_confined_to_disjoint_regions(self):
+        mix = benchmark("hmmer+gob")
+        hmmer_wss = benchmark("hmmer").wss_bytes
+        addrs = sample_addrs("hmmer+gob", 20_000, seed=3)
+        low = [a for a in addrs if a < hmmer_wss]
+        high = [a for a in addrs if a >= hmmer_wss]
+        # Both tenants contribute, and the second stays inside its region.
+        assert low and high
+        assert max(addrs) < mix.wss_bytes
+
+    def test_components_get_equal_reference_share(self):
+        hmmer_wss = benchmark("hmmer").wss_bytes
+        addrs = sample_addrs("hmmer+gob", 40_000, seed=9)
+        low = sum(1 for a in addrs if a < hmmer_wss)
+        assert 0.3 < low / len(addrs) < 0.7
+
+    def test_write_fraction_and_gap_are_averaged(self):
+        mix = benchmark("mcf+libq")
+        mcf, libq = benchmark("mcf"), benchmark("libq")
+        assert mix.write_fraction == pytest.approx(
+            (mcf.write_fraction + libq.write_fraction) / 2
+        )
+        assert mix.gap_instructions == round(
+            (mcf.gap_instructions + libq.gap_instructions) / 2
+        )
+
+    def test_wss_override_scales_regions_proportionally(self):
+        native = benchmark("hmmer+gob").wss_bytes
+        scaled_name = scaled_benchmark_name("hmmer+gob", native * 2)
+        assert scaled_name == f"hmmer+gob@wss={native * 2}"
+        scaled = benchmark(scaled_name)
+        assert scaled.wss_bytes == native * 2
+        addrs = sample_addrs(scaled_name, 20_000, seed=3)
+        assert max(addrs) < scaled.wss_bytes
+        assert max(addrs) >= native  # the second region actually moved up
+
+
+class TestMixCaching:
+    def test_trace_keys_distinct_and_stable(self):
+        runner = SimulationRunner(misses_per_benchmark=300, seed=3)
+        again = SimulationRunner(misses_per_benchmark=300, seed=3)
+        key = runner.trace_cache_key("hmmer+gob")
+        assert key == again.trace_cache_key("hmmer+gob")
+        assert key != runner.trace_cache_key("hmmer")
+        assert key != runner.trace_cache_key("gob")
+        assert key != runner.trace_cache_key(
+            scaled_benchmark_name("hmmer+gob", 8 << 20)
+        )
+
+    def test_result_keys_distinguish_mixes(self):
+        runner = SimulationRunner(misses_per_benchmark=300, seed=3)
+        assert runner.result_key("PC_X32", "hmmer+gob") != runner.result_key(
+            "PC_X32", "hmmer"
+        )
+
+    def test_mix_traces_round_trip_through_disk_cache(self):
+        runner = SimulationRunner(misses_per_benchmark=200, seed=4)
+        trace = runner.trace("hmmer+gob")
+        assert trace.name == "hmmer+gob"
+        assert len(trace.events) > 0
+        # A fresh runner sharing the on-disk cache loads, not re-simulates.
+        fresh = SimulationRunner(misses_per_benchmark=200, seed=4)
+        loaded = fresh._trace_from_disk("hmmer+gob")
+        assert loaded is not None
+        assert loaded.to_bytes() == trace.to_bytes()
+
+    def test_mix_replays_end_to_end(self):
+        runner = SimulationRunner(misses_per_benchmark=200, seed=4)
+        result = runner.run_one("PC_X32", "hmmer+gob")
+        assert result.benchmark == "hmmer+gob"
+        assert result.cycles > 0
+        assert result == runner.run_one("PC_X32", "hmmer+gob")  # cached
