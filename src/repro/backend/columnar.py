@@ -27,14 +27,13 @@ The equivalence of both kernels to the object backend is enforced by the
 differential harness in ``tests/test_columnar_differential.py`` (which
 forces each kernel explicitly) and by the golden digests.
 
-One deliberate divergence, documented here: a *leaf label out of range*
-error surfaces mid-drain on the object backend (which then restores only
-the buckets drained so far), but at eviction time on the vectorised
-kernel — which by then has drained the whole path, so its restoration
-returns every drained block to the stash. No block is ever lost either
-way. The error is a protocol violation (never reached through any
-Frontend), and the scalar kernel — the only one reachable at default
-thresholds for such configurations — matches the object backend exactly.
+Error handling is transactional on both kernels: bucket clearing is
+deferred to placement time and the stash dict is only reconciled after
+placement, so a failure anywhere before placement (drain, update
+callback, depth validation — including the vectorised kernel's
+eviction-time validation, which runs before any bucket is cleared) rolls
+back to the exact pre-access stash snapshot and tree digest, matching
+``PathOramBackend``.
 """
 
 from __future__ import annotations
@@ -178,8 +177,12 @@ class ColumnarPathOramBackend:
         drained_flat = self._drained_flat
         flat_extend = drained_flat.extend
 
-        slot = stash_slots.pop(addr, None)
+        # Looked up but *not* removed: every success path reconciles or
+        # clears the dict wholesale after placement, so a fault anywhere in
+        # the try block leaves the stash untouched (exact rollback).
+        slot = stash_slots.get(addr)
         created_fresh = False
+        saved_fields = None
         vectorise = False
         merged: List[int] = []
         try:
@@ -202,7 +205,11 @@ class ColumnarPathOramBackend:
                 # computed in one vectorised sweep afterwards (resident
                 # bookkeeping is scalar-kernel-only — the vectorised
                 # leftover path rebuilds from ``merged`` directly).
-                merged.extend(stash_slots.values())
+                if slot is None:
+                    merged.extend(stash_slots.values())
+                else:
+                    # The block of interest is grouped last, not here.
+                    merged.extend(s for s in stash_slots.values() if s != slot)
                 if stash_slots:
                     for lst in path:
                         if lst:
@@ -240,6 +247,8 @@ class ColumnarPathOramBackend:
                 # (the stash dict still holds every resident, exactly like
                 # the object backend's merged formulation).
                 for s in stash_slots.values():
+                    if s == slot:
+                        continue  # the block of interest is grouped last
                     depth = levels - (leaf_col[s] ^ leaf).bit_length()
                     if depth < 0:
                         raise ValueError(
@@ -304,24 +313,27 @@ class ColumnarPathOramBackend:
                 slot = store.alloc(addr, new_leaf)
                 created_fresh = True
 
-            leaf_col[slot] = new_leaf
             # Materialise the block of interest (inlined payload copy —
             # the one per-access byte movement the columnar layout keeps).
             bb = self._block_bytes
             offset = (slot & _CHUNK_MASK) * bb
-            block = Block(
-                addr,
-                new_leaf,
-                bytes(self._chunks[slot >> _CHUNK_SHIFT][offset : offset + bb]),
-                self._mac_col[slot],
+            payload = bytes(
+                self._chunks[slot >> _CHUNK_SHIFT][offset : offset + bb]
             )
+            if not created_fresh:
+                # Column snapshot for rollback (payload/mac are immutable
+                # bytes, so this is three references, not a copy).
+                saved_fields = (leaf_col[slot], payload, self._mac_col[slot])
+            leaf_col[slot] = new_leaf
+            block = Block(addr, new_leaf, payload, self._mac_col[slot])
             if update is not None:
                 try:
                     update(block)
                 finally:
-                    # Mutations made before an exception persist on the
-                    # live record, exactly as they do on the object
-                    # backend's live Block.
+                    # Write the mutations into the columns even on an
+                    # exception (the error path then rolls them back from
+                    # the snapshot, same as the object backend's live
+                    # Block fields).
                     leaf_col[slot] = block.leaf
                     store.set_payload(slot, block.data)
                     self._mac_col[slot] = block.mac
@@ -348,7 +360,7 @@ class ColumnarPathOramBackend:
             if created_fresh:
                 store.release(slot)
                 slot = None
-            self._restore_on_error(slot, addr, path)
+            self._restore_on_error(slot, saved_fields)
             raise
 
         if vectorise:
@@ -362,7 +374,7 @@ class ColumnarPathOramBackend:
                 if created_fresh:
                     store.release(slot)
                     slot = None
-                self._restore_on_error(slot, addr, path)
+                self._restore_on_error(slot, saved_fields)
                 raise
             if leftover:
                 stash_slots.clear()
@@ -496,38 +508,23 @@ class ColumnarPathOramBackend:
 
     # -- error restoration ----------------------------------------------------
 
-    def _restore_on_error(
-        self, slot: Optional[int], addr: int, path: List[List[int]]
-    ) -> None:
-        """Undo a half-finished access so no block is lost.
+    def _restore_on_error(self, slot: Optional[int], saved_fields) -> None:
+        """Roll a half-finished access back to the exact pre-access state.
 
-        Every drained slot returns to the stash, the popped block of
-        interest is re-inserted (a freshly allocated zero slot is released
-        instead), and the scratch lists are cleared — mirroring
-        ``PathOramBackend._restore_on_error``.
-
-        Bucket clearing is deferred on the happy path, so a failure during
-        the drain leaves the drained buckets still populated: they are
-        exactly the leading non-empty buckets whose lengths sum to the
-        flat snapshot's length, and they empty here (matching the object
-        backend, which empties each bucket before grouping its blocks).
-        A failure after the deferred clear finds every bucket already
-        empty and the walk is a no-op.
+        Bucket clearing is deferred to placement time and placement only
+        runs after the try block succeeds, so every failure reaching here
+        finds the path buckets still populated and the stash dict never
+        mutated; a freshly allocated zero slot was already released by the
+        caller. All that remains is clearing the scratch lists and undoing
+        the block of interest's remap/update from the column snapshot —
+        after which the stash snapshot and tree digest both equal their
+        pre-access values, mirroring ``PathOramBackend._restore_on_error``.
         """
-        stash_slots = self._stash_slots
-        addr_col = self.storage.addr_col
         for group in self._by_depth:
             group.clear()
-        remaining = len(self._drained_flat)
-        for lst in path:
-            if remaining <= 0:
-                break
-            if lst:
-                remaining -= len(lst)
-                del lst[:]
-        for s in self._drained_flat:
-            stash_slots[addr_col[s]] = s
         self._drained_flat.clear()
         self._resident_scratch.clear()
-        if slot is not None and addr not in stash_slots:
-            stash_slots[addr] = slot
+        if slot is not None and saved_fields is not None:
+            self._leaf_col[slot] = saved_fields[0]
+            self.storage.set_payload(slot, saved_fields[1])
+            self._mac_col[slot] = saved_fields[2]

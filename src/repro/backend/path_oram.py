@@ -93,9 +93,11 @@ class PathOramBackend:
         # Scratch depth-grouping lists reused across evictions (always
         # left empty between calls) to avoid per-access allocation.
         self._by_depth: List[List[Block]] = [[] for _ in range(config.levels + 1)]
-        # Scratch list of the drained per-bucket block lists, in path order;
-        # only consulted when eviction leaves blocks behind (rare).
-        self._drained_lists: List[List[Block]] = []
+        # Scratch (bucket, drained blocks) pairs in path order. Consulted
+        # when eviction leaves blocks behind (rare) and by the error path,
+        # which reattaches each drained list to its bucket so a failed
+        # access rolls back to the exact pre-access tree.
+        self._drained_lists: List[tuple] = []
         # Scratch snapshot of stash-resident blocks in dict order (same
         # slow-path reconciliation; always cleared between calls).
         self._resident_scratch: List[Block] = []
@@ -160,12 +162,19 @@ class PathOramBackend:
         stash_blocks = self._stash_blocks
         by_depth = self._by_depth
 
-        block = stash_blocks.pop(addr, None)
+        # The stash entry is looked up but *not* removed: every success path
+        # below rebuilds or clears the dict wholesale, so deferring the
+        # removal costs nothing — and it means a fault anywhere in the try
+        # block leaves the stash untouched (exact pre-access rollback).
+        block = stash_blocks.get(addr)
         resident = self._resident_scratch
         drained_lists = self._drained_lists
         created_fresh = False
+        saved_fields = None
         try:
             for b in stash_blocks.values():
+                if b is block:
+                    continue  # the block of interest is grouped last
                 depth = levels - (b.leaf ^ leaf).bit_length()
                 if depth < 0:
                     raise ValueError(
@@ -178,7 +187,7 @@ class PathOramBackend:
                 drained = bucket.blocks
                 if drained:
                     bucket.blocks = []
-                    drained_lists.append(drained)
+                    drained_lists.append((bucket, drained))
                     for b in drained:
                         a = b.addr
                         if a == addr:
@@ -211,6 +220,10 @@ class PathOramBackend:
                 block = Block(addr, new_leaf, self._zero, None)
                 created_fresh = True
 
+            if not created_fresh:
+                # Field snapshot for rollback (data/mac are immutable bytes,
+                # so this is three references, not a copy).
+                saved_fields = (block.leaf, block.data, block.mac)
             block.leaf = new_leaf
             if update is not None:
                 update(block)
@@ -229,9 +242,8 @@ class PathOramBackend:
                 result = block.copy()
         except Exception:
             # A freshly materialised zero block never existed before this
-            # access, so it is not restored (matching the merged-stash
-            # formulation, where it would only enter the stash later).
-            self._restore_on_error(None if created_fresh else block, addr)
+            # access, so it is simply discarded.
+            self._restore_on_error(None if created_fresh else block, saved_fields)
             raise
 
         # Greedy placement, deepest level first; candidates LIFO, then the
@@ -267,7 +279,7 @@ class PathOramBackend:
             for b in resident:
                 if id(b) in leftover:
                     stash_blocks[b.addr] = b
-            for drained in drained_lists:
+            for _bucket, drained in drained_lists:
                 for b in drained:
                     if id(b) in leftover and b is not block:
                         stash_blocks[b.addr] = b
@@ -283,24 +295,24 @@ class PathOramBackend:
         self.stash.check_limit()
         return result
 
-    def _restore_on_error(self, block: Optional[Block], addr: int) -> None:
-        """Undo a half-finished access so no block is lost.
+    def _restore_on_error(self, block: Optional[Block], saved_fields) -> None:
+        """Roll a half-finished access back to the exact pre-access state.
 
-        Every drained block returns to the stash (the path buckets were
-        already emptied), the popped/created block of interest is
-        re-inserted, and the scratch lists are cleared — so the backend
-        remains usable after a caller catches the exception.
+        Drained block lists are reattached to their buckets (same list
+        objects, same order), the block of interest's remap/update is
+        undone from the field snapshot, and the scratch lists are cleared.
+        The stash dict was never mutated, so after this the stash snapshot
+        and the tree digest both equal their pre-access values and the
+        backend remains usable.
         """
-        stash_blocks = self._stash_blocks
         for group in self._by_depth:
             group.clear()
-        for drained in self._drained_lists:
-            for b in drained:
-                stash_blocks[b.addr] = b
+        for bucket, drained in self._drained_lists:
+            bucket.blocks = drained
         self._drained_lists.clear()
         self._resident_scratch.clear()
-        if block is not None and addr not in stash_blocks:
-            stash_blocks[addr] = block
+        if block is not None and saved_fields is not None:
+            block.leaf, block.data, block.mac = saved_fields
 
     # -- introspection ------------------------------------------------------------
 

@@ -58,7 +58,8 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
+from repro.faults import FAULTS_ENV, install_from_env
 from repro.eval import (
     ablation_plb,
     bench,
@@ -112,6 +113,7 @@ _SUBCOMMANDS = ("sweep", "serve")
 #: Global flags that consume a separate value token (``--flag VALUE``).
 _VALUE_FLAGS = (
     "--workers", "--trace-cache", "--result-cache", "--storage", "--replay",
+    "--faults",
 )
 
 
@@ -199,6 +201,23 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
                 )
                 return None
             os.environ[REPLAY_ENV] = value
+        elif arg == "--faults" or arg.startswith("--faults="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print(
+                    "--faults requires a fault plan "
+                    "(e.g. 'cell.crash@PC_X32*/gob/1#1')",
+                    file=sys.stderr,
+                )
+                return None
+            os.environ[FAULTS_ENV] = value
+            try:
+                # Install now: imports happened before flag parsing, so the
+                # env hook alone would only reach pool workers.
+                install_from_env()
+            except ReproError as exc:
+                print(f"--faults: {exc}", file=sys.stderr)
+                return None
         elif arg.startswith("--"):
             print(f"unknown option {arg}", file=sys.stderr)
             return None
@@ -209,7 +228,10 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
 
 def _sweep_main(args: List[str]) -> int:
     """The ``sweep`` subcommand: grid x schemes x benchmarks -> table+JSON."""
+    from pathlib import Path
+
     from repro.eval.sweeps import fig8_runner, saved_sweep
+    from repro.sim.checkpoint import default_checkpoint_path
     from repro.sim.runner import SimulationRunner
     from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
 
@@ -219,6 +241,8 @@ def _sweep_main(args: List[str]) -> int:
     out: Optional[str] = None
     misses: Optional[int] = None
     saved: Optional[str] = None
+    checkpoint: Optional[str] = None
+    resume = False
     it = iter(args)
     for arg in it:
         value: Optional[str] = None
@@ -258,6 +282,14 @@ def _sweep_main(args: List[str]) -> int:
                 print("--misses requires a positive integer", file=sys.stderr)
                 return 2
             misses = int(value)
+        elif arg == "--checkpoint" or arg.startswith("--checkpoint="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--checkpoint requires a file path", file=sys.stderr)
+                return 2
+            checkpoint = value
+        elif arg == "--resume":
+            resume = True
         else:
             print(f"unknown sweep option {arg}", file=sys.stderr)
             return 2
@@ -275,6 +307,11 @@ def _sweep_main(args: List[str]) -> int:
         schemes = ["PIC_X32"]
     if out is None:
         out = DEFAULT_SWEEP_OUT
+    # Every CLI sweep journals completed cells beside the report; a clean
+    # finish with nothing quarantined removes the journal, an interrupt
+    # or crash leaves it for ``--resume``.
+    if checkpoint is None:
+        checkpoint = str(default_checkpoint_path(out))
     try:
         if saved is not None:
             # Unknown names raise a ReproError listing every saved sweep.
@@ -291,7 +328,18 @@ def _sweep_main(args: List[str]) -> int:
                 schemes, grid, benches if benches else None
             )
             runner = SimulationRunner(misses_per_benchmark=misses)
-        report = run_sweep(sweep, runner)
+        report = run_sweep(sweep, runner, checkpoint=checkpoint, resume=resume)
+    except SweepInterrupted as exc:
+        if exc.report is not None:
+            with open(out, "w", encoding="utf-8") as fh:
+                json.dump(exc.report, fh, indent=2, sort_keys=True)
+            print(f"\nsweep interrupted; wrote partial report to {out}", file=sys.stderr)
+        print(
+            f"completed cells are journaled in {checkpoint}; "
+            f"re-run the same sweep with --resume to finish it",
+            file=sys.stderr,
+        )
+        return 130
     except ReproError as exc:
         print(f"sweep error: {exc}", file=sys.stderr)
         return 2
@@ -299,6 +347,16 @@ def _sweep_main(args: List[str]) -> int:
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
     print(f"wrote {out}")
+    resilience = report.get("resilience", {})
+    if resilience.get("quarantined"):
+        print(
+            f"{len(resilience['quarantined'])} cell(s) quarantined after "
+            f"repeated failures (see report['resilience']); journal kept "
+            f"at {checkpoint} for --resume",
+            file=sys.stderr,
+        )
+    else:
+        Path(checkpoint).unlink(missing_ok=True)
     return 0
 
 
@@ -486,6 +544,8 @@ def main(argv=None) -> int:
         print("  --force             recompute (and refresh) every cached cell")
         print("  --storage KIND      tree storage backend: object | array | columnar")
         print("  --replay MODE       replay kernel: batched (default) | scalar")
+        print("  --faults PLAN       deterministic fault-injection plan (testing;")
+        print("                      e.g. 'cell.crash@*/1#1;sweep.interrupt@*#4')")
         print("Sweep options (after 'sweep'):")
         print("  --scheme NAME|SPEC  base scheme (repeatable; spec strings ok)")
         print("  --grid F=V1,V2      grid axis over a spec field, the benchmark")
@@ -495,6 +555,8 @@ def main(argv=None) -> int:
         print("  --bench NAME        benchmark subset (repeatable)")
         print("  --misses N          per-benchmark LLC miss budget")
         print(f"  --out FILE          JSON report path (default {DEFAULT_SWEEP_OUT})")
+        print("  --checkpoint FILE   cell journal path (default <out>.ckpt.jsonl)")
+        print("  --resume            recompute only cells missing from the journal")
         print("Serve options (after 'serve'):")
         print("  --tenants N         simulated tenant clients (round-robin roster)")
         print("  --shards M          ORAM instances in the pool")

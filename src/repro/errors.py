@@ -44,3 +44,42 @@ class SpecError(ReproError, ValueError):
     declarative spec layer (``build_frontend`` rejecting an unknown scheme
     name with ``ValueError``) keep their historical contract.
     """
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by the :mod:`repro.faults` plane.
+
+    Recovery machinery (cell retry, shard failover, cache fallback) treats
+    this exactly like an organic failure; tests use the distinct type to
+    assert that *only* injected faults fired.
+    """
+
+
+class FaultKillPoint(InjectedFault):
+    """A simulated hard crash at a kill-point (e.g. mid cache write).
+
+    Raised where a real process would die: callers other than the chaos
+    harness must never catch it below the process boundary, so crash-safety
+    tests observe the exact on-disk state a SIGKILL would leave behind.
+    """
+
+
+class SweepInterrupted(ReproError):
+    """A sweep stopped early (Ctrl-C or injected interrupt) with partial work.
+
+    Carries the partial ``report`` dict (completed cells only, marked
+    ``"interrupted": True``) so the CLI can persist it and print a
+    ``--resume`` hint before exiting with status 130.
+    """
+
+    def __init__(self, message: str, report: dict | None = None):
+        super().__init__(message)
+        self.report = report
+
+
+class CacheCorruptionWarning(RuntimeWarning):
+    """A disk-cache entry was corrupt/stale and has been evicted for recompute.
+
+    Emitted (and counted on the cache object) instead of raising so a
+    damaged cache degrades to recomputation, never to an aborted run.
+    """

@@ -28,8 +28,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
+
+from repro.errors import CacheCorruptionWarning
+from repro.faults import fault_hook
 
 #: Environment variable controlling the figure-table cache location.
 #: Unset means the per-user default; a path overrides it;
@@ -110,22 +114,38 @@ class FigureTableCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_evictions = 0
 
     def path_for(self, key: str) -> Path:
         """Entry location for a key."""
         return self.root / f"{key}.figure.json"
 
+    def _evict_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.corrupt_evictions += 1
+        warnings.warn(
+            f"figure cache: evicted corrupt entry {path.name}; rebuilding",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+
     def load(self, key: str):
         """Return the cached table, or None on miss/corruption."""
         path = self.path_for(key)
+        fault_hook("cache.entry", f"figure/{key}", path)
         try:
-            payload = json.loads(path.read_text("utf-8"))
-            table = _decode(payload)
-        except (OSError, ValueError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            text = path.read_text("utf-8")
+        except OSError:
+            # Absent entry: a plain miss, nothing to evict.
+            self.misses += 1
+            return None
+        try:
+            table = _decode(json.loads(text))
+        except ValueError:
+            self._evict_corrupt(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -137,6 +157,7 @@ class FigureTableCache:
             payload = json.dumps(_encode(table), sort_keys=False)
         except TypeError:
             return False
+        fault_hook("cache.write", "figure/begin")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError:
@@ -145,7 +166,9 @@ class FigureTableCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             tmp.write_text(payload, "utf-8")
+            fault_hook("cache.write", "figure/tmp", tmp)
             os.replace(tmp, path)
+            fault_hook("cache.write", "figure/replace", path)
         except OSError:
             try:
                 tmp.unlink()

@@ -1,0 +1,41 @@
+"""Seed-deterministic fault injection + recovery policies (`repro.faults`).
+
+Public surface:
+
+- :func:`fault_hook` — the zero-overhead injection point instrumented code
+  calls; a no-op unless a plan is installed.
+- :func:`parse` / :class:`FaultPlan` / :class:`FaultSpec` — plan grammar.
+- :func:`install` / :func:`install_from_env` / :func:`clear` /
+  :func:`active` — process-wide plan management (workers re-install from
+  the ``REPRO_FAULTS`` env var).
+- :class:`injected` — context manager scoping a plan to a test block.
+- :class:`RetryPolicy` — deterministic exponential backoff for cell retry.
+"""
+
+from repro.faults.plan import (  # noqa: F401
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    active,
+    clear,
+    fault_hook,
+    injected,
+    install,
+    install_from_env,
+    parse,
+)
+from repro.faults.retry import RetryPolicy  # noqa: F401
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "active",
+    "clear",
+    "fault_hook",
+    "injected",
+    "install",
+    "install_from_env",
+    "parse",
+]

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
+from repro.faults import active as faults_active
 from repro.proc.hierarchy import MissTrace
 from repro.sim.engine import ReplayEngine
 from repro.sim.metrics import SimResult
@@ -152,6 +153,22 @@ class OramShard:
         self.stats = ShardStats(index)
         self.stats.record_accesses = record_accesses
         self._directory: Dict[int, int] = {}
+        # Circuit breaker: while ``down_epochs > 0`` the shard executes
+        # nothing; admitted requests park in ``backlog`` (in admission
+        # order) and drain to the front of the first post-recovery epoch
+        # queue. Both fields only change inside the shared deterministic
+        # steps, so serial and asyncio drivers see identical failovers.
+        self.down_epochs = 0
+        self.backlog: List[_Admitted] = []
+
+    @property
+    def available(self) -> bool:
+        return self.down_epochs == 0
+
+    def trip(self, epochs: int) -> None:
+        """Open the circuit breaker for ``epochs`` epochs (this one included)."""
+        self.down_epochs = max(self.down_epochs, max(int(epochs), 1))
+        self.stats.breaker_trips += 1
 
     def map_addr(self, global_addr: int) -> int:
         """Global service address -> this shard's local block address."""
@@ -340,12 +357,49 @@ class OramService:
         state = self._tenants[tenant_index]
         return state.stream[state.cursor : state.cursor + self.config.burst]
 
+    def _update_breakers(self) -> None:
+        """Consult the fault plan once per shard, in index order.
+
+        This runs at the top of admission — a shared deterministic step —
+        so ``serve.shard`` injectors observe exactly one match per shard
+        per epoch regardless of driver (``#2`` means "epoch 2"). A
+        ``stall`` match trips the shard's breaker for ``epochs=N`` epochs;
+        any other action gets the standard fault behaviour.
+        """
+        plan = faults_active()
+        if plan is None:
+            return
+        for shard in self.shards:
+            key = str(shard.index)
+            spec = plan.match("serve.shard", key)
+            if spec is None:
+                continue
+            if spec.action == "stall":
+                shard.trip(int(spec.params.get("epochs", "1")))
+            else:
+                plan.perform(spec, "serve.shard", key)
+
     def _admit(
         self, candidate_lists: Sequence[Sequence[Request]]
     ) -> List[List[_Admitted]]:
         """Bounded admission in fixed tenant order — the single mutation
-        site for cursors and shed/defer counters."""
+        site for cursors, shed/defer counters, and breaker state.
+
+        A shard with an open breaker executes nothing this epoch: its
+        arrivals *park* in the shard backlog (cursor advances, the local
+        address is assigned in admission order, so the directory — and
+        therefore the access digest — is unchanged by the failover).
+        Parked requests occupy queue capacity, so a long stall applies
+        ordinary backpressure. The epoch the breaker closes, the backlog
+        drains to the front of the epoch queue — execution order is
+        exactly admission order, merely delayed.
+        """
+        self._update_breakers()
         queues: List[List[_Admitted]] = [[] for _ in self.shards]
+        for shard, queue in zip(self.shards, queues):
+            if shard.available and shard.backlog:
+                queue.extend(shard.backlog)
+                shard.backlog.clear()
         capacity = self.config.queue_capacity
         shed = self.config.policy == "shed"
         for tenant_index, candidates in enumerate(candidate_lists):
@@ -353,27 +407,34 @@ class OramService:
             for local_addr, is_write in candidates:
                 global_addr = state.offset + local_addr
                 shard_index = self._shard_index(global_addr)
-                if len(queues[shard_index]) >= capacity:
+                shard = self.shards[shard_index]
+                if len(queues[shard_index]) + len(shard.backlog) >= capacity:
                     if shed:
                         state.cursor += 1
                         state.stats.issued += 1
                         state.stats.shed += 1
-                        self.shards[shard_index].stats.shed += 1
+                        shard.stats.shed += 1
                         continue
                     state.stats.deferred += 1
-                    self.shards[shard_index].stats.deferred += 1
+                    shard.stats.deferred += 1
                     break  # defer: stop issuing this epoch, retry next
                 state.cursor += 1
                 state.stats.issued += 1
-                queues[shard_index].append(
-                    _Admitted(
-                        tenant_index,
-                        self.shards[shard_index].map_addr(global_addr),
-                        bool(is_write),
-                    )
+                admitted = _Admitted(
+                    tenant_index,
+                    shard.map_addr(global_addr),
+                    bool(is_write),
                 )
+                if shard.available:
+                    queues[shard_index].append(admitted)
+                else:
+                    shard.backlog.append(admitted)
+                    shard.stats.parked += 1
         for shard, queue in zip(self.shards, queues):
             shard.stats.record_depth(len(queue))
+            if not shard.available:
+                shard.down_epochs -= 1
+                shard.stats.stall_epochs += 1
         return queues
 
     def _account(
@@ -402,10 +463,14 @@ class OramService:
         return any(t.remaining for t in self._tenants)
 
     def _max_epochs(self) -> int:
-        return 2 * sum(len(t.stream) for t in self._tenants) + 16
+        # Breaker-open epochs legitimately make no execution progress, so
+        # the budget grows with every stall the fault plan injects.
+        stalls = sum(s.stats.stall_epochs for s in self.shards)
+        return 2 * sum(len(t.stream) for t in self._tenants) + 16 + 2 * stalls
 
     def _check_progress(self, admitted: int) -> None:
-        if admitted == 0 and self._unfinished():
+        failover = any(s.down_epochs or s.backlog for s in self.shards)
+        if admitted == 0 and self._unfinished() and not failover:
             raise ReproError(
                 "serve made no progress in an epoch; "
                 "queue_capacity/policy starve every tenant"

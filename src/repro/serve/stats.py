@@ -131,6 +131,9 @@ class ShardStats:
         self.epochs_busy = 0
         self.shed = 0
         self.deferred = 0
+        self.parked = 0
+        self.breaker_trips = 0
+        self.stall_epochs = 0
         self.busy_cycles = 0.0
         self.depth_samples = 0
         self.depth_total = 0
@@ -169,6 +172,9 @@ class ShardStats:
             "epochs_busy": self.epochs_busy,
             "shed": self.shed,
             "deferred": self.deferred,
+            "parked": self.parked,
+            "breaker_trips": self.breaker_trips,
+            "stall_epochs": self.stall_epochs,
             "busy_cycles": self.busy_cycles,
             "queue_depth": {
                 "samples": self.depth_samples,

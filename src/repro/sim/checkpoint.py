@@ -1,0 +1,162 @@
+"""Journaled sweep checkpoints (``SWEEP_*.ckpt.jsonl``).
+
+One JSON line per completed sweep cell, appended and flushed the moment
+the cell finishes, keyed by the runner's canonical result digest (the
+same key the on-disk result cache uses — every construction knob, seed,
+miss budget and benchmark is folded in). A crash, ``kill -9`` or Ctrl-C
+therefore loses at most the cell in flight; ``python -m repro sweep
+--resume`` replays the journal and recomputes only the missing cells,
+producing a report bit-identical to an uninterrupted run (JSON round-trips
+Python floats exactly).
+
+The first line is a header carrying a fingerprint of the sweep + runner
+identity. Resuming against a journal written by a *different* sweep is
+refused with a clear error instead of silently recomputing everything
+(the cell keys would simply never match). A torn final line — the
+signature of a mid-append crash — is dropped on load and the journal is
+compacted before new appends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Bump when the journal line format changes.
+CHECKPOINT_VERSION = 1
+
+
+def sweep_fingerprint(sweep, runner) -> str:
+    """Digest of the sweep + runner identity guarding journal reuse.
+
+    Coarser than the per-cell keys (which already encode everything): its
+    job is to catch the human error of pointing ``--resume`` at the wrong
+    journal, so it folds in the expanded point labels, the benchmark
+    matrix, and the runner knobs that change every cell.
+    """
+    import repro
+
+    ident = {
+        "points": [label for label, _spec in sweep.points()],
+        "benchmarks": sweep.bench_names(),
+        "bench_grid": [[axis, list(values)] for axis, values in sweep.bench_grid],
+        "serve_grid": [[axis, list(values)] for axis, values in sweep.serve_grid],
+        "seed": runner.seed,
+        "misses": runner.misses,
+        "proc_ghz": repr(runner.proc_ghz),
+        "version": getattr(repro, "__version__", "0"),
+    }
+    blob = json.dumps(ident, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:40]
+
+
+def default_checkpoint_path(out_path: Union[str, Path]) -> Path:
+    """Journal location derived from a report path (``X.json`` -> ``X.ckpt.jsonl``)."""
+    out = Path(out_path)
+    stem = out.name[: -len(".json")] if out.name.endswith(".json") else out.name
+    return out.with_name(f"{stem}.ckpt.jsonl")
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed sweep cells."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+        self._seen: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def open(self, fingerprint: str, resume: bool) -> Dict[str, dict]:
+        """Start journaling; returns the completed entries when resuming.
+
+        ``resume=False`` truncates any existing journal and writes a fresh
+        header. ``resume=True`` loads the journal (tolerating a torn final
+        line), refuses a fingerprint mismatch, compacts the file back to
+        header + valid entries, and returns ``{key: payload}``.
+        """
+        entries: Dict[str, dict] = {}
+        if resume:
+            entries = self._read(fingerprint)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "sweep-checkpoint",
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+        }
+        # Rewrite rather than append: drops any torn tail and lets a
+        # non-resume run reclaim a stale journal in place.
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for key, payload in entries.items():
+            self._fh.write(
+                json.dumps({"key": key, "payload": payload}, sort_keys=True) + "\n"
+            )
+        self._fh.flush()
+        self._seen = set(entries)
+        return entries
+
+    def _read(self, fingerprint: str) -> Dict[str, dict]:
+        try:
+            text = self.path.read_text("utf-8")
+        except OSError:
+            return {}
+        lines = text.splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.path} is not a sweep checkpoint (bad header)"
+            ) from None
+        if (
+            not isinstance(header, dict)
+            or header.get("kind") != "sweep-checkpoint"
+            or header.get("version") != CHECKPOINT_VERSION
+        ):
+            raise ConfigurationError(
+                f"{self.path} is not a version-{CHECKPOINT_VERSION} sweep checkpoint"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise ConfigurationError(
+                f"{self.path} was written by a different sweep/runner "
+                f"configuration; refusing to resume from it (delete the "
+                f"file or drop --resume to start fresh)"
+            )
+        entries: Dict[str, dict] = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                payload = record["payload"]
+            except (ValueError, KeyError, TypeError):
+                # Torn tail from a mid-append crash: everything before it
+                # is intact, everything after it is unreachable garbage.
+                break
+            entries[str(key)] = payload
+        return entries
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- journaling ------------------------------------------------------------
+
+    def record(self, key: str, payload: dict) -> None:
+        """Append one completed cell (idempotent per key; flushed at once)."""
+        if self._fh is None or key in self._seen:
+            return
+        self._seen.add(key)
+        self._fh.write(
+            json.dumps({"key": key, "payload": payload}, sort_keys=True) + "\n"
+        )
+        self._fh.flush()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._seen

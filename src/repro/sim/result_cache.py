@@ -28,11 +28,14 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
+from repro.errors import CacheCorruptionWarning
+from repro.faults import fault_hook
 from repro.sim.metrics import SimResult
 
 #: Environment variable controlling the default cache location. Unset means
@@ -102,14 +105,28 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_evictions = 0
 
     def path_for(self, key: str) -> Path:
         """Entry location for a key."""
         return self.root / f"{key}.result.json"
 
+    def _evict_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.corrupt_evictions += 1
+        warnings.warn(
+            f"result cache: evicted corrupt/stale entry {path.name}; recomputing",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+
     def load(self, key: str) -> Optional[SimResult]:
         """Return the cached result, or None on miss/corruption/staleness."""
         path = self.path_for(key)
+        fault_hook("cache.entry", f"result/{key}", path)
         try:
             payload = json.loads(path.read_text("utf-8"))
             if payload.get("schema") != RESULT_SCHEMA_VERSION:
@@ -120,10 +137,7 @@ class ResultCache:
             return None
         except (ValueError, KeyError, TypeError):
             # Corrupted or stale-schema entry: evict it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict_corrupt(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -131,6 +145,7 @@ class ResultCache:
 
     def store(self, key: str, result: SimResult) -> bool:
         """Atomically persist a result; returns False if the dir is unusable."""
+        fault_hook("cache.write", "result/begin")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError:
@@ -143,7 +158,9 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             tmp.write_text(json.dumps(payload, sort_keys=True), "utf-8")
+            fault_hook("cache.write", "result/tmp", tmp)
             os.replace(tmp, path)
+            fault_hook("cache.write", "result/replace", path)
         except OSError:
             try:
                 tmp.unlink()

@@ -49,8 +49,15 @@ variable ``REPRO_FULL=1`` (or pass explicit values) for longer runs.
 from __future__ import annotations
 
 import os
+import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import (
     Callable,
@@ -65,6 +72,7 @@ from typing import (
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
+from repro.faults import RetryPolicy, fault_hook, install_from_env
 from repro.proc.hierarchy import CacheHierarchy, MissTrace
 from repro.sim.metrics import SimResult
 from repro.sim.result_cache import ResultCache, default_result_cache_dir, result_key
@@ -93,6 +101,16 @@ SchemeLike = Union[str, SchemeSpec]
 
 #: Streamed-cell callback: (scheme label, benchmark, result, from_cache).
 ProgressCallback = Callable[[str, str, SimResult, bool], None]
+
+
+def _quarantine_entry(label: str, name: str, attempts: int, error: BaseException):
+    """Report record for a cell that failed every re-dispatch."""
+    return {
+        "scheme": label,
+        "benchmark": name,
+        "attempts": attempts,
+        "error": f"{type(error).__name__}: {error}",
+    }
 
 
 def default_miss_budget() -> int:
@@ -375,8 +393,11 @@ class SimulationRunner:
             self._warmup_refs(bench_name),
         )
 
-    def _run_cell(self, spec: SchemeSpec, label: str, bench_name: str) -> SimResult:
+    def _run_cell(
+        self, spec: SchemeSpec, label: str, bench_name: str, attempt: int = 1
+    ) -> SimResult:
         """Replay one benchmark against one sized spec (result-cached)."""
+        fault_hook("cell", f"{label}/{bench_name}/{attempt}")
         key = self._cell_key(spec, label, bench_name)
         cached = self._load_cached(key, label, bench_name)
         if cached is not None:
@@ -398,8 +419,9 @@ class SimulationRunner:
         spec, label = self.sized_spec(scheme, bench_name, **overrides)
         return self._run_cell(spec, label, bench_name)
 
-    def run_insecure(self, bench_name: str) -> SimResult:
+    def run_insecure(self, bench_name: str, attempt: int = 1) -> SimResult:
         """Insecure-DRAM baseline for one benchmark (result-cached)."""
+        fault_hook("cell", f"insecure/{bench_name}/{attempt}")
         key = self.result_key("insecure", bench_name)
         cached = self._load_cached(key, "insecure", bench_name)
         if cached is not None:
@@ -446,6 +468,37 @@ class SimulationRunner:
             force=self.force,
         )
 
+    def _with_retry(
+        self,
+        run_attempt: Callable[[int], SimResult],
+        label: str,
+        name: str,
+        retry: RetryPolicy,
+        failures: Optional[List[dict]],
+    ) -> Optional[SimResult]:
+        """Run one cell with deterministic backoff; None when quarantined.
+
+        ``KeyboardInterrupt`` always propagates (Ctrl-C must reach the
+        sweep's checkpoint handler, never burn retry budget). With
+        ``failures=None`` the final error re-raises; otherwise the cell is
+        quarantined into ``failures`` and the suite continues.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, retry.attempts + 1):
+            delay = retry.delay(attempt)
+            if delay:
+                time.sleep(delay)
+            try:
+                return run_attempt(attempt)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                last_error = exc
+        if failures is None:
+            raise last_error
+        failures.append(_quarantine_entry(label, name, retry.attempts, last_error))
+        return None
+
     def run_suite(
         self,
         schemes: Sequence[SchemeLike],
@@ -453,6 +506,8 @@ class SimulationRunner:
         *,
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        failures: Optional[List[dict]] = None,
         **overrides,
     ) -> Dict[str, Dict[str, SimResult]]:
         """All (scheme, benchmark) pairs; results[scheme label][benchmark].
@@ -467,10 +522,21 @@ class SimulationRunner:
         scheduling), so parallel results are bitwise identical to the
         serial path. ``progress`` is invoked once per cell, as it
         completes, with (scheme label, benchmark, result, cached).
+
+        Self-healing: a cell that raises is re-dispatched under ``retry``
+        (default :meth:`RetryPolicy.from_env`) with exponential backoff —
+        a crashed pool worker rebuilds the pool, and (pool mode only)
+        ``retry.timeout`` bounds how long the suite waits without any cell
+        completing before the stalled pool is abandoned and rebuilt. A
+        cell that fails every attempt is quarantined into ``failures``
+        (and omitted from the returned mapping) when a list is supplied;
+        with ``failures=None`` the last error propagates.
         """
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
         if workers is None:
             workers = default_workers()
+        if retry is None:
+            retry = RetryPolicy.from_env()
         # One sized spec per (scheme row, benchmark) cell; rows keyed by
         # normalized label, first occurrence wins.
         rows: Dict[str, Dict[str, SchemeSpec]] = {}
@@ -499,36 +565,133 @@ class SimulationRunner:
             self._ensure_traces([name for _label, name, _spec in cold], workers)
         if cold and (workers <= 1 or len(cold) < 2):
             for label, name, spec in cold:
-                result = self._run_cell(spec, label, name)
+                result = self._with_retry(
+                    lambda attempt, s=spec, l=label, n=name: self._run_cell(
+                        s, l, n, attempt=attempt
+                    ),
+                    label,
+                    name,
+                    retry,
+                    failures,
+                )
+                if result is None:
+                    continue  # quarantined
                 out[label][name] = result
                 if progress is not None:
                     progress(label, name, result, False)
         elif cold:
-            # Ship the packed traces to every worker so no process ever
-            # re-simulates one; workers persist results to the shared
-            # on-disk result cache themselves.
-            packed_traces = {
-                name: self._traces[name].to_bytes()
-                for name in dict.fromkeys(name for _label, name, _spec in cold)
-            }
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(cold)),
+            self._run_cold_pool(
+                cold, workers, out, progress, retry, failures
+            )
+        # Restore submission order (dicts preserve insertion order);
+        # quarantined cells are simply absent from their row.
+        return {
+            label: {name: out[label][name] for name in names if name in out[label]}
+            for label in rows
+        }
+
+    def _run_cold_pool(
+        self,
+        cold: List[Tuple[str, str, SchemeSpec]],
+        workers: int,
+        out: Dict[str, Dict[str, SimResult]],
+        progress: Optional[ProgressCallback],
+        retry: RetryPolicy,
+        failures: Optional[List[dict]],
+    ) -> None:
+        """Fan cold cells over a process pool that survives worker death.
+
+        Each round builds a fresh pool for the cells still owed. A cell
+        whose future raises is re-dispatched next round at ``attempt + 1``
+        (or quarantined once the budget is spent); a ``BrokenProcessPool``
+        or a ``retry.timeout`` window with no completion abandons the
+        whole round — never-ran cells keep their attempt number so fault
+        plans keyed on attempts stay deterministic. Workers persist
+        results to the shared on-disk result cache themselves, so a cell
+        completed by a round that later breaks is served from the cache
+        when re-dispatched.
+        """
+        # Ship the packed traces to every worker so no process ever
+        # re-simulates one.
+        packed_traces = {
+            name: self._traces[name].to_bytes()
+            for name in dict.fromkeys(name for _label, name, _spec in cold)
+        }
+        todo: List[Tuple[str, str, SchemeSpec, int]] = [
+            (label, name, spec, 1) for label, name, spec in cold
+        ]
+
+        def requeue(cell, error: BaseException) -> None:
+            label, name, spec, attempt = cell
+            if attempt >= retry.attempts:
+                if failures is None:
+                    raise error
+                failures.append(_quarantine_entry(label, name, attempt, error))
+            else:
+                todo.append((label, name, spec, attempt + 1))
+
+        round_no = 1
+        while todo:
+            if round_no > 1:
+                time.sleep(retry.delay(round_no))
+            batch, todo = todo, []
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(batch)),
                 initializer=_worker_init,
                 initargs=(self._spawn_payload(), packed_traces),
-            ) as pool:
-                futures = [
-                    pool.submit(_worker_cell, label, name, spec)
-                    for label, name, spec in cold
-                ]
-                for future in as_completed(futures):
-                    label, name, result = future.result()
-                    out[label][name] = result
-                    if progress is not None:
-                        progress(label, name, result, False)
-        # Restore submission order (dicts preserve insertion order).
-        return {
-            label: {name: out[label][name] for name in names} for label in rows
-        }
+            )
+            broken = False
+            try:
+                fut_map = {
+                    pool.submit(_worker_cell, label, name, spec, attempt): (
+                        label,
+                        name,
+                        spec,
+                        attempt,
+                    )
+                    for label, name, spec, attempt in batch
+                }
+                pending = set(fut_map)
+                while pending:
+                    done, pending = wait(
+                        pending, timeout=retry.timeout, return_when=FIRST_COMPLETED
+                    )
+                    if not done:
+                        # Nothing completed inside the timeout window: the
+                        # pool is stalled. Abandon it (a truly hung worker
+                        # is left behind; a finite stall drains on its own)
+                        # and charge every in-flight cell one attempt.
+                        broken = True
+                        stall = TimeoutError(
+                            f"no cell completed within {retry.timeout}s"
+                        )
+                        for future in pending:
+                            requeue(fut_map[future], stall)
+                        break
+                    for future in done:
+                        cell = fut_map[future]
+                        try:
+                            label, name, result = future.result()
+                        except KeyboardInterrupt:
+                            raise
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            requeue(cell, exc)
+                        except Exception as exc:
+                            requeue(cell, exc)
+                        else:
+                            out[label][name] = result
+                            if progress is not None:
+                                progress(label, name, result, False)
+                    if broken:
+                        # The pool is dead; cells still queued never ran,
+                        # so they re-dispatch at their current attempt.
+                        for future in pending:
+                            todo.append(fut_map[future])
+                        break
+            finally:
+                pool.shutdown(wait=not broken, cancel_futures=True)
+            round_no += 1
 
     def baselines(
         self,
@@ -536,6 +699,8 @@ class SimulationRunner:
         *,
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        failures: Optional[List[dict]] = None,
     ) -> Dict[str, SimResult]:
         """Insecure baselines keyed by benchmark (cached and fanned out).
 
@@ -543,11 +708,15 @@ class SimulationRunner:
         generating any missing trace, so cold benchmarks shard their
         trace generation across the worker pool exactly like
         :meth:`run_suite` — and finished baselines land in the result
-        cache so ``python -m repro all`` has no serial tail work.
+        cache so ``python -m repro all`` has no serial tail work. Retry
+        and quarantine semantics match :meth:`run_suite` (quarantined
+        benchmarks are absent from the returned mapping).
         """
         names = list(benchmarks) if benchmarks is not None else list(SPEC_BENCHMARKS)
         if workers is None:
             workers = default_workers()
+        if retry is None:
+            retry = RetryPolicy.from_env()
         out: Dict[str, SimResult] = {}
         cold: List[str] = []
         for name in names:
@@ -563,11 +732,19 @@ class SimulationRunner:
         if cold:
             self._ensure_traces(cold, workers)
             for name in cold:
-                result = self.run_insecure(name)
+                result = self._with_retry(
+                    lambda attempt, n=name: self.run_insecure(n, attempt=attempt),
+                    "insecure",
+                    name,
+                    retry,
+                    failures,
+                )
+                if result is None:
+                    continue  # quarantined
                 out[name] = result
                 if progress is not None:
                     progress("insecure", name, result, False)
-        return {name: out[name] for name in names}
+        return {name: out[name] for name in names if name in out}
 
 
 # -- worker-process plumbing (module level for picklability) -------------------
@@ -580,13 +757,17 @@ def _worker_init(
 ) -> None:
     """Build one runner per worker process, pre-seeded with the traces."""
     global _WORKER_RUNNER
+    # A freshly spawned (or respawned-after-crash) worker re-installs the
+    # fault plan from REPRO_FAULTS; occurrence counters restart with the
+    # process, which is why cross-process plans key on the attempt number.
+    install_from_env()
     _WORKER_RUNNER = SimulationRunner(**payload)  # type: ignore[arg-type]
     _WORKER_RUNNER._traces = {
         name: MissTrace.from_bytes(data) for name, data in packed_traces.items()
     }
 
 
-def _worker_cell(label: str, bench_name: str, spec: SchemeSpec):
+def _worker_cell(label: str, bench_name: str, spec: SchemeSpec, attempt: int = 1):
     """Execute one sized (spec, benchmark) cell in the worker's runner.
 
     The parent ships the fully-sized spec, so the worker neither re-sizes
@@ -594,7 +775,12 @@ def _worker_cell(label: str, bench_name: str, spec: SchemeSpec):
     without re-registration in the pool.
     """
     assert _WORKER_RUNNER is not None, "worker pool not initialised"
-    return label, bench_name, _WORKER_RUNNER._run_cell(spec, label, bench_name)
+    fault_hook("worker", f"{label}/{bench_name}/{attempt}")
+    return (
+        label,
+        bench_name,
+        _WORKER_RUNNER._run_cell(spec, label, bench_name, attempt=attempt),
+    )
 
 
 def _worker_trace(bench_name: str):

@@ -30,10 +30,12 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import SpecError
-from repro.sim.metrics import SimResult
+from repro.errors import SpecError, SweepInterrupted
+from repro.faults import RetryPolicy, fault_hook
+from repro.sim.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.sim.runner import ProgressCallback, SchemeLike, SimulationRunner
 from repro.spec import (
     SchemeSpec,
@@ -319,6 +321,9 @@ def run_sweep(
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     include_baselines: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Union[SweepCheckpoint, str, Path, None] = None,
+    resume: bool = False,
 ) -> Dict[str, object]:
     """Execute a sweep; returns a deterministic, JSON-safe report.
 
@@ -334,73 +339,263 @@ def run_sweep(
     parallel and warm-cache vs cold — the experiment engine's core
     guarantee. A sweep with serve axes (:data:`SERVE_AXES`) runs
     multi-tenant serving scenarios instead — see :func:`_run_serve_sweep`.
+
+    Resilience: cells that keep failing under ``retry`` are quarantined
+    into ``report["resilience"]["quarantined"]`` instead of aborting the
+    sweep. With a ``checkpoint`` path (or :class:`SweepCheckpoint`),
+    every completed cell is journaled the moment it finishes;
+    ``resume=True`` replays that journal and recomputes only the missing
+    cells — bit-identical to an uninterrupted run, because
+    :class:`SimResult` payloads are flat scalars and JSON round-trips
+    them exactly. ``KeyboardInterrupt`` raises
+    :class:`~repro.errors.SweepInterrupted` carrying the partial report
+    (``resilience.interrupted = True``) after flushing the journal, so
+    Ctrl-C never loses completed work.
     """
     if runner is None:
         runner = SimulationRunner()
+    if resume and checkpoint is None:
+        raise SpecError("resume=True needs a checkpoint path")
+    ckpt = (
+        SweepCheckpoint(checkpoint)
+        if isinstance(checkpoint, (str, Path))
+        else checkpoint
+    )
     points = sweep.points()
+    completed: Dict[str, dict] = {}
+    if ckpt is not None:
+        completed = ckpt.open(sweep_fingerprint(sweep, runner), resume)
+    try:
+        if sweep.serve_grid:
+            return _run_serve_sweep(
+                sweep, runner, points, ckpt=ckpt, completed=completed
+            )
+        return _run_bench_sweep(
+            sweep,
+            runner,
+            points,
+            workers=workers,
+            progress=progress,
+            include_baselines=include_baselines,
+            retry=retry,
+            ckpt=ckpt,
+            completed=completed,
+        )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+
+
+def _resilience_section(
+    counters: Mapping[str, int], failures: List[dict], interrupted: bool
+) -> Dict[str, object]:
+    """The ``report["resilience"]`` block (always present, JSON-safe)."""
+    section: Dict[str, object] = {
+        "executed": counters["executed"],
+        "from_cache": counters["from_cache"],
+        "resumed": counters["resumed"],
+        "quarantined": list(failures),
+    }
+    if interrupted:
+        section["interrupted"] = True
+    return section
+
+
+def _run_bench_sweep(
+    sweep: SweepSpec,
+    runner: SimulationRunner,
+    points: List[Tuple[str, SchemeSpec]],
+    *,
+    workers: Optional[int],
+    progress: Optional[ProgressCallback],
+    include_baselines: bool,
+    retry: Optional[RetryPolicy],
+    ckpt: Optional[SweepCheckpoint],
+    completed: Dict[str, dict],
+) -> Dict[str, object]:
+    """The offline-replay branch of :func:`run_sweep` (see its docstring)."""
     labels = [label for label, _spec in points]
-    if sweep.serve_grid:
-        return _run_serve_sweep(sweep, runner, points)
     combos = sweep.bench_points()
     multi_miss = any("misses" in combo for combo in combos)
-    cells: List[Dict[str, object]] = []
-    baseline_rows: Dict[str, Dict[str, object]] = {}
-    for combo in combos:
-        names = sweep.names_for(combo)
-        cell_runner = (
-            runner.derive(misses_per_benchmark=combo["misses"])
-            if "misses" in combo
-            else runner
-        )
-        # Feed the runner *labels*, not spec values: the string path
-        # preserves every explicit grid delta (even one equal to a
-        # registry default) against the runner's per-benchmark sizing.
-        results = cell_runner.run_suite(
-            labels, names, workers=workers, progress=progress
-        )
-        baselines: Dict[str, SimResult] = {}
-        if include_baselines:
-            baselines = cell_runner.baselines(
-                names, workers=workers, progress=progress
-            )
-            for name, result in baselines.items():
-                key = (
-                    f"{name}@misses={cell_runner.misses}" if multi_miss else name
-                )
-                baseline_rows[key] = dataclasses.asdict(result)
-        for label, spec in points:
-            for name in names:
-                result = results[label][name]
-                cell: Dict[str, object] = {
-                    "scheme": label,
-                    "benchmark": name,
-                    "misses": cell_runner.misses,
-                    "spec": spec.to_dict(),
-                    "result": dataclasses.asdict(result),
-                }
-                if include_baselines:
-                    cell["slowdown"] = result.cycles / baselines[name].cycles
-                cells.append(cell)
-    import repro
+    failures: List[dict] = []
+    counters = {"executed": 0, "from_cache": 0, "resumed": 0}
+    # One record per bench combo; cells/baselines fill in as they finish
+    # (from the journal, the result cache, or a fresh replay), so a
+    # partial report can be assembled at any interruption point.
+    state: List[Dict[str, object]] = []
 
-    return {
-        "kind": "sweep",
-        "version": getattr(repro, "__version__", "0"),
-        "schemes": labels,
-        "grid": {
-            **{field_name: list(values) for field_name, values in sweep.grid},
-            **{axis: list(values) for axis, values in sweep.bench_grid},
-        },
-        "benchmarks": sweep.bench_names(),
-        "baselines": baseline_rows,
-        "cells": cells,
-    }
+    def assemble(interrupted: bool) -> Dict[str, object]:
+        cells: List[Dict[str, object]] = []
+        baseline_rows: Dict[str, Dict[str, object]] = {}
+        for rec in state:
+            names = rec["names"]
+            misses = rec["misses"]
+            if include_baselines:
+                for name in names:
+                    payload = rec["baselines"].get(name)
+                    if payload is not None:
+                        key = f"{name}@misses={misses}" if multi_miss else name
+                        baseline_rows[key] = payload
+            for label, spec in points:
+                for name in names:
+                    payload = rec["cells"].get((label, name))
+                    if payload is None:
+                        continue  # quarantined, or not reached before Ctrl-C
+                    cell: Dict[str, object] = {
+                        "scheme": label,
+                        "benchmark": name,
+                        "misses": misses,
+                        "spec": spec.to_dict(),
+                        "result": payload,
+                    }
+                    base = (
+                        rec["baselines"].get(name) if include_baselines else None
+                    )
+                    if base is not None:
+                        cell["slowdown"] = payload["cycles"] / base["cycles"]
+                    cells.append(cell)
+        import repro
+
+        return {
+            "kind": "sweep",
+            "version": getattr(repro, "__version__", "0"),
+            "schemes": labels,
+            "grid": {
+                **{field_name: list(values) for field_name, values in sweep.grid},
+                **{axis: list(values) for axis, values in sweep.bench_grid},
+            },
+            "benchmarks": sweep.bench_names(),
+            "baselines": baseline_rows,
+            "cells": cells,
+            "resilience": _resilience_section(counters, failures, interrupted),
+        }
+
+    try:
+        for combo in combos:
+            names = sweep.names_for(combo)
+            cell_runner = (
+                runner.derive(misses_per_benchmark=combo["misses"])
+                if "misses" in combo
+                else runner
+            )
+            # Journal keys are the runner's canonical result digests —
+            # every construction knob, seed and miss budget folded in, and
+            # identical across resume boundaries by construction.
+            keymap = {
+                (label, name): cell_runner._cell_key(
+                    cell_runner.sized_spec(label, name)[0], label, name
+                )
+                for label in labels
+                for name in names
+            }
+            base_keys = {
+                name: cell_runner.result_key("insecure", name) for name in names
+            }
+            rec: Dict[str, object] = {
+                "names": names,
+                "misses": cell_runner.misses,
+                "cells": {},
+                "baselines": {},
+            }
+            state.append(rec)
+            for cell_id, key in keymap.items():
+                if key in completed:
+                    rec["cells"][cell_id] = completed[key]["result"]
+                    counters["resumed"] += 1
+            if include_baselines:
+                for name, key in base_keys.items():
+                    if key in completed:
+                        rec["baselines"][name] = completed[key]["result"]
+                        counters["resumed"] += 1
+
+            def journal(
+                label,
+                name,
+                result,
+                cached,
+                rec=rec,
+                keymap=keymap,
+                base_keys=base_keys,
+                misses=cell_runner.misses,
+            ):
+                payload = dataclasses.asdict(result)
+                if label == "insecure":
+                    key = base_keys[name]
+                    rec["baselines"][name] = payload
+                else:
+                    key = keymap[(label, name)]
+                    rec["cells"][(label, name)] = payload
+                if ckpt is not None:
+                    ckpt.record(
+                        key,
+                        {
+                            "scheme": label,
+                            "benchmark": name,
+                            "misses": misses,
+                            "result": payload,
+                        },
+                    )
+                counters["from_cache" if cached else "executed"] += 1
+                # Journal first, then inject: a fault fired here never
+                # loses the cell that just completed.
+                fault_hook("sweep", f"{label}/{name}")
+                if progress is not None:
+                    progress(label, name, result, cached)
+
+            owed = {
+                label: [n for n in names if (label, n) not in rec["cells"]]
+                for label in labels
+            }
+            # Feed the runner *labels*, not spec values: the string path
+            # preserves every explicit grid delta (even one equal to a
+            # registry default) against the runner's per-benchmark sizing.
+            if all(len(missing) == len(names) for missing in owed.values()):
+                # Fresh combo: one full-matrix call keeps cross-scheme
+                # pool parallelism.
+                cell_runner.run_suite(
+                    labels,
+                    names,
+                    workers=workers,
+                    progress=journal,
+                    retry=retry,
+                    failures=failures,
+                )
+            else:
+                for label, missing in owed.items():
+                    if missing:
+                        cell_runner.run_suite(
+                            [label],
+                            missing,
+                            workers=workers,
+                            progress=journal,
+                            retry=retry,
+                            failures=failures,
+                        )
+            if include_baselines:
+                missing_base = [n for n in names if n not in rec["baselines"]]
+                if missing_base:
+                    cell_runner.baselines(
+                        missing_base,
+                        workers=workers,
+                        progress=journal,
+                        retry=retry,
+                        failures=failures,
+                    )
+    except KeyboardInterrupt:
+        raise SweepInterrupted(
+            "sweep interrupted; completed cells are journaled",
+            report=assemble(True),
+        ) from None
+    return assemble(False)
 
 
 def _run_serve_sweep(
     sweep: SweepSpec,
     runner: SimulationRunner,
     points: List[Tuple[str, SchemeSpec]],
+    *,
+    ckpt: Optional[SweepCheckpoint] = None,
+    completed: Optional[Dict[str, dict]] = None,
 ) -> Dict[str, object]:
     """The serve branch of :func:`run_sweep`: scenario cells, no baselines.
 
@@ -410,26 +605,53 @@ def _run_serve_sweep(
     carries the pool's total busy cycles (so :func:`sweep_table`'s
     megacycles rendering applies unchanged) next to the full per-tenant
     serve report. Insecure baselines are meaningless for a shared pool,
-    so serve reports never carry them.
+    so serve reports never carry them. Checkpointing journals whole
+    scenario cells (a serve cell is one indivisible service run).
     """
     from repro.serve import OramService, ServeConfig, tenants_for
 
+    completed = completed or {}
     names = sweep.bench_names()
     roster = ",".join(names)
     cells: List[Dict[str, object]] = []
-    for combo in sweep.serve_points():
-        tenants = combo.get("tenants", 2)
-        shards = combo.get("shards", 1)
-        for label, spec in points:
-            service = OramService(
-                tenants_for(names, tenants),
-                runner=runner,
-                config=ServeConfig(scheme=label, shards=shards),
-            )
-            service.run("serial")
-            serve_report = service.report()
-            cells.append(
-                {
+    counters = {"executed": 0, "from_cache": 0, "resumed": 0}
+    failures: List[dict] = []
+
+    def assemble(interrupted: bool) -> Dict[str, object]:
+        import repro
+
+        return {
+            "kind": "sweep",
+            "version": getattr(repro, "__version__", "0"),
+            "schemes": [label for label, _spec in points],
+            "grid": {
+                **{field_name: list(values) for field_name, values in sweep.grid},
+                **{axis: list(values) for axis, values in sweep.serve_grid},
+            },
+            "benchmarks": [roster],
+            "baselines": {},
+            "cells": cells,
+            "resilience": _resilience_section(counters, failures, interrupted),
+        }
+
+    try:
+        for combo in sweep.serve_points():
+            tenants = combo.get("tenants", 2)
+            shards = combo.get("shards", 1)
+            for label, spec in points:
+                key = f"serve::{label}::tenants={tenants}::shards={shards}"
+                if key in completed:
+                    cells.append(completed[key]["cell"])
+                    counters["resumed"] += 1
+                    continue
+                service = OramService(
+                    tenants_for(names, tenants),
+                    runner=runner,
+                    config=ServeConfig(scheme=label, shards=shards),
+                )
+                service.run("serial")
+                serve_report = service.report()
+                cell = {
                     "scheme": label,
                     "benchmark": roster,
                     "tenants": tenants,
@@ -439,21 +661,17 @@ def _run_serve_sweep(
                     "result": {"cycles": serve_report["totals"]["cycles"]},
                     "serve": serve_report,
                 }
-            )
-    import repro
-
-    return {
-        "kind": "sweep",
-        "version": getattr(repro, "__version__", "0"),
-        "schemes": [label for label, _spec in points],
-        "grid": {
-            **{field_name: list(values) for field_name, values in sweep.grid},
-            **{axis: list(values) for axis, values in sweep.serve_grid},
-        },
-        "benchmarks": [roster],
-        "baselines": {},
-        "cells": cells,
-    }
+                cells.append(cell)
+                counters["executed"] += 1
+                if ckpt is not None:
+                    ckpt.record(key, {"cell": cell})
+                fault_hook("sweep", f"{label}/serve/{tenants}x{shards}")
+    except KeyboardInterrupt:
+        raise SweepInterrupted(
+            "sweep interrupted; completed scenario cells are journaled",
+            report=assemble(True),
+        ) from None
+    return assemble(False)
 
 
 def sweep_table(report: Mapping[str, object]) -> str:

@@ -23,10 +23,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.config import ProcessorConfig
+from repro.errors import CacheCorruptionWarning
+from repro.faults import fault_hook
 from repro.proc.hierarchy import TRACE_VERSION, MissTrace
 
 #: Environment variable controlling the default cache location. Unset means
@@ -84,14 +87,28 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_evictions = 0
 
     def path_for(self, key: str) -> Path:
         """Entry location for a key."""
         return self.root / f"{key}.trace"
 
+    def _evict_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.corrupt_evictions += 1
+        warnings.warn(
+            f"trace cache: evicted corrupt/stale entry {path.name}; recomputing",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+
     def load(self, key: str) -> Optional[MissTrace]:
         """Return the cached trace, or None on miss/corruption."""
         path = self.path_for(key)
+        fault_hook("cache.entry", f"trace/{key}", path)
         try:
             data = path.read_bytes()
         except OSError:
@@ -101,10 +118,7 @@ class TraceCache:
             trace = MissTrace.from_bytes(data)
         except ValueError:
             # Corrupted or stale-format entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict_corrupt(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -112,6 +126,7 @@ class TraceCache:
 
     def store(self, key: str, trace: MissTrace) -> bool:
         """Atomically persist a trace; returns False if the dir is unusable."""
+        fault_hook("cache.write", "trace/begin")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError:
@@ -120,7 +135,9 @@ class TraceCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
             tmp.write_bytes(trace.to_bytes())
+            fault_hook("cache.write", "trace/tmp", tmp)
             os.replace(tmp, path)
+            fault_hook("cache.write", "trace/replace", path)
         except OSError:
             try:
                 tmp.unlink()

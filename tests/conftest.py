@@ -37,6 +37,15 @@ def _hermetic_caches(tmp_path_factory):
             os.environ[env] = value
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Guarantee no test leaves a process-wide fault plan installed."""
+    from repro.faults import clear
+
+    yield
+    clear()
+
+
 @pytest.fixture
 def rng() -> DeterministicRng:
     """Deterministic RNG; tests that need different streams fork it."""

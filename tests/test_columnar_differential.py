@@ -402,7 +402,8 @@ class TestErrorPathEquivalence:
         for backend in (obj, col):
             with pytest.raises(IntegrityViolationError):
                 backend.access(Op.WRITE, addr, leaf, 3, update=failing)
-        # Partial mutations persist identically and both backends stay usable.
+        # Both backends roll the partial mutation back to the pre-access
+        # state identically and stay usable.
         assert obj.stash_snapshot() == col.stash_snapshot()
         assert tree_records(obj.storage) == tree_records(col.storage)
         for step in trace[40:]:

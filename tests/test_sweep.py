@@ -164,6 +164,10 @@ class TestRunSweep:
 
         monkeypatch.setattr(runner_mod, "replay_trace", boom)
         warm = run_sweep(tiny_sweep(), _runner(tmp_path))
+        # Resilience counters intentionally differ (executed vs from_cache);
+        # every measured quantity must be identical.
+        assert warm.pop("resilience")["from_cache"] > 0
+        assert cold.pop("resilience")["executed"] > 0
         assert warm == cold
 
     def test_progress_streams_every_cell(self, tmp_path):
