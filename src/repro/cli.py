@@ -108,7 +108,7 @@ DEFAULT_SWEEP_OUT = "SWEEP.json"
 DEFAULT_SERVE_OUT = "SERVE.json"
 
 #: Subcommands with their own flag namespace after the name.
-_SUBCOMMANDS = ("sweep", "serve")
+_SUBCOMMANDS = ("sweep", "serve", "fabric")
 
 #: Global flags that consume a separate value token (``--flag VALUE``).
 _VALUE_FLAGS = (
@@ -243,6 +243,8 @@ def _sweep_main(args: List[str]) -> int:
     saved: Optional[str] = None
     checkpoint: Optional[str] = None
     resume = False
+    fabric: Optional[int] = None
+    connect: Optional[str] = None
     it = iter(args)
     for arg in it:
         value: Optional[str] = None
@@ -290,9 +292,32 @@ def _sweep_main(args: List[str]) -> int:
             checkpoint = value
         elif arg == "--resume":
             resume = True
+        elif arg == "--fabric" or arg.startswith("--fabric="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value is None or not value.isdigit() or int(value) < 0:
+                print(
+                    "--fabric requires a worker count (0 allowed with "
+                    "--connect: attached workers only)",
+                    file=sys.stderr,
+                )
+                return 2
+            fabric = int(value)
+        elif arg == "--connect" or arg.startswith("--connect="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--connect requires HOST:PORT", file=sys.stderr)
+                return 2
+            connect = value
         else:
             print(f"unknown sweep option {arg}", file=sys.stderr)
             return 2
+    if fabric == 0 and connect is None:
+        print(
+            "--fabric 0 spawns no workers, so it needs --connect HOST:PORT "
+            "for external workers to attach",
+            file=sys.stderr,
+        )
+        return 2
     if saved is not None:
         if schemes or grid:
             print(
@@ -328,7 +353,35 @@ def _sweep_main(args: List[str]) -> int:
                 schemes, grid, benches if benches else None
             )
             runner = SimulationRunner(misses_per_benchmark=misses)
-        report = run_sweep(sweep, runner, checkpoint=checkpoint, resume=resume)
+        if fabric is not None or connect is not None:
+            from repro.fabric import FabricCoordinator, FabricExecutor, parse_address
+
+            host, port = (
+                parse_address(connect) if connect else ("127.0.0.1", 0)
+            )
+            coordinator = FabricCoordinator(
+                runner, spawn=fabric or 0, host=host, port=port
+            )
+            bound = coordinator.start()
+            print(
+                f"fabric: coordinator on {bound[0]}:{bound[1]}, "
+                f"spawned {fabric or 0} worker(s)"
+                + (" (accepting attached workers)" if connect else "")
+            )
+            try:
+                report = run_sweep(
+                    sweep,
+                    runner,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                    executor=FabricExecutor(coordinator),
+                )
+            finally:
+                coordinator.close()
+        else:
+            report = run_sweep(
+                sweep, runner, checkpoint=checkpoint, resume=resume
+            )
     except SweepInterrupted as exc:
         if exc.report is not None:
             with open(out, "w", encoding="utf-8") as fh:
@@ -512,7 +565,57 @@ def _serve_main(args: List[str]) -> int:
     return 0
 
 
-_SUBCOMMAND_MAINS = {"sweep": _sweep_main, "serve": _serve_main}
+def _fabric_main(args: List[str]) -> int:
+    """The ``fabric`` subcommand: worker-side entry points.
+
+    ``fabric serve-worker --connect HOST:PORT`` dials a sweep
+    coordinator (``python -m repro sweep --fabric N`` binds one; add
+    ``--connect`` there to listen on a fixed address) and executes
+    leased cells until the coordinator shuts it down.
+    """
+    from repro.fabric import serve_worker
+
+    if not args or args[0] != "serve-worker":
+        print(
+            "usage: python -m repro fabric serve-worker --connect HOST:PORT "
+            "[--timeout SECS]",
+            file=sys.stderr,
+        )
+        return 2
+    connect: Optional[str] = None
+    timeout = 10.0
+    it = iter(args[1:])
+    for arg in it:
+        value: Optional[str] = None
+        if arg == "--connect" or arg.startswith("--connect="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if not value:
+                print("--connect requires HOST:PORT", file=sys.stderr)
+                return 2
+            connect = value
+        elif arg == "--timeout" or arg.startswith("--timeout="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            try:
+                timeout = float(value) if value else -1.0
+            except ValueError:
+                timeout = -1.0
+            if timeout <= 0:
+                print("--timeout requires a positive number", file=sys.stderr)
+                return 2
+        else:
+            print(f"unknown fabric option {arg}", file=sys.stderr)
+            return 2
+    if connect is None:
+        print("fabric serve-worker requires --connect HOST:PORT", file=sys.stderr)
+        return 2
+    try:
+        return serve_worker(connect, connect_timeout=timeout)
+    except ReproError as exc:
+        print(f"fabric error: {exc}", file=sys.stderr)
+        return 2
+
+
+_SUBCOMMAND_MAINS = {"sweep": _sweep_main, "serve": _serve_main, "fabric": _fabric_main}
 
 
 def main(argv=None) -> int:
@@ -535,6 +638,7 @@ def main(argv=None) -> int:
         print("  bench         replay-throughput microbenchmark (BENCH_replay.json)")
         print("  sweep         parameter-grid sweep over scheme specs (SWEEP.json)")
         print("  serve         multi-tenant ORAM serving scenario (SERVE.json)")
+        print("  fabric        distributed-sweep worker endpoints")
         print("Options:")
         print("  --workers N         parallel (scheme, benchmark) fan-out")
         print("  --trace-cache DIR   miss-trace cache location")
@@ -557,6 +661,12 @@ def main(argv=None) -> int:
         print(f"  --out FILE          JSON report path (default {DEFAULT_SWEEP_OUT})")
         print("  --checkpoint FILE   cell journal path (default <out>.ckpt.jsonl)")
         print("  --resume            recompute only cells missing from the journal")
+        print("  --fabric N          distribute cells over N spawned fabric workers")
+        print("  --connect HOST:PORT bind the fabric coordinator there so external")
+        print("                      'fabric serve-worker' processes can attach")
+        print("Fabric options (after 'fabric'):")
+        print("  serve-worker --connect HOST:PORT [--timeout SECS]")
+        print("                      run one worker against a sweep coordinator")
         print("Serve options (after 'serve'):")
         print("  --tenants N         simulated tenant clients (round-robin roster)")
         print("  --shards M          ORAM instances in the pool")

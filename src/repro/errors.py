@@ -64,6 +64,16 @@ class FaultKillPoint(InjectedFault):
     """
 
 
+class FabricError(ReproError):
+    """The distributed sweep fabric cannot make progress.
+
+    Raised by the coordinator when no worker ever joins, or when every
+    worker has died and no respawn budget remains. The sweep's journal is
+    flushed before this propagates, so ``--resume`` picks up exactly
+    where the fabric stopped.
+    """
+
+
 class SweepInterrupted(ReproError):
     """A sweep stopped early (Ctrl-C or injected interrupt) with partial work.
 

@@ -25,12 +25,24 @@ The trace and every frontend/backend are deterministically seeded, so
 run-to-run variation is machine noise only; each cell reports the best
 of ``repeats`` runs to suppress it.
 
+A second harness, :func:`run_sweep_bench`, measures *sweep-cell*
+throughput — the same small sweep run serially, on the worker pool, and
+through the distributed fabric (coordinator + spawned workers), each on
+cold caches — and writes ``BENCH_sweep.json``. Its ``comparisons`` block
+carries the pool/serial and fabric/pool scaling ratios;
+:func:`check_sweep_report` gates CI on parallel scaling staying at or
+above parity (fabric ratios are reported, not gated: two extra
+interpreter spawns dominate a smoke-sized sweep).
+
 Environment knobs: ``REPRO_BENCH_EVENTS`` (trace length, default 4000),
 ``REPRO_BENCH_REPEATS`` (default 3), ``REPRO_BENCH_STORAGES``
 (comma-separated subset of ``object,array,columnar``),
 ``REPRO_BENCH_MICRO_BLOCKS`` / ``_MICRO_ACCESSES`` / ``_MICRO_REPEATS``
 (backend micro scale, defaults 2^18 / 8000 / 1), ``REPRO_BENCH_OUT``
-(output path).
+(output path); for the sweep harness ``REPRO_BENCH_SWEEP`` (``off``
+skips it), ``REPRO_BENCH_SWEEP_MISSES`` (per-cell miss budget, default
+6000), ``REPRO_BENCH_SWEEP_WORKERS`` (default 2) and
+``REPRO_BENCH_SWEEP_OUT`` (output path).
 """
 
 from __future__ import annotations
@@ -330,6 +342,213 @@ def run_bench(
     return report
 
 
+#: Sweep-bench defaults: a 2x2x2 grid sized so per-cell simulation work
+#: dominates pool/fabric dispatch overhead on CI-class machines.
+DEFAULT_SWEEP_MISSES = 6000
+DEFAULT_SWEEP_WORKERS = 2
+
+_SWEEP_DISABLED = {"0", "off", "none", "disable", "disabled"}
+
+
+def _sweep_bench_spec():
+    """The fixed benchmark sweep: 2 schemes x 2 PLB capacities x 2 traces."""
+    from repro.sim.sweep import SweepSpec
+
+    return SweepSpec.from_args(
+        ["P_X16", "PC_X32"],
+        {"plb_capacity_bytes": ["4KiB", "8KiB"]},
+        ["gob", "hmmer"],
+    )
+
+
+def run_sweep_bench(
+    misses: Optional[int] = None,
+    workers: Optional[int] = None,
+    out_path: Optional[str] = None,
+) -> Optional[Dict]:
+    """Measure sweep-cell throughput: serial vs worker pool vs fabric.
+
+    All modes share one *pre-warmed* trace cache — trace synthesis is a
+    per-benchmark fixed cost every mode would duplicate identically, so
+    it is paid once outside the timed region — while each mode gets a
+    fresh, cold result cache (no cross-mode cell reuse). The wall-clock
+    difference is therefore pure execution strategy over the replay
+    work. Alongside the timings, the three reports are compared for
+    bit-identity (``resilience`` stripped) — the determinism contract the
+    fabric advertises — and the verdict lands in the report. Returns the
+    report dict, or None when ``REPRO_BENCH_SWEEP=off``.
+    """
+    if os.environ.get("REPRO_BENCH_SWEEP", "").strip().lower() in _SWEEP_DISABLED:
+        print("sweep bench skipped (REPRO_BENCH_SWEEP=off)")
+        return None
+    import tempfile
+    from pathlib import Path
+
+    from repro.fabric import FabricCoordinator, FabricExecutor
+    from repro.sim.runner import SimulationRunner
+    from repro.sim.sweep import run_sweep
+
+    misses = misses if misses is not None else _env_int(
+        "REPRO_BENCH_SWEEP_MISSES", DEFAULT_SWEEP_MISSES
+    )
+    workers = workers if workers is not None else _env_int(
+        "REPRO_BENCH_SWEEP_WORKERS", DEFAULT_SWEEP_WORKERS
+    )
+    sweep = _sweep_bench_spec()
+    n_cells = len(sweep.points()) * len(sweep.bench_names()) + len(
+        sweep.bench_names()
+    )
+    modes = (
+        ("serial", 1),
+        ("pool", workers),
+        ("fabric", workers),
+    )
+    cells: List[Dict] = []
+    reports: Dict[str, str] = {}
+    print(
+        f"\nsweep-cell throughput: {n_cells} cells, {misses} misses/cell, "
+        f"{workers} worker(s)"
+    )
+    print(f"{'mode':>8} {'workers':>8} {'seconds':>8} {'cells/s':>8}")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as td:
+        traces = Path(td) / "traces"
+        warm = SimulationRunner(misses_per_benchmark=misses, cache_dir=traces)
+        for name in sweep.bench_names():
+            warm.trace(name)
+        for mode, n in modes:
+            runner = SimulationRunner(
+                misses_per_benchmark=misses,
+                cache_dir=traces,
+                result_cache_dir=Path(td) / mode / "results",
+            )
+            coordinator = None
+            executor = None
+            if mode == "fabric":
+                coordinator = FabricCoordinator(runner, spawn=n)
+                coordinator.start()
+                executor = FabricExecutor(coordinator)
+            try:
+                start = time.perf_counter()
+                report = run_sweep(
+                    sweep,
+                    runner,
+                    workers=None if executor is not None else n,
+                    executor=executor,
+                )
+                seconds = time.perf_counter() - start
+            finally:
+                if coordinator is not None:
+                    coordinator.close()
+            report = dict(report)
+            report.pop("resilience", None)
+            reports[mode] = json.dumps(report, sort_keys=True)
+            cells.append(
+                {
+                    "mode": mode,
+                    "workers": n,
+                    "cells": n_cells,
+                    "misses": misses,
+                    "seconds": seconds,
+                    "cells_per_sec": n_cells / seconds if seconds > 0 else 0.0,
+                }
+            )
+            print(
+                f"{mode:>8} {n:>8} {seconds:>8.2f}"
+                f" {cells[-1]['cells_per_sec']:>8.2f}"
+            )
+
+    rate = {cell["mode"]: cell["cells_per_sec"] for cell in cells}
+    identical = reports["serial"] == reports["pool"] == reports["fabric"]
+    comparisons = {
+        "pool_vs_serial_sweep": (
+            rate["pool"] / rate["serial"] if rate.get("serial") else None
+        ),
+        "fabric_vs_pool_sweep": (
+            rate["fabric"] / rate["pool"] if rate.get("pool") else None
+        ),
+        "fabric_vs_serial_sweep": (
+            rate["fabric"] / rate["serial"] if rate.get("serial") else None
+        ),
+    }
+    for name, value in comparisons.items():
+        if value is not None:
+            print(f"{name}: {value:.2f}x")
+    print(f"reports bit-identical across modes: {identical}")
+
+    out = {
+        "kind": "sweep_throughput",
+        "version": getattr(repro, "__version__", "0"),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "misses": misses,
+        "workers": workers,
+        "results": cells,
+        "identical": identical,
+        "comparisons": comparisons,
+    }
+    path = out_path if out_path is not None else os.environ.get(
+        "REPRO_BENCH_SWEEP_OUT", "BENCH_sweep.json"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+    print(f"wrote {path}")
+    return out
+
+
+def check_sweep_report(
+    path: str = "BENCH_sweep.json",
+    min_parallel_ratio: float = 1.0,
+    single_core_ratio: float = 0.6,
+) -> None:
+    """Fail (SystemExit) when parallel sweep scaling falls below its floor.
+
+    Gates the pool-vs-serial cell-throughput ratio at parity by default —
+    ``workers=N`` must never be slower than ``workers=1`` at the bench's
+    cell size — and the cross-mode bit-identity verdict. On a machine the
+    bench recorded as single-core, parallel speedup is physically
+    impossible, so the floor relaxes to ``single_core_ratio`` (the pool
+    must still not be catastrophically slower than serial). The fabric
+    ratios ride along for tracking but are not gated: spawning worker
+    interpreters is a fixed cost a smoke-sized sweep cannot amortise.
+
+    CI runs this right after ``python -m repro bench``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    comparisons = report.get("comparisons", {})
+    ratio = comparisons.get("pool_vs_serial_sweep")
+    if ratio is None:
+        raise SystemExit(
+            f"{path} carries no pool-vs-serial sweep comparison "
+            "(was the sweep bench skipped?)"
+        )
+    floor = min_parallel_ratio
+    if report.get("cpu_count", 2) < 2:
+        floor = min(floor, single_core_ratio)
+        print(
+            f"single-core machine: parallel scaling cannot exceed 1.0x; "
+            f"floor relaxed to {floor:.2f}x"
+        )
+    if ratio < floor:
+        raise SystemExit(
+            f"parallel sweep scaling regressed: {ratio:.2f}x serial "
+            f"throughput (floor {floor:.2f}x) — see {path}"
+        )
+    print(
+        f"worker pool at {ratio:.2f}x serial sweep throughput "
+        f"(floor {floor:.2f}x): ok"
+    )
+    if not report.get("identical", False):
+        raise SystemExit(
+            f"sweep reports diverged across serial/pool/fabric modes — "
+            f"determinism regression; see {path}"
+        )
+    fabric = comparisons.get("fabric_vs_pool_sweep")
+    if fabric is not None:
+        print(f"fabric at {fabric:.2f}x pool sweep throughput (not gated)")
+
+
 def check_report(
     path: str = "BENCH_replay.json",
     min_backend_ratio: float = 1.0,
@@ -387,3 +606,4 @@ def check_report(
 def main() -> None:
     """CLI entry point."""
     run_bench()
+    run_sweep_bench()

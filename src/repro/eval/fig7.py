@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analytic.bandwidth import recursion_breakdown, unified_access_bytes
+from repro.eval.table_cache import cached_figure_table
 from repro.sim.runner import SimulationRunner
 from repro.utils.units import GiB
 
@@ -31,6 +32,11 @@ PLB_SCHEMES: Dict[str, Tuple[int, int]] = {
 
 #: Capacities of Fig. 7.
 CAPACITIES: Tuple[int, ...] = (4 * GiB, 16 * GiB, 64 * GiB)
+
+#: Default benchmark mix for the measured PosMap rates — spans the
+#: locality spectrum so the average PLB behaviour approximates a suite
+#: mean rather than a worst case.
+RATE_BENCHMARKS: Tuple[str, ...] = ("hmmer", "gcc", "h264", "libq", "mcf")
 
 
 @dataclass
@@ -52,15 +58,13 @@ def measure_posmap_rate(
     scheme: str,
     benchmarks: Optional[Iterable[str]] = None,
     misses: Optional[int] = None,
+    runner: Optional[SimulationRunner] = None,
 ) -> float:
     """Average PosMap tree accesses per data access at simulation scale."""
-    runner = SimulationRunner(misses_per_benchmark=misses)
-    # Default mix spans the locality spectrum so the average PLB behaviour
-    # approximates a suite mean rather than a worst case.
+    if runner is None:
+        runner = SimulationRunner(misses_per_benchmark=misses)
     names = (
-        list(benchmarks)
-        if benchmarks is not None
-        else ["hmmer", "gcc", "h264", "libq", "mcf"]
+        list(benchmarks) if benchmarks is not None else list(RATE_BENCHMARKS)
     )
     total_posmap = 0
     total_data = 0
@@ -84,14 +88,29 @@ def run(
     ``rates`` injects pre-measured PosMap-accesses-per-data-access rates
     — e.g. recovered from a saved-sweep report via
     :func:`repro.eval.sweeps.fig7_rates_from_report` — skipping the
-    in-line measurement entirely.
+    in-line measurement entirely. The measured rates are memoised on
+    disk keyed by every consumed cell's canonical identity
+    (:mod:`repro.eval.table_cache`); ``--force`` refreshes them.
     """
     bars: List[Fig7Bar] = []
     if rates is None:
-        rates = {
-            scheme: measure_posmap_rate(scheme, benchmarks, misses)
+        runner = SimulationRunner(misses_per_benchmark=misses)
+        names = (
+            list(benchmarks) if benchmarks is not None else list(RATE_BENCHMARKS)
+        )
+
+        def build() -> Dict[str, float]:
+            return {
+                scheme: measure_posmap_rate(scheme, names, misses, runner=runner)
+                for scheme in PLB_SCHEMES
+            }
+
+        cell_keys = [
+            runner.result_key(scheme, name)
             for scheme in PLB_SCHEMES
-        }
+            for name in names
+        ]
+        rates = cached_figure_table("fig7_rates", runner, cell_keys, build)
     for capacity in capacities:
         num_blocks = capacity // block_bytes
         r = recursion_breakdown(

@@ -13,9 +13,17 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
+from repro.eval.table_cache import cached_figure_table
 from repro.sim.metrics import format_table, slowdown_table
 from repro.sim.runner import SimulationRunner
 from repro.workloads.spec import benchmark_names
+
+#: Fig. 8 scheme row order with the per-scheme cell overrides.
+SCHEME_OVERRIDES = {
+    "R_X8": {"block_bytes": 128, "blocks_per_bucket": 3},
+    "PC_X64": {"block_bytes": 128, "blocks_per_bucket": 3},
+    "PC_X32": {"block_bytes": 64, "blocks_per_bucket": 3},
+}
 
 
 def make_runner(misses: Optional[int] = None) -> SimulationRunner:
@@ -44,32 +52,37 @@ def run(
     """Slowdown table for R_X8 / PC_X64 / PC_X32 plus traffic cuts.
 
     Returns (slowdowns, posmap_traffic) where posmap_traffic maps scheme
-    to average PosMap bytes per access.
+    to average PosMap bytes per access. The assembled pair is memoised
+    on disk keyed by every cell's canonical identity (baselines
+    included); ``--force`` refreshes it (:mod:`repro.eval.table_cache`).
     """
     runner = _runner(misses)
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    results = {}
-    results["R_X8"] = {
-        n: runner.run_one("R_X8", n, block_bytes=128, blocks_per_bucket=3)
-        for n in names
-    }
-    results["PC_X64"] = {
-        n: runner.run_one("PC_X64", n, block_bytes=128, blocks_per_bucket=3)
-        for n in names
-    }
-    results["PC_X32"] = {
-        n: runner.run_one("PC_X32", n, block_bytes=64, blocks_per_bucket=3)
-        for n in names
-    }
-    baselines = runner.baselines(names)
-    table = slowdown_table(results, baselines, ("R_X8", "PC_X64", "PC_X32"))
-    traffic = {
-        scheme: {
-            bench: r.posmap_bytes / max(r.oram_accesses, 1)
-            for bench, r in results[scheme].items()
+
+    def build():
+        results = {
+            scheme: {
+                n: runner.run_one(scheme, n, **overrides) for n in names
+            }
+            for scheme, overrides in SCHEME_OVERRIDES.items()
         }
-        for scheme in results
-    }
+        baselines = runner.baselines(names)
+        table = slowdown_table(results, baselines, tuple(SCHEME_OVERRIDES))
+        traffic = {
+            scheme: {
+                bench: r.posmap_bytes / max(r.oram_accesses, 1)
+                for bench, r in results[scheme].items()
+            }
+            for scheme in results
+        }
+        return [table, traffic]
+
+    cell_keys = [
+        runner.result_key(scheme, n, **overrides)
+        for scheme, overrides in SCHEME_OVERRIDES.items()
+        for n in names
+    ] + [runner.result_key("insecure", n) for n in names]
+    table, traffic = cached_figure_table("fig8", runner, cell_keys, build)
     return table, traffic
 
 

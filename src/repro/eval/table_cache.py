@@ -191,15 +191,24 @@ def cached_figure_table(
     ``runner.force`` (the ``--force`` / ``REPRO_FORCE`` flag) skips the
     load and refreshes the stored entry with the rebuilt table; a
     disabled cache (``REPRO_FIGURE_CACHE=off``) degrades to calling
-    ``build()`` directly.
+    ``build()`` directly. Purely analytic tables (table2/table3) have no
+    runner: pass ``runner=None`` and the force flag is read straight
+    from the environment, with ``cell_keys`` carrying the closed-form
+    model's parameters instead of result digests.
     """
     if cache is None:
         root = default_figure_cache_dir()
         cache = FigureTableCache(root) if root is not None else None
     if cache is None:
         return build()
+    if runner is None:
+        from repro.sim.runner import default_force
+
+        force = default_force()
+    else:
+        force = runner.force
     key = figure_key(figure, cell_keys)
-    if not runner.force:
+    if not force:
         table = cache.load(key)
         if table is not None:
             return table

@@ -1,0 +1,133 @@
+"""Length-prefixed JSON message framing for the sweep fabric.
+
+Wire format: a 4-byte big-endian unsigned length, then exactly that many
+bytes of UTF-8 JSON. Every message is a JSON object with a ``"type"``
+field; everything else is message-specific plain data (spec dicts,
+serialized SimResults — all JSON-safe by construction, because the cell
+payloads the fabric ships are the same flat scalars the checkpoint
+journal already round-trips exactly).
+
+Message types (coordinator <-> worker)::
+
+    worker -> hello      {pid}                     first frame after connect
+    coord  -> config     {index, runner, heartbeat} runner spawn payload
+    worker -> need       {}                        ask for a lease
+    coord  -> lease      {tasks: [{id, kind, label, bench, spec, misses,
+                                   attempt}, ...]}
+    coord  -> shutdown   {}                        clean exit
+    worker -> result     {id, result}              one finished cell
+    worker -> error      {id, error}               one failed cell
+    worker -> heartbeat  {n}                       liveness (side thread)
+
+Fault plane: both directions pass through the ``fabric.rpc`` injection
+site with keys ``<role>/send/<type>`` and ``<role>/recv/<type>`` — a
+``crash`` injected there surfaces as :class:`ProtocolError`, which
+callers treat exactly like a dropped connection (that is the point: a
+chaos plan can sever any edge of the fabric deterministically). A
+``stall`` injected there delays the frame, exercising the heartbeat
+timeout path.
+
+Frames are bounded by :data:`MAX_MESSAGE_BYTES` so a garbled length
+prefix (or a non-fabric peer) fails fast instead of allocating gigabytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FabricError, InjectedFault, SpecError
+from repro.faults import fault_hook
+
+#: Upper bound on one frame (runner payloads are a few KB; leases of
+#: dozens of spec dicts stay well under 1 MB).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(FabricError):
+    """A fabric connection failed or delivered a malformed frame.
+
+    Both peers treat this as "the other side is gone": the coordinator
+    reclaims the worker's leases, a worker exits. An injected
+    ``fabric.rpc.crash`` fault is converted into this type so chaos
+    plans sever connections through the same path a real network
+    failure would take.
+    """
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` string (the port is mandatory)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise SpecError(f"fabric address must be host:port, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SpecError(f"fabric port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise SpecError(f"fabric port out of range: {port}")
+    return host, port
+
+
+def send_message(sock: socket.socket, message: Dict, role: str = "peer") -> None:
+    """Frame and send one message (raises :class:`ProtocolError` on failure)."""
+    try:
+        fault_hook("fabric.rpc", f"{role}/send/{message.get('type', '?')}")
+    except InjectedFault as exc:
+        raise ProtocolError(f"connection dropped (injected): {exc}") from exc
+    data = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame too large: {len(data)} bytes")
+    try:
+        sock.sendall(struct.pack(">I", len(data)) + data)
+    except OSError as exc:
+        raise ProtocolError(f"send failed: {exc}") from exc
+
+
+def recv_message(sock: socket.socket, role: str = "peer") -> Optional[Dict]:
+    """Receive one message; None on clean EOF at a frame boundary.
+
+    A connection that dies *inside* a frame — the signature of a killed
+    worker — raises :class:`ProtocolError`, as do oversized or
+    non-object frames.
+    """
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_MESSAGE_BYTES}")
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise ProtocolError("connection dropped mid-frame")
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame is not a typed message object")
+    try:
+        fault_hook("fabric.rpc", f"{role}/recv/{message['type']}")
+    except InjectedFault as exc:
+        raise ProtocolError(f"connection dropped (injected): {exc}") from exc
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on EOF before the first byte."""
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise ProtocolError(f"recv failed: {exc}") from exc
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection dropped mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""

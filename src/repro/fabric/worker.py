@@ -1,0 +1,196 @@
+"""Fabric worker: executes leased sweep cells against a shipped runner.
+
+A worker dials the coordinator, introduces itself, receives its runner
+configuration (the same ``_spawn_payload`` image process-pool workers
+are built from, made wire-safe by :func:`runner_to_wire`), and then
+loops: ask for a lease (``need``), execute every task in it, stream one
+``result``/``error`` frame per cell, repeat until ``shutdown`` or the
+connection closes. A side thread sends ``heartbeat`` frames so the
+coordinator can distinguish "busy replaying a long cell" from "dead" —
+a worker computing for minutes keeps beating; a killed worker goes
+silent and its leases are reclaimed.
+
+Determinism: a worker never *decides* anything. Which cell it runs,
+with which sized spec and attempt number, is dictated by the lease; the
+cell itself derives all randomness from the runner seed. Results land
+in the shared content-addressed store via the runner's own caches, so
+the coordinator (and any other worker) can reuse them byte-identically.
+
+Fault plane: every executed cell passes ``fault_hook("fabric.worker",
+"<label>/<bench>/<attempt>")`` — the fabric analogue of the pool's
+``worker`` site — and each heartbeat passes
+``fault_hook("fabric.worker", "heartbeat/<index>/<n>")``, so chaos
+plans can kill a worker on a specific cell (``fabric.worker.exit@...``)
+or silence its heartbeat (``fabric.worker.stall@heartbeat/...``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.config import ProcessorConfig
+from repro.dram.config import DramConfig
+from repro.errors import InjectedFault
+from repro.fabric.protocol import (
+    ProtocolError,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.faults import fault_hook, install_from_env
+from repro.sim.runner import SimulationRunner
+from repro.spec import SchemeSpec
+
+
+def runner_to_wire(runner: SimulationRunner) -> Dict[str, object]:
+    """JSON-safe image of a runner's spawn payload (inverse: :func:`runner_from_wire`)."""
+    wire = dict(runner._spawn_payload())
+    wire["proc"] = dataclasses.asdict(runner.proc)
+    wire["dram"] = dataclasses.asdict(runner.dram)
+    for field in ("cache_dir", "result_cache_dir"):
+        wire[field] = str(wire[field]) if wire[field] is not None else None
+    return wire
+
+
+def runner_from_wire(wire: Dict[str, object]) -> SimulationRunner:
+    """Rebuild a runner from :func:`runner_to_wire`'s image."""
+    payload = dict(wire)
+    payload["proc"] = ProcessorConfig(**payload["proc"])
+    payload["dram"] = DramConfig(**payload["dram"])
+    for field in ("cache_dir", "result_cache_dir"):
+        value = payload[field]
+        payload[field] = Path(value) if value is not None else None
+    return SimulationRunner(**payload)  # type: ignore[arg-type]
+
+
+class FabricWorker:
+    """One worker endpoint (runnable in a process *or* a test thread)."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.index: Optional[int] = None
+        self.cells_executed = 0
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._base: Optional[SimulationRunner] = None
+        # Derived runners per non-default miss budget (bench-grid sweeps).
+        self._runners: Dict[int, SimulationRunner] = {}
+
+    def run(self) -> int:
+        """Serve leases until shutdown/disconnect; returns an exit code."""
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot reach coordinator at {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._sock.settimeout(None)
+        try:
+            self._send({"type": "hello", "pid": os.getpid()})
+            config = recv_message(self._sock, "worker")
+            if config is None or config.get("type") != "config":
+                return 0  # coordinator went away before configuring us
+            self.index = config["index"]
+            self._base = runner_from_wire(config["runner"])
+            heartbeat = float(config.get("heartbeat", 0) or 0)
+            if heartbeat > 0:
+                threading.Thread(
+                    target=self._heartbeat_loop,
+                    args=(heartbeat,),
+                    daemon=True,
+                    name=f"fabric-heartbeat-{self.index}",
+                ).start()
+            while True:
+                self._send({"type": "need"})
+                message = recv_message(self._sock, "worker")
+                if message is None or message.get("type") == "shutdown":
+                    return 0
+                if message.get("type") == "lease":
+                    for task in message.get("tasks", []):
+                        self._execute(task)
+        except ProtocolError:
+            # Connection severed (organically or by injection): the
+            # coordinator reclaims our leases; nothing to clean up here.
+            return 0
+        finally:
+            self._stop.set()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _send(self, message: Dict) -> None:
+        with self._send_lock:
+            send_message(self._sock, message, "worker")
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        n = 0
+        while not self._stop.wait(interval):
+            n += 1
+            try:
+                fault_hook("fabric.worker", f"heartbeat/{self.index}/{n}")
+                self._send({"type": "heartbeat", "n": n})
+            except (ProtocolError, InjectedFault, OSError):
+                return  # silenced or severed: the coordinator's timeout handles us
+
+    def _runner_for(self, misses: int) -> SimulationRunner:
+        assert self._base is not None
+        if misses == self._base.misses:
+            return self._base
+        runner = self._runners.get(misses)
+        if runner is None:
+            runner = self._base.derive(misses_per_benchmark=misses)
+            self._runners[misses] = runner
+        return runner
+
+    def _execute(self, task: Dict) -> None:
+        """Run one leased cell and stream its result (or error) back."""
+        label = task["label"]
+        bench = task["bench"]
+        attempt = int(task.get("attempt", 1))
+        try:
+            fault_hook("fabric.worker", f"{label}/{bench}/{attempt}")
+            runner = self._runner_for(int(task.get("misses", self._base.misses)))
+            if task["kind"] == "insecure":
+                result = runner.run_insecure(bench, attempt=attempt)
+            else:
+                spec = SchemeSpec.from_dict(task["spec"])
+                result = runner._run_cell(spec, label, bench, attempt=attempt)
+        except Exception as exc:
+            reply = {
+                "type": "error",
+                "id": task["id"],
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        else:
+            self.cells_executed += 1
+            reply = {
+                "type": "result",
+                "id": task["id"],
+                "result": dataclasses.asdict(result),
+            }
+        self._send(reply)
+
+
+def serve_worker(address: str, connect_timeout: float = 10.0) -> int:
+    """Process entry point for ``python -m repro fabric serve-worker``.
+
+    Installs the fault plan from ``REPRO_FAULTS`` (spawned workers
+    inherit the coordinator's environment, so ``--faults`` reaches them
+    exactly like pool workers; counters restart with the process, which
+    is why cross-process plans key on the attempt number) and serves
+    until the coordinator shuts the connection down.
+    """
+    install_from_env()
+    host, port = parse_address(address)
+    return FabricWorker(host, port, connect_timeout=connect_timeout).run()

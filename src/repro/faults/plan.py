@@ -12,7 +12,8 @@ Plan grammar (``REPRO_FAULTS`` / ``--faults``)::
     plan    := entry {';' entry}
 
 ``site`` names where the hook lives (``cell``, ``worker``, ``serve.shard``,
-``cache.write``, ``cache.entry``, ``sweep``); ``action`` is what happens
+``cache.write``, ``cache.entry``, ``sweep``, ``fabric.worker``,
+``fabric.rpc``); ``action`` is what happens
 (``crash``, ``exit``, ``stall``, ``interrupt``, ``kill``, ``corrupt``,
 ``truncate``); ``keypat`` is an ``fnmatch`` pattern over the site-specific
 key (the *first* ``@`` splits, so keys themselves may contain ``@``, as
@@ -27,6 +28,16 @@ Examples::
     serve.shard.stall@0#2|epochs=3      # shard 0 stalls 3 epochs at epoch 2
     cache.write.kill@result/replace#1   # die between tmp write and rename
     cache.entry.truncate@trace/*#1      # damage first trace entry read
+    fabric.worker.exit@*/gob/1#1        # fabric worker dies mid-cell
+    fabric.rpc.crash@worker/send/result#1  # drop connection on first result
+
+Fabric sites: ``fabric.worker`` fires per executed cell
+(``label/bench/attempt``) and per heartbeat (``heartbeat/index/n``);
+``fabric.rpc`` fires per protocol frame (``role/send|recv/type``), where
+a ``crash`` is surfaced as a dropped connection. The coordinator's
+heartbeat-timeout detection, lease reclaim and respawn turn all of these
+into one charged attempt on the affected cells — the same retry
+accounting the process pool uses.
 
 Determinism: occurrence counters are keyed per ``(site, key)`` and file
 damage uses a seed-derived deterministic byte pattern, so the same plan on

@@ -71,23 +71,37 @@ class SweepCheckpoint:
 
     # -- lifecycle -------------------------------------------------------------
 
-    def open(self, fingerprint: str, resume: bool) -> Dict[str, dict]:
+    def open(
+        self, fingerprint: str, resume: bool, order: Optional[str] = None
+    ) -> Dict[str, dict]:
         """Start journaling; returns the completed entries when resuming.
 
         ``resume=False`` truncates any existing journal and writes a fresh
         header. ``resume=True`` loads the journal (tolerating a torn final
         line), refuses a fingerprint mismatch, compacts the file back to
         header + valid entries, and returns ``{key: payload}``.
+
+        ``order`` is the grid-derived cell-ordering digest
+        (:func:`~repro.sim.sweep.sweep_order_digest`). It is stamped
+        into the header and, on resume, checked against the journal's
+        recorded value: a mismatch means the resumed report's cell
+        ordering would differ from the original run's, so the resume is
+        refused. Because the digest depends only on the grid — never on
+        worker counts or fabric topology — resuming a local run on a
+        fabric (or vice versa) always passes this check. Journals
+        written before the field existed resume without the check.
         """
         entries: Dict[str, dict] = {}
         if resume:
-            entries = self._read(fingerprint)
+            entries = self._read(fingerprint, order)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         header = {
             "kind": "sweep-checkpoint",
             "version": CHECKPOINT_VERSION,
             "fingerprint": fingerprint,
         }
+        if order is not None:
+            header["order"] = order
         # Rewrite rather than append: drops any torn tail and lets a
         # non-resume run reclaim a stale journal in place.
         self._fh = self.path.open("w", encoding="utf-8")
@@ -100,7 +114,9 @@ class SweepCheckpoint:
         self._seen = set(entries)
         return entries
 
-    def _read(self, fingerprint: str) -> Dict[str, dict]:
+    def _read(
+        self, fingerprint: str, order: Optional[str] = None
+    ) -> Dict[str, dict]:
         try:
             text = self.path.read_text("utf-8")
         except OSError:
@@ -127,6 +143,18 @@ class SweepCheckpoint:
                 f"{self.path} was written by a different sweep/runner "
                 f"configuration; refusing to resume from it (delete the "
                 f"file or drop --resume to start fresh)"
+            )
+        recorded_order = header.get("order")
+        if (
+            order is not None
+            and recorded_order is not None
+            and recorded_order != order
+        ):
+            raise ConfigurationError(
+                f"{self.path} matches this sweep's fingerprint but records "
+                f"a different cell ordering; resuming would reorder the "
+                f"report's cells, so it is refused (delete the file or "
+                f"drop --resume to start fresh)"
             )
         entries: Dict[str, dict] = {}
         for line in lines[1:]:

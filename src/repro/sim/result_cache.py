@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
@@ -48,6 +49,12 @@ RESULT_CACHE_ENV = "REPRO_RESULT_CACHE"
 RESULT_SCHEMA_VERSION = 2
 
 _DISABLED_VALUES = {"0", "off", "none", "disable", "disabled"}
+
+#: Per-process sequence for temp-file names: combined with the pid it
+#: makes concurrent writers — threads of one process (fabric coordinator)
+#: and separate worker processes alike — never collide on a temp path,
+#: so the atomic-rename discipline holds under any write race.
+_TMP_SEQ = itertools.count()
 
 
 def default_result_cache_dir() -> Optional[Path]:
@@ -111,6 +118,19 @@ class ResultCache:
         """Entry location for a key."""
         return self.root / f"{key}.result.json"
 
+    def __contains__(self, key: str) -> bool:
+        """Whether an entry exists on disk (no validation, no counters)."""
+        return self.path_for(key).exists()
+
+    def keys(self) -> List[str]:
+        """Sorted keys of every entry currently on disk."""
+        suffix = ".result.json"
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(n[: -len(suffix)] for n in names if n.endswith(suffix))
+
     def _evict_corrupt(self, path: Path) -> None:
         try:
             path.unlink()
@@ -155,7 +175,7 @@ class ResultCache:
             "result": dataclasses.asdict(result),
         }
         path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SEQ)}")
         try:
             tmp.write_text(json.dumps(payload, sort_keys=True), "utf-8")
             fault_hook("cache.write", "result/tmp", tmp)

@@ -28,7 +28,9 @@ prints the slowdown table and writes the JSON report.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -314,6 +316,83 @@ class SweepSpec:
         return [scaled_benchmark_name(name, wss) for name in names]
 
 
+def sweep_order_digest(sweep: SweepSpec) -> str:
+    """Digest of the grid-derived cell ordering a sweep's report will use.
+
+    Report ordering is a function of the *grid alone* — bench combos in
+    declaration order, then points, then benchmarks — never of worker
+    topology, scheduling, or completion order. This digest captures
+    exactly that ordering; it is stamped into the checkpoint journal
+    header so ``--resume`` can refuse a journal whose report ordering
+    would differ (and, equally, so resuming a local run on a fabric —
+    or with a different worker count — is provably allowed: the digest
+    is identical by construction).
+    """
+    ident = {
+        "points": [label for label, _spec in sweep.points()],
+        "bench_combos": sweep.bench_points(),
+        "benchmarks": sweep.bench_names(),
+        "serve_combos": sweep.serve_points(),
+    }
+    blob = json.dumps(ident, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:40]
+
+
+class LocalExecutor:
+    """The default sweep backend: this process's pool-based ``run_suite``.
+
+    :func:`run_sweep` drives every cell through an *executor* so the
+    local process pool and the distributed fabric
+    (:class:`~repro.fabric.coordinator.FabricExecutor`) are pluggable
+    behind one seam. An executor exposes ``run_suite``/``baselines``
+    mirroring the runner's methods (minus ``workers``, which is the
+    executor's own concern) plus ``stats()`` for the report's
+    resilience block (None when there is nothing to report).
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers
+
+    def run_suite(
+        self,
+        runner: SimulationRunner,
+        schemes,
+        benchmarks,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        failures: Optional[List[dict]] = None,
+    ):
+        return runner.run_suite(
+            schemes,
+            benchmarks,
+            workers=self.workers,
+            progress=progress,
+            retry=retry,
+            failures=failures,
+        )
+
+    def baselines(
+        self,
+        runner: SimulationRunner,
+        benchmarks,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        failures: Optional[List[dict]] = None,
+    ):
+        return runner.baselines(
+            benchmarks,
+            workers=self.workers,
+            progress=progress,
+            retry=retry,
+            failures=failures,
+        )
+
+    def stats(self) -> Optional[Dict[str, object]]:
+        return None
+
+
 def run_sweep(
     sweep: SweepSpec,
     runner: Optional[SimulationRunner] = None,
@@ -324,6 +403,7 @@ def run_sweep(
     retry: Optional[RetryPolicy] = None,
     checkpoint: Union[SweepCheckpoint, str, Path, None] = None,
     resume: bool = False,
+    executor: Optional[object] = None,
 ) -> Dict[str, object]:
     """Execute a sweep; returns a deterministic, JSON-safe report.
 
@@ -351,11 +431,25 @@ def run_sweep(
     :class:`~repro.errors.SweepInterrupted` carrying the partial report
     (``resilience.interrupted = True``) after flushing the journal, so
     Ctrl-C never loses completed work.
+
+    ``executor`` selects the cell backend: None means the local
+    :class:`LocalExecutor` over ``workers`` processes; a
+    :class:`~repro.fabric.coordinator.FabricExecutor` distributes cells
+    over fabric workers (``workers`` is then ignored). The report is
+    bit-identical either way — only ``resilience["fabric"]`` (executor
+    scheduling counters) distinguishes the runs. Serve-axis sweeps run
+    whole scenarios in-process and refuse a custom executor.
     """
     if runner is None:
         runner = SimulationRunner()
     if resume and checkpoint is None:
         raise SpecError("resume=True needs a checkpoint path")
+    if executor is not None and sweep.serve_grid:
+        raise SpecError(
+            "serve-axis sweeps (tenants/shards) run whole scenarios in one "
+            "process and cannot use a fabric/custom executor; drop the "
+            "executor or the serve axes"
+        )
     ckpt = (
         SweepCheckpoint(checkpoint)
         if isinstance(checkpoint, (str, Path))
@@ -364,7 +458,13 @@ def run_sweep(
     points = sweep.points()
     completed: Dict[str, dict] = {}
     if ckpt is not None:
-        completed = ckpt.open(sweep_fingerprint(sweep, runner), resume)
+        completed = ckpt.open(
+            sweep_fingerprint(sweep, runner),
+            resume,
+            order=sweep_order_digest(sweep),
+        )
+    if executor is None:
+        executor = LocalExecutor(workers)
     try:
         if sweep.serve_grid:
             return _run_serve_sweep(
@@ -374,7 +474,7 @@ def run_sweep(
             sweep,
             runner,
             points,
-            workers=workers,
+            executor=executor,
             progress=progress,
             include_baselines=include_baselines,
             retry=retry,
@@ -387,9 +487,18 @@ def run_sweep(
 
 
 def _resilience_section(
-    counters: Mapping[str, int], failures: List[dict], interrupted: bool
+    counters: Mapping[str, int],
+    failures: List[dict],
+    interrupted: bool,
+    fabric: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """The ``report["resilience"]`` block (always present, JSON-safe)."""
+    """The ``report["resilience"]`` block (always present, JSON-safe).
+
+    ``fabric`` carries the distributed executor's scheduling counters
+    when one ran the sweep. Resilience is observability, not results —
+    bit-identity comparisons between local and fabric runs strip this
+    section, and everything outside it is topology-independent.
+    """
     section: Dict[str, object] = {
         "executed": counters["executed"],
         "from_cache": counters["from_cache"],
@@ -398,6 +507,8 @@ def _resilience_section(
     }
     if interrupted:
         section["interrupted"] = True
+    if fabric is not None:
+        section["fabric"] = fabric
     return section
 
 
@@ -406,7 +517,7 @@ def _run_bench_sweep(
     runner: SimulationRunner,
     points: List[Tuple[str, SchemeSpec]],
     *,
-    workers: Optional[int],
+    executor,
     progress: Optional[ProgressCallback],
     include_baselines: bool,
     retry: Optional[RetryPolicy],
@@ -467,7 +578,9 @@ def _run_bench_sweep(
             "benchmarks": sweep.bench_names(),
             "baselines": baseline_rows,
             "cells": cells,
-            "resilience": _resilience_section(counters, failures, interrupted),
+            "resilience": _resilience_section(
+                counters, failures, interrupted, fabric=executor.stats()
+            ),
         }
 
     try:
@@ -551,11 +664,11 @@ def _run_bench_sweep(
             # registry default) against the runner's per-benchmark sizing.
             if all(len(missing) == len(names) for missing in owed.values()):
                 # Fresh combo: one full-matrix call keeps cross-scheme
-                # pool parallelism.
-                cell_runner.run_suite(
+                # executor parallelism (pool or fabric alike).
+                executor.run_suite(
+                    cell_runner,
                     labels,
                     names,
-                    workers=workers,
                     progress=journal,
                     retry=retry,
                     failures=failures,
@@ -563,10 +676,10 @@ def _run_bench_sweep(
             else:
                 for label, missing in owed.items():
                     if missing:
-                        cell_runner.run_suite(
+                        executor.run_suite(
+                            cell_runner,
                             [label],
                             missing,
-                            workers=workers,
                             progress=journal,
                             retry=retry,
                             failures=failures,
@@ -574,9 +687,9 @@ def _run_bench_sweep(
             if include_baselines:
                 missing_base = [n for n in names if n not in rec["baselines"]]
                 if missing_base:
-                    cell_runner.baselines(
+                    executor.baselines(
+                        cell_runner,
                         missing_base,
-                        workers=workers,
                         progress=journal,
                         retry=retry,
                         failures=failures,

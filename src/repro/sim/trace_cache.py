@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import os
 import warnings
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.config import ProcessorConfig
 from repro.errors import CacheCorruptionWarning
@@ -37,6 +38,11 @@ from repro.proc.hierarchy import TRACE_VERSION, MissTrace
 CACHE_ENV = "REPRO_TRACE_CACHE"
 
 _DISABLED_VALUES = {"0", "off", "none", "disable", "disabled"}
+
+#: Per-process sequence for temp-file names (see result_cache._TMP_SEQ):
+#: pid + sequence keeps concurrent writers — same-process threads and
+#: separate fabric workers — off each other's temp files.
+_TMP_SEQ = itertools.count()
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -93,6 +99,19 @@ class TraceCache:
         """Entry location for a key."""
         return self.root / f"{key}.trace"
 
+    def __contains__(self, key: str) -> bool:
+        """Whether an entry exists on disk (no validation, no counters)."""
+        return self.path_for(key).exists()
+
+    def keys(self) -> List[str]:
+        """Sorted keys of every entry currently on disk."""
+        suffix = ".trace"
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(n[: -len(suffix)] for n in names if n.endswith(suffix))
+
     def _evict_corrupt(self, path: Path) -> None:
         try:
             path.unlink()
@@ -132,7 +151,7 @@ class TraceCache:
         except OSError:
             return False
         path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SEQ)}")
         try:
             tmp.write_bytes(trace.to_bytes())
             fault_hook("cache.write", "trace/tmp", tmp)

@@ -1,0 +1,183 @@
+"""SharedStore + content-addressed key properties backing the fabric.
+
+The fabric's correctness leans on two storage facts: canonical cell keys
+are injective over distinct cell identities (so content-addressing never
+aliases two different cells), and concurrent same-key writers — two
+workers racing one stolen cell — leave exactly one valid, readable entry
+behind. Both are proven here, plus the SharedStore adapter surface.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.store import SharedStore
+from repro.sim.metrics import SimResult
+from repro.sim.result_cache import ResultCache
+from repro.sim.runner import SimulationRunner
+
+
+def _runner(**kw) -> SimulationRunner:
+    kw.setdefault("misses_per_benchmark", 100)
+    kw.setdefault("cache_dir", None)
+    kw.setdefault("result_cache_dir", None)
+    return SimulationRunner(**kw)
+
+
+# One runner per distinct (seed, misses) pair; construction is cheap but
+# hypothesis calls this thousands of times.
+_RUNNERS = {}
+
+
+def _runner_for(seed: int, misses: int) -> SimulationRunner:
+    key = (seed, misses)
+    if key not in _RUNNERS:
+        _RUNNERS[key] = _runner(seed=seed, misses_per_benchmark=misses)
+    return _RUNNERS[key]
+
+
+class TestKeyInjectivity:
+    """Distinct canonical cell identities always get distinct keys."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        scheme=st.sampled_from(["P_X16", "PC_X32", "R_X8"]),
+        bench=st.sampled_from(["gob", "mcf", "hmmer"]),
+        plb=st.sampled_from([4096, 8192, 16384, 65536]),
+        seed=st.sampled_from([1, 2]),
+        misses=st.sampled_from([100, 200]),
+    )
+    def test_result_keys_injective_over_cell_identity(
+        self, scheme, bench, plb, seed, misses
+    ):
+        runner = _runner_for(seed, misses)
+        spec, label = runner.sized_spec(scheme, bench, plb_capacity_bytes=plb)
+        identity = (spec.canonical(), label, bench, seed, misses)
+        key = runner.result_key(scheme, bench, plb_capacity_bytes=plb)
+        seen = getattr(type(self), "_seen", None)
+        if seen is None:
+            seen = type(self)._seen = {}
+        if key in seen:
+            assert seen[key] == identity, (
+                f"key collision: {identity} and {seen[key]} share {key}"
+            )
+        else:
+            assert identity not in seen.values()
+            seen[key] = identity
+
+    def test_insecure_keys_distinct_from_cells(self):
+        runner = _runner()
+        assert runner.result_key("insecure", "gob") != runner.result_key(
+            "P_X16", "gob"
+        )
+        assert runner.result_key("insecure", "gob") != runner.result_key(
+            "insecure", "mcf"
+        )
+
+    def test_label_is_part_of_the_identity(self):
+        """Two spellings of one config occupy distinct entries."""
+        runner = _runner()
+        assert runner.result_key(
+            "PC_X32", "gob", plb_capacity_bytes=8192
+        ) != runner.result_key("PC_X32:plb=8KiB", "gob")
+
+
+class TestConcurrentWriters:
+    def test_same_key_racers_leave_one_valid_entry(self, tmp_path):
+        """N threads storing one key concurrently: one readable entry, no tmp."""
+        cache = ResultCache(tmp_path / "results")
+        result = SimResult(
+            benchmark="gob",
+            scheme="PC_X32",
+            cycles=123.5,
+            instructions=1000,
+            llc_misses=100,
+            oram_accesses=100,
+            tree_accesses=150,
+        )
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def write():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(25):
+                    assert cache.store("samekey", result)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert cache.keys() == ["samekey"]
+        loaded = cache.load("samekey")
+        assert loaded == result
+        leftovers = [
+            p for p in (tmp_path / "results").iterdir() if ".tmp." in p.name
+        ]
+        assert leftovers == []
+
+
+class TestSharedStore:
+    def test_ephemeral_when_runner_caches_disabled(self):
+        runner = _runner()
+        store = SharedStore.for_runner(runner)
+        try:
+            stats = store.stats()
+            assert stats["ephemeral"]
+            assert stats["traces"] == 0 and stats["results"] == 0
+            attached = store.attach(runner)
+            assert attached.trace_cache.root == store.trace_cache.root
+            assert attached.result_cache.root == store.result_cache.root
+        finally:
+            store.close()
+        # close() releases the temp directories.
+        assert not store.trace_cache.root.exists()
+
+    def test_colocates_with_runner_caches(self, tmp_path):
+        runner = _runner(
+            cache_dir=tmp_path / "traces", result_cache_dir=tmp_path / "results"
+        )
+        store = SharedStore.for_runner(runner)
+        try:
+            assert not store.stats()["ephemeral"]
+            assert store.trace_cache.root == runner.trace_cache.root
+            assert store.result_cache.root == runner.result_cache.root
+        finally:
+            store.close()
+        # A store over caller-owned directories must not delete them.
+        runner.trace(  # populate something to prove the dirs still work
+            "gob"
+        )
+        assert store.trace_keys()
+
+    def test_results_visible_through_store_inventory(self, tmp_path):
+        runner = _runner(
+            cache_dir=tmp_path / "traces", result_cache_dir=tmp_path / "results"
+        )
+        store = SharedStore.for_runner(runner)
+        key = runner.result_key("P_X16", "gob")
+        assert key not in store
+        result = runner.run_one("P_X16", "gob")
+        assert key in store
+        assert store.load_result(key) == result
+        assert store.stats()["results"] == 1
+
+    def test_attach_preserves_runner_identity(self, tmp_path):
+        """Attaching only moves the caches; cell keys are unchanged."""
+        runner = _runner()
+        store = SharedStore.for_runner(runner)
+        try:
+            attached = store.attach(runner)
+            assert attached.result_key("P_X16", "gob") == runner.result_key(
+                "P_X16", "gob"
+            )
+            assert attached.seed == runner.seed
+            assert attached.misses == runner.misses
+        finally:
+            store.close()

@@ -132,3 +132,107 @@ class TestFigureIntegration:
         runner.force = True
         forced = fig6.run(benchmarks=["gob"], schemes=("PC_X32",))
         assert forced == cold  # deterministic rebuild, refreshed entry
+
+    def test_fig7_warm_run_skips_every_cell(self, runner, tmp_path, monkeypatch):
+        """The measured fig7 rates memoise; a warm rerun simulates nothing."""
+        from repro.eval import fig7
+
+        monkeypatch.setenv(FIGURE_CACHE_ENV, str(tmp_path / "figures"))
+        monkeypatch.setattr(
+            "repro.eval.fig7.SimulationRunner", lambda **kw: runner
+        )
+        cold = fig7.run(benchmarks=["gob"])
+
+        def boom(*a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("cell executed on a warm figure table")
+
+        monkeypatch.setattr(runner, "run_one", boom)
+        warm = fig7.run(benchmarks=["gob"])
+        assert warm == cold
+
+    def test_fig8_warm_run_skips_cells_and_baselines(
+        self, runner, tmp_path, monkeypatch
+    ):
+        from repro.eval import fig8
+
+        monkeypatch.setenv(FIGURE_CACHE_ENV, str(tmp_path / "figures"))
+        monkeypatch.setattr("repro.eval.fig8._runner", lambda misses: runner)
+        cold_table, cold_traffic = fig8.run(benchmarks=["gob"])
+
+        def boom(*a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("cell executed on a warm figure table")
+
+        monkeypatch.setattr(runner, "run_one", boom)
+        monkeypatch.setattr(runner, "baselines", boom)
+        warm_table, warm_traffic = fig8.run(benchmarks=["gob"])
+        assert warm_table == cold_table
+        assert warm_traffic == cold_traffic
+
+    def test_fig9_warm_run_skips_trace_and_cells(
+        self, runner, tmp_path, monkeypatch
+    ):
+        from repro.eval import fig9
+
+        monkeypatch.setenv(FIGURE_CACHE_ENV, str(tmp_path / "figures"))
+        monkeypatch.setattr(
+            "repro.eval.fig9.SimulationRunner", lambda **kw: runner
+        )
+        cold = fig9.run(benchmarks=["gob"])
+
+        def boom(*a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("cell executed on a warm figure table")
+
+        monkeypatch.setattr(runner, "run_one", boom)
+        monkeypatch.setattr(runner, "trace", boom)
+        warm = fig9.run(benchmarks=["gob"])
+        assert warm == cold
+
+    def test_table2_warm_run_skips_the_model(self, tmp_path, monkeypatch):
+        """Analytic tables memoise with runner=None (force from the env)."""
+        from repro.eval import table2
+
+        monkeypatch.setenv(FIGURE_CACHE_ENV, str(tmp_path / "figures"))
+        monkeypatch.delenv("REPRO_FORCE", raising=False)
+        cold = table2.run(channel_counts=(1, 2))
+
+        def boom(*a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("model evaluated on a warm figure table")
+
+        monkeypatch.setattr("repro.eval.table2.DramModel", boom)
+        warm = table2.run(channel_counts=(1, 2))
+        assert warm == cold
+        assert all(isinstance(ch, int) for ch in warm)
+
+    def test_table2_env_force_rebuilds(self, tmp_path, monkeypatch):
+        from repro.eval import table2
+
+        monkeypatch.setenv(FIGURE_CACHE_ENV, str(tmp_path / "figures"))
+        cold = table2.run(channel_counts=(1,))
+        monkeypatch.setenv("REPRO_FORCE", "1")
+
+        def boom(*a, **kw):  # pragma: no cover - must run instead of cache
+            raise RuntimeError("rebuilt")
+
+        monkeypatch.setattr("repro.eval.table2.DramModel", boom)
+        with pytest.raises(RuntimeError, match="rebuilt"):
+            table2.run(channel_counts=(1,))
+        assert cold  # the unforced run produced a table
+
+    def test_table3_breakdowns_round_trip_the_cache(self, tmp_path, monkeypatch):
+        """AreaBreakdowns flatten to fields on store and rebuild on load."""
+        from repro.area.model import AreaBreakdown
+        from repro.eval import table3
+
+        monkeypatch.setenv(FIGURE_CACHE_ENV, str(tmp_path / "figures"))
+        monkeypatch.delenv("REPRO_FORCE", raising=False)
+        cold = table3.run(channel_counts=(1, 2))
+
+        class Boom:  # pragma: no cover - must not run
+            def __init__(self, *a, **kw):
+                raise AssertionError("model built on a warm figure table")
+
+        monkeypatch.setattr("repro.eval.table3.AreaModel", Boom)
+        warm = table3.run(channel_counts=(1, 2))
+        assert warm == cold
+        assert all(isinstance(b, AreaBreakdown) for b in warm.values())
+        assert all(isinstance(ch, int) for ch in warm)
