@@ -11,7 +11,7 @@ columns) instead of Block objects. Only the block of interest is ever
 materialised: for the caller's ``update`` callback, for ``READRMV``
 hand-off, and as the defensive ``READ``/``WRITE`` result.
 
-Two eviction kernels produce bit-identical placements:
+Three eviction kernels produce bit-identical placements:
 
 - the *scalar* kernel mirrors the object backend's by-depth grouping
   directly (fastest at simulation-scale paths of a few dozen blocks);
@@ -21,9 +21,16 @@ Two eviction kernels produce bit-identical placements:
   (``levels - bit_length(leaf_col ^ leaf)`` via the exact float64
   exponent) and the LIFO placement is replayed over a single
   ``lexsort((-seq, depth))`` order with per-depth segment pointers —
-  the closed form of "candidates LIFO, then pool LIFO".
+  the closed form of "candidates LIFO, then pool LIFO";
+- the *native* kernel (:meth:`enable_native_kernel`, engaged by
+  ``REPRO_REPLAY=compiled``) is the scalar kernel's drain and placement
+  transcribed into C (``repro.sim.native._replay_core``), reading the
+  addr/leaf columns zero-copy through the buffer protocol; when it is
+  enabled the vectorised kernel is bypassed so the scalar (reference)
+  semantics — validation order, error text, placement order — hold
+  exactly.
 
-The equivalence of both kernels to the object backend is enforced by the
+The equivalence of all kernels to the object backend is enforced by the
 differential harness in ``tests/test_columnar_differential.py`` (which
 forces each kernel explicitly) and by the golden digests.
 
@@ -43,7 +50,7 @@ from typing import List, Optional
 from repro.backend.ops import Op
 from repro.backend.stash import ColumnarStash
 from repro.config import OramConfig
-from repro.errors import BlockNotFoundError
+from repro.errors import RESTORE_FAILURES, BlockNotFoundError
 from repro.storage.block import Block
 from repro.storage.columnar import _CHUNK_MASK, _CHUNK_SHIFT
 from repro.utils.rng import DeterministicRng
@@ -108,6 +115,25 @@ class ColumnarPathOramBackend:
         self._leaf_col = storage.leaf_col
         self._mac_col = storage.mac_col
         self._chunks = storage._chunks
+        # Compiled drain/evict core; None until enable_native_kernel().
+        self._native = None
+
+    def enable_native_kernel(self, core) -> None:
+        """Route the drain/evict loops through the compiled core.
+
+        ``core`` is the loaded ``repro.sim.native._replay_core`` module
+        (``None`` is a no-op, so callers can pass ``load_native_core()``
+        unconditionally). The native kernel works zero-copy over the
+        storage's interchange columns and mirrors the scalar kernel
+        exactly, so the vectorised kernel is disabled while it is
+        active — bit-identity is pinned against the scalar reference.
+        """
+        if core is None:
+            return
+        # Fail fast if the storage cannot hand out buffer-capable
+        # columns (the zero-copy contract the C kernel relies on).
+        self.storage.interchange_columns()
+        self._native = core
 
     # -- public API -----------------------------------------------------------
 
@@ -184,15 +210,18 @@ class ColumnarPathOramBackend:
         created_fresh = False
         saved_fields = None
         vectorise = False
+        native = self._native
         merged: List[int] = []
         try:
             threshold = self.vec_min_merge
             # The merge can never exceed path capacity + stash residents,
             # so the per-bucket estimate is skipped outright for configs
             # (the common Z=4 simulation scale) that cannot reach the
-            # vectorisation threshold.
+            # vectorisation threshold. The native kernel replaces both
+            # Python kernels wholesale, so the estimate is skipped too.
             if (
-                threshold is not None
+                native is None
+                and threshold is not None
                 and self._path_capacity + len(stash_slots) >= threshold
             ):
                 estimate = len(stash_slots)
@@ -200,7 +229,17 @@ class ColumnarPathOramBackend:
                     estimate += len(lst)
                 vectorise = estimate >= threshold
 
-            if vectorise:
+            if native is not None:
+                # Fused C drain: stash residents grouped first, then the
+                # path root->leaf with snapshot + duplicate/leaf-range
+                # validation — the scalar branches below, zero-copy over
+                # the columns. Returns the block of interest's slot (or
+                # None, leaving the alloc to the shared code below).
+                slot = native.drain_scalar(
+                    path, addr_col, leaf_col, stash_slots, slot,
+                    addr, leaf, levels, by_depth, drained_flat, resident,
+                )
+            elif vectorise:
                 # Gather-only drain: depths for the whole merge are
                 # computed in one vectorised sweep afterwards (resident
                 # bookkeeping is scalar-kernel-only — the vectorised
@@ -356,30 +395,36 @@ class ColumnarPathOramBackend:
                 else:
                     by_depth[depth].append(slot)  # grouped last, re-insert
                 result = block  # already an independent materialised copy
-        except Exception:
-            if created_fresh:
-                store.release(slot)
-                slot = None
-            self._restore_on_error(slot, saved_fields)
+        except BaseException as exc:
+            # BaseException, not Exception: a KeyboardInterrupt (or an
+            # injected kill) mid-update must roll back too — the re-raise
+            # below means nothing is ever swallowed. _abort_access keeps
+            # a failing restore from masking the original error.
+            self._abort_access(exc, created_fresh, slot, saved_fields)
             raise
 
         if vectorise:
             try:
                 leftover = self._evict_vectorised(merged, path, leaf, levels, cap)
-            except Exception:
+            except BaseException as exc:
                 # The vectorised kernel validates depths at eviction time
                 # (the scalar kernel validates during the drain, inside
                 # the try above), so it needs the same restoration: no
                 # bucket has been cleared yet when validation fails.
-                if created_fresh:
-                    store.release(slot)
-                    slot = None
-                self._restore_on_error(slot, saved_fields)
+                self._abort_access(exc, created_fresh, slot, saved_fields)
                 raise
             if leftover:
                 stash_slots.clear()
                 for s in leftover:
                     stash_slots[addr_col[s]] = s
+            elif stash_slots:
+                stash_slots.clear()
+        elif native is not None:
+            # C placement: the scalar greedy loop below, compiled. The
+            # returned pool feeds the same slow-path rebuild.
+            pool = native.place_greedy(path, by_depth, levels, cap)
+            if pool:
+                self._rebuild_stash(op, addr, slot, pool)
             elif stash_slots:
                 stash_slots.clear()
         else:
@@ -412,19 +457,7 @@ class ColumnarPathOramBackend:
                     free -= 1
 
             if pool:
-                # Slow path: rebuild the stash dict in original merge
-                # order — resident survivors, drained survivors, block of
-                # interest last (see the object backend).
-                leftover_set = set(pool)
-                stash_slots.clear()
-                for s in resident:
-                    if s in leftover_set:
-                        stash_slots[addr_col[s]] = s
-                for s in drained_flat:
-                    if s in leftover_set and s != slot:
-                        stash_slots[addr_col[s]] = s
-                if op is not Op.READRMV and slot in leftover_set:
-                    stash_slots[addr] = slot
+                self._rebuild_stash(op, addr, slot, pool)
             elif stash_slots:
                 stash_slots.clear()
         resident.clear()
@@ -506,7 +539,50 @@ class ColumnarPathOramBackend:
         order_list = order.tolist()
         return [merged[i] for i in sorted(order_list[i] for i in leftover_positions)]
 
+    # -- slow-path stash rebuild ----------------------------------------------
+
+    def _rebuild_stash(self, op: Op, addr: int, slot: int, pool) -> None:
+        """Rebuild the stash dict from placement leftovers.
+
+        Original merge order — resident survivors, drained survivors,
+        block of interest last (see the object backend). Shared by the
+        scalar and native placement kernels.
+        """
+        stash_slots = self._stash_slots
+        addr_col = self._addr_col
+        leftover_set = set(pool)
+        stash_slots.clear()
+        for s in self._resident_scratch:
+            if s in leftover_set:
+                stash_slots[addr_col[s]] = s
+        for s in self._drained_flat:
+            if s in leftover_set and s != slot:
+                stash_slots[addr_col[s]] = s
+        if op is not Op.READRMV and slot in leftover_set:
+            stash_slots[addr] = slot
+
     # -- error restoration ----------------------------------------------------
+
+    def _abort_access(
+        self, exc: BaseException, created_fresh: bool,
+        slot: Optional[int], saved_fields,
+    ) -> None:
+        """Release a fresh slot and restore state without masking ``exc``.
+
+        Restoration failures of the *expected* kinds (the library's own
+        errors, container/buffer faults from a corrupted snapshot —
+        :data:`repro.errors.RESTORE_FAILURES`) are chained onto the
+        original error as a note instead of replacing it; anything else
+        escaping the restore path is a programming error and propagates,
+        with ``exc`` attached as its ``__context__``.
+        """
+        try:
+            if created_fresh:
+                self.storage.release(slot)
+                slot = None
+            self._restore_on_error(slot, saved_fields)
+        except RESTORE_FAILURES as restore_exc:
+            exc.add_note(f"state restoration also failed: {restore_exc!r}")
 
     def _restore_on_error(self, slot: Optional[int], saved_fields) -> None:
         """Roll a half-finished access back to the exact pre-access state.

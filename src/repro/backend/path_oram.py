@@ -26,7 +26,7 @@ from typing import Callable, List, Optional
 from repro.backend.ops import Op
 from repro.backend.stash import Stash
 from repro.config import OramConfig
-from repro.errors import BlockNotFoundError
+from repro.errors import RESTORE_FAILURES, BlockNotFoundError
 from repro.storage.block import Block
 from repro.utils.rng import DeterministicRng
 
@@ -240,10 +240,23 @@ class PathOramBackend:
                     )
                 by_depth[depth].append(block)  # grouped last, like a re-insert
                 result = block.copy()
-        except Exception:
-            # A freshly materialised zero block never existed before this
-            # access, so it is simply discarded.
-            self._restore_on_error(None if created_fresh else block, saved_fields)
+        except BaseException as exc:
+            # BaseException, not Exception: a KeyboardInterrupt (or an
+            # injected kill) mid-update must roll back too — the re-raise
+            # means nothing is ever swallowed. A freshly materialised
+            # zero block never existed before this access, so it is
+            # simply discarded. A restore failure of an *expected* kind
+            # (RESTORE_FAILURES) is chained onto the original error as a
+            # note instead of replacing it; programming errors in the
+            # restore path itself still propagate.
+            try:
+                self._restore_on_error(
+                    None if created_fresh else block, saved_fields
+                )
+            except RESTORE_FAILURES as restore_exc:
+                exc.add_note(
+                    f"state restoration also failed: {restore_exc!r}"
+                )
             raise
 
         # Greedy placement, deepest level first; candidates LIFO, then the

@@ -22,7 +22,10 @@ cache (``REPRO_RESULT_CACHE``) that makes repeated runs incremental.
 disabling — both caches. ``--storage array|columnar`` selects the
 array-backed or columnar tree storage (``REPRO_STORAGE``).
 ``--replay scalar`` swaps the batched replay pipeline for the historical
-per-event loop (``REPRO_REPLAY``; bit-identical, performance-only).
+per-event loop, and ``--replay compiled`` selects the optional C core
+(``python setup.py build_ext --inplace`` builds it; unbuilt it falls
+back to batched with a warning) — all via ``REPRO_REPLAY``;
+bit-identical, performance-only.
 ``bench`` is the replay-throughput microbenchmark; it compares the
 object, array and columnar storage backends end-to-end, the batched
 replay kernel against the scalar escape hatch, *and* a raw Path ORAM
@@ -196,7 +199,7 @@ def _parse_flags(args: List[str]) -> Optional[List[str]]:
             value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
             if value not in REPLAY_MODES:
                 print(
-                    "--replay requires 'batched' or 'scalar'",
+                    "--replay requires 'batched', 'scalar' or 'compiled'",
                     file=sys.stderr,
                 )
                 return None
@@ -648,6 +651,8 @@ def main(argv=None) -> int:
         print("  --force             recompute (and refresh) every cached cell")
         print("  --storage KIND      tree storage backend: object | array | columnar")
         print("  --replay MODE       replay kernel: batched (default) | scalar")
+        print("                      | compiled (optional C core; falls back to")
+        print("                      batched with a warning when unbuilt)")
         print("  --faults PLAN       deterministic fault-injection plan (testing;")
         print("                      e.g. 'cell.crash@*/1#1;sweep.interrupt@*#4')")
         print("Sweep options (after 'sweep'):")

@@ -46,6 +46,16 @@ class SpecError(ReproError, ValueError):
     """
 
 
+class NativeKernelUnavailable(ReproError):
+    """``REPRO_REPLAY=compiled`` was requested but cannot be honoured.
+
+    Raised only under ``REPRO_NATIVE=require`` (the CI compiled lane's
+    setting) when the optional C extension is unbuilt or disabled;
+    without ``require`` the dispatcher falls back to the batched kernel
+    with a :class:`RuntimeWarning` instead.
+    """
+
+
 class InjectedFault(ReproError):
     """A fault deliberately raised by the :mod:`repro.faults` plane.
 
@@ -85,6 +95,14 @@ class SweepInterrupted(ReproError):
     def __init__(self, message: str, report: dict | None = None):
         super().__init__(message)
         self.report = report
+
+
+#: Exception types a backend *rollback* is allowed to absorb (chained
+#: onto the original error as a note) when restoration itself fails:
+#: the library's own errors plus the container/buffer faults a corrupted
+#: column snapshot can produce. Anything else escaping a restore path is
+#: a programming error and must propagate, not be silently attached.
+RESTORE_FAILURES = (ReproError, ValueError, KeyError, IndexError, BufferError)
 
 
 class CacheCorruptionWarning(RuntimeWarning):

@@ -14,6 +14,11 @@ the columnar backend regresses below the object baseline). Two sections:
   in every simulated outcome, so this section measures pure loop
   mechanics: columnar trace columns, vectorised line->block translation,
   ``plan_batch`` frontend planning and the vectorised latency gather;
+- **compiled**: the C replay core (``REPRO_REPLAY=compiled``) vs the
+  batched pipeline on *columnar* storage — the arena the native
+  drain/evict kernel reads zero-copy. Skipped (comparison ``null``)
+  when the optional extension is not built; the CI compiled lane gates
+  ``compiled_vs_batched_replay_geomean >= 1.0``;
 - **backend micro**: the raw Path ORAM backend access loop — no
   frontend, no PLB, no PRF — per storage backend on a paper-scale tree
   (2^18 blocks by default), which isolates exactly the layer the
@@ -148,19 +153,22 @@ def bench_cell(scheme: str, storage: str, trace: MissTrace, repeats: int) -> Dic
 
 
 def pipeline_cell(
-    scheme: str, mode: str, trace: MissTrace, repeats: int
+    scheme: str, mode: str, trace: MissTrace, repeats: int,
+    storage: str = "object",
 ) -> Dict:
     """Best-of-``repeats`` replay throughput for one (scheme, kernel).
 
-    Object storage throughout, so the cell isolates the replay kernel —
-    the one knob that differs between the batched pipeline and the
-    scalar escape hatch.
+    One fixed storage backend throughout (object for the batched-vs-
+    scalar section, columnar for the compiled section), so the cell
+    isolates the replay kernel — the one knob that differs between the
+    modes being compared.
     """
     timing = OramTimingModel(tree_latency_cycles=1000.0)
     best = float("inf")
     for _ in range(repeats):
         frontend = build_frontend(
-            scheme, num_blocks=BENCH_BLOCKS, rng=DeterministicRng(7)
+            scheme, num_blocks=BENCH_BLOCKS, rng=DeterministicRng(7),
+            storage=storage,
         )
         start = time.perf_counter()
         replay_trace(frontend, trace, timing, scheme=scheme, mode=mode)
@@ -168,23 +176,26 @@ def pipeline_cell(
     return {
         "scheme": scheme,
         "mode": mode,
+        "storage": storage,
         "events": len(trace.events),
         "seconds": best,
         "accesses_per_sec": len(trace.events) / best if best > 0 else 0.0,
     }
 
 
-def _pipeline_ratio(cells: Sequence[Dict]) -> Optional[float]:
-    """Geomean batched/scalar accesses-per-second ratio across schemes."""
+def _pipeline_ratio(
+    cells: Sequence[Dict], mode: str = "batched", baseline: str = "scalar"
+) -> Optional[float]:
+    """Geomean mode/baseline accesses-per-second ratio across schemes."""
     by_scheme: Dict[str, Dict[str, float]] = {}
     for cell in cells:
         by_scheme.setdefault(cell["scheme"], {})[cell["mode"]] = cell[
             "accesses_per_sec"
         ]
     ratios = [
-        rates["batched"] / rates["scalar"]
+        rates[mode] / rates[baseline]
         for rates in by_scheme.values()
-        if "batched" in rates and rates.get("scalar")
+        if mode in rates and rates.get(baseline)
     ]
     if not ratios:
         return None
@@ -294,6 +305,40 @@ def run_bench(
             f" {row['scalar']['accesses_per_sec']:>10.0f} {ratio:>5.2f}x"
         )
 
+    compiled_cells: List[Dict] = []
+    from repro.sim.native import native_available
+
+    if native_available():
+        # The compiled core's design point is the columnar arena (its
+        # drain/evict kernel reads the slot columns zero-copy), so the
+        # section compares kernels on columnar storage.
+        print(
+            "\ncompiled replay core: C kernel vs batched pipeline "
+            "(columnar storage)"
+        )
+        print(f"{'scheme':>10} {'compiled/s':>10} {'batched/s':>10} {'ratio':>6}")
+        for scheme in SCHEMES:
+            row = {
+                mode: pipeline_cell(
+                    scheme, mode, trace, repeats, storage="columnar"
+                )
+                for mode in ("batched", "compiled")
+            }
+            compiled_cells.extend(row.values())
+            ratio = (
+                row["compiled"]["accesses_per_sec"]
+                / row["batched"]["accesses_per_sec"]
+            )
+            print(
+                f"{scheme:>10} {row['compiled']['accesses_per_sec']:>10.0f}"
+                f" {row['batched']['accesses_per_sec']:>10.0f} {ratio:>5.2f}x"
+            )
+    else:
+        print(
+            "\ncompiled replay core: extension not built — section skipped "
+            "(python setup.py build_ext --inplace)"
+        )
+
     micro_blocks = _env_int("REPRO_BENCH_MICRO_BLOCKS", DEFAULT_MICRO_BLOCKS)
     micro_accesses = _env_int("REPRO_BENCH_MICRO_ACCESSES", DEFAULT_MICRO_ACCESSES)
     micro_repeats = _env_int("REPRO_BENCH_MICRO_REPEATS", DEFAULT_MICRO_REPEATS)
@@ -316,6 +361,9 @@ def run_bench(
         "columnar_vs_object_replay_geomean": _ratio(cells, "columnar", "object"),
         "array_vs_object_replay_geomean": _ratio(cells, "array", "object"),
         "batched_vs_scalar_replay_geomean": _pipeline_ratio(pipeline_cells),
+        "compiled_vs_batched_replay_geomean": _pipeline_ratio(
+            compiled_cells, "compiled", "batched"
+        ),
     }
     for name, value in comparisons.items():
         if value is not None:
@@ -330,6 +378,7 @@ def run_bench(
         "repeats": repeats,
         "results": cells,
         "pipeline": pipeline_cells,
+        "compiled": compiled_cells,
         "backend_micro": micro_cells,
         "comparisons": comparisons,
     }
@@ -553,6 +602,7 @@ def check_report(
     path: str = "BENCH_replay.json",
     min_backend_ratio: float = 1.0,
     min_pipeline_ratio: float = 1.0,
+    min_compiled_ratio: Optional[float] = None,
 ) -> None:
     """Fail (SystemExit) when an owned hot path regresses below its floor.
 
@@ -565,6 +615,12 @@ def check_report(
       pipeline owns; measured margin ~1.05x (the kernels are
       bit-identical, so anything below 1.0x means the batching is pure
       overhead and the pipeline has regressed).
+
+    A third gate arms only when ``min_compiled_ratio`` is given (the CI
+    compiled lane passes 1.0): the compiled-vs-batched replay geomean on
+    columnar storage — the layer the C core owns; measured margin
+    ~1.1-1.3x. Default lanes leave it ``None`` so a report produced
+    without the extension (the comparison is ``null``) still passes.
 
     CI runs this right after ``python -m repro bench``.
     """
@@ -601,6 +657,27 @@ def check_report(
         f"batched replay at {pipeline:.2f}x scalar throughput "
         f"(floor {min_pipeline_ratio:.2f}x): ok"
     )
+    compiled = comparisons.get("compiled_vs_batched_replay_geomean")
+    if min_compiled_ratio is not None:
+        if compiled is None:
+            raise SystemExit(
+                f"{path} carries no compiled-vs-batched replay comparison "
+                "(was the extension unbuilt when the bench ran?)"
+            )
+        if compiled < min_compiled_ratio:
+            raise SystemExit(
+                f"compiled replay regressed: {compiled:.2f}x batched "
+                f"throughput (floor {min_compiled_ratio:.2f}x) — see {path}"
+            )
+        print(
+            f"compiled replay at {compiled:.2f}x batched throughput "
+            f"(floor {min_compiled_ratio:.2f}x): ok"
+        )
+    elif compiled is not None:
+        print(
+            f"compiled replay at {compiled:.2f}x batched throughput "
+            "(not gated on this lane)"
+        )
 
 
 def main() -> None:

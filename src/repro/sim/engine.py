@@ -94,11 +94,44 @@ class ReplayEngine:
         self._prf_hits0 = crypto.prf.cache_hits if crypto is not None else 0
         # Scalar-kernel latency memo (per-event dict probe semantics).
         self._latency_memo: dict = {}
+        # Compiled core (repro.sim.native._replay_core) — None until a
+        # caller opts in via enable_native(); every simulated outcome is
+        # bit-identical either way.
+        self._native = None
+
+    # -- compiled-core opt-in --------------------------------------------------
+
+    def enable_native(self, core) -> None:
+        """Route the fused inner loop through the compiled core.
+
+        The engine's own stages (translate, access driver, accumulate)
+        switch to the C spellings, and every columnar backend reachable
+        from the frontend (``backend`` or per-level ``backends``) is
+        handed the core for its drain/evict loop. Passing ``None`` is a
+        no-op so callers can write ``enable_native(load_native_core())``
+        unconditionally.
+        """
+        if core is None:
+            return
+        self._native = core
+        frontend = self.frontend
+        backends = getattr(frontend, "backends", None)
+        if backends is None:
+            backend = getattr(frontend, "backend", None)
+            backends = [] if backend is None else [backend]
+        for backend in backends:
+            enable = getattr(backend, "enable_native_kernel", None)
+            if enable is not None:
+                enable(core)
 
     # -- address translation ---------------------------------------------------
 
     def translate(self, line_addrs) -> List[int]:
         """Line-address column -> block addresses for this geometry."""
+        if self._native is not None:
+            return self._native.translate_block_addrs(
+                line_addrs, self.lines_per_block
+            )
         return translate_block_addrs(line_addrs, self.lines_per_block)
 
     # -- the batched core ------------------------------------------------------
@@ -125,17 +158,30 @@ class ReplayEngine:
         read_op = Op.READ
         write_op = Op.WRITE
         payload = self.payload
-        ns: List[int] = []
-        record = ns.append
-        for addr, w in zip(addrs, writes):
-            if w:
-                result = access(addr, write_op, payload)
-            else:
-                result = access(addr, read_op)
-            record(result.tree_accesses)
+        native = self._native
+        if native is not None:
+            # The C driver performs the identical per-event calls in the
+            # identical order; only interpreter dispatch is removed.
+            ns = native.run_access_loop(
+                access, addrs, writes, read_op, write_op, payload
+            )
+        else:
+            ns = []
+            record = ns.append
+            for addr, w in zip(addrs, writes):
+                if w:
+                    result = access(addr, write_op, payload)
+                else:
+                    result = access(addr, read_op)
+                record(result.tree_accesses)
         latencies = _latency_gather(ns, self.timing)
-        for latency in latencies:
-            self.cycles += latency
+        if native is not None:
+            # Same event-ordered left fold, in C doubles (IEEE-754 adds
+            # identical to CPython float +=).
+            self.cycles = native.accumulate(self.cycles, latencies)
+        else:
+            for latency in latencies:
+                self.cycles += latency
         self.events += len(ns)
         return latencies
 

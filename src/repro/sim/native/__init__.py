@@ -1,0 +1,82 @@
+"""Optional compiled replay core (``REPRO_REPLAY=compiled``).
+
+This package wraps the hand-written C extension ``_replay_core`` — the
+fused replay inner loop over the columnar arenas (see ``_replay_core.c``
+for the kernel inventory and the bit-identity contract). The extension
+is *optional*: nothing in the library imports it unconditionally, and
+every consumer goes through :func:`load_native_core`, which returns the
+module when it is built and importable, or ``None`` otherwise. The
+pure-Python batched kernel remains the default and the reference.
+
+Build it in place with the baked-in toolchain (no new dependencies)::
+
+    python setup.py build_ext --inplace
+
+which drops ``_replay_core.*.so`` next to this file. ``setup.py``
+swallows compiler failures, so environments without a C toolchain build
+a pure-Python package and every default CI lane stays green.
+
+``REPRO_NATIVE`` tunes the dispatch policy:
+
+- unset / ``1`` / ``on`` — use the extension when built (the default);
+- ``0`` / ``off`` / ``no`` / ``false`` / ``disable`` / ``disabled`` —
+  ignore the extension even when built (forces the fallback path, used
+  by the differential tests to pin fallback behaviour);
+- ``require`` — escalate "extension unbuilt" from a fallback warning to
+  a hard :class:`~repro.errors.NativeKernelUnavailable` error. The CI
+  compiled lane sets this so a silently-unbuilt extension cannot
+  masquerade as a compiled run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment variable tuning native-kernel dispatch (see module docs).
+NATIVE_ENV = "REPRO_NATIVE"
+
+#: ``REPRO_NATIVE`` values that disable the extension even when built.
+_OFF_VALUES = frozenset({"0", "off", "no", "false", "disable", "disabled"})
+
+#: Memoised import result: unset, or (module | None).
+_CORE_CACHE: list = []
+
+
+def native_policy() -> str:
+    """Current dispatch policy: ``"on"``, ``"off"`` or ``"require"``."""
+    value = os.environ.get(NATIVE_ENV, "").strip().lower()
+    if value in _OFF_VALUES:
+        return "off"
+    if value == "require":
+        return "require"
+    return "on"
+
+
+def load_native_core() -> Optional[object]:
+    """The built ``_replay_core`` module, or ``None``.
+
+    The import itself is memoised (a build cannot appear mid-process),
+    but the ``REPRO_NATIVE`` policy is consulted on every call so tests
+    can flip the knob per-case.
+    """
+    if native_policy() == "off":
+        return None
+    if not _CORE_CACHE:
+        try:
+            from repro.sim.native import _replay_core
+        except ImportError:
+            _CORE_CACHE.append(None)
+        else:
+            _CORE_CACHE.append(_replay_core)
+    return _CORE_CACHE[0]
+
+
+def native_available() -> bool:
+    """True when the compiled core is built and not disabled."""
+    return load_native_core() is not None
+
+
+def build_hint() -> str:
+    """The one-line build instruction used by warnings and errors."""
+    return "build it with: python setup.py build_ext --inplace"

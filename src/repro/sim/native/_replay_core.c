@@ -1,0 +1,662 @@
+/* _replay_core: the compiled replay inner loop (REPRO_REPLAY=compiled).
+ *
+ * A hand-written CPython extension fusing the hot per-access work of the
+ * replay pipeline over the columnar data the Python layers already keep
+ * unboxed:
+ *
+ * - translate_block_addrs: line->block translation straight off the
+ *   int64 buffer of a numpy trace column (zero-copy via PEP 3118);
+ * - run_access_loop: the per-event driver loop (operand selection,
+ *   frontend.access call, tree-access-count collection) without
+ *   interpreter dispatch between events;
+ * - accumulate: the event-ordered left-fold of per-event latencies onto
+ *   the running cycle count, in C doubles (bit-identical to CPython
+ *   float += which performs the same IEEE-754 additions);
+ * - drain_scalar / place_greedy: the columnar Path ORAM read-path
+ *   drain, stash merge and greedy deepest-first eviction transcribed
+ *   from repro.backend.columnar over the storage's addr/leaf arena
+ *   columns, read zero-copy through the buffer protocol.
+ *
+ * Bit-identity contract: every function is a line-for-line transcription
+ * of the Python spelling it replaces — same traversal order, same
+ * duplicate/out-of-range validation with byte-identical error messages,
+ * same LIFO candidate/pool placement, same float operand order. The
+ * lockstep differential harnesses (tests/test_replay_differential.py,
+ * tests/test_columnar_differential.py, tests/test_native_replay.py) and
+ * the golden digests enforce this.
+ *
+ * Buffer discipline: drain_scalar acquires the addr/leaf column buffers
+ * on entry and releases them before returning on every path (the arena
+ * may grow — array('q').extend — between the drain and the eviction, and
+ * CPython refuses to resize an array with exported buffers).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* ------------------------------------------------------------------ */
+/* small helpers                                                       */
+/* ------------------------------------------------------------------ */
+
+static PyObject *str_tree_accesses; /* interned "tree_accesses" */
+
+/* bit_length() of a non-negative int64, matching Python's int.bit_length. */
+static inline int
+bit_length64(long long x)
+{
+    if (x == 0)
+        return 0;
+#if defined(__GNUC__) || defined(__clang__)
+    return 64 - __builtin_clzll((unsigned long long)x);
+#else
+    int n = 0;
+    unsigned long long u = (unsigned long long)x;
+    while (u) {
+        u >>= 1;
+        n++;
+    }
+    return n;
+#endif
+}
+
+/* An acquired int64 column: raw pointer + element count. */
+typedef struct {
+    Py_buffer view;
+    const long long *data;
+    Py_ssize_t len;
+    int acquired;
+} I64Col;
+
+/* Acquire a 1-D contiguous signed 64-bit buffer (array('q') / numpy
+ * int64).  Returns 0 on success, -1 with an exception set otherwise. */
+static int
+i64col_acquire(PyObject *obj, I64Col *col, const char *what)
+{
+    col->acquired = 0;
+    if (PyObject_GetBuffer(obj, &col->view, PyBUF_FORMAT | PyBUF_ND) < 0)
+        return -1;
+    col->acquired = 1;
+    if (col->view.ndim != 1 || col->view.itemsize != 8 ||
+        (col->view.format != NULL && col->view.format[0] != 'q' &&
+         col->view.format[0] != 'l' && col->view.format[0] != 'n')) {
+        PyBuffer_Release(&col->view);
+        col->acquired = 0;
+        PyErr_Format(PyExc_TypeError,
+                     "%s must be a 1-D int64 column (array('q') or numpy "
+                     "int64)", what);
+        return -1;
+    }
+    col->data = (const long long *)col->view.buf;
+    col->len = col->view.shape ? col->view.shape[0]
+                               : col->view.len / col->view.itemsize;
+    return 0;
+}
+
+static void
+i64col_release(I64Col *col)
+{
+    if (col->acquired) {
+        PyBuffer_Release(&col->view);
+        col->acquired = 0;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* translate_block_addrs                                               */
+/* ------------------------------------------------------------------ */
+
+/* Floor division for int64 with a positive divisor (Python // semantics:
+ * rounds toward negative infinity, unlike C's truncation). */
+static inline long long
+floordiv64(long long a, long long b)
+{
+    long long q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        q -= 1;
+    return q;
+}
+
+static PyObject *
+translate_block_addrs(PyObject *self, PyObject *args)
+{
+    PyObject *line_addrs;
+    long long lpb;
+    if (!PyArg_ParseTuple(args, "OL:translate_block_addrs", &line_addrs,
+                          &lpb))
+        return NULL;
+    if (lpb < 1) {
+        PyErr_Format(PyExc_ValueError,
+                     "lines_per_block must be >= 1, got %lld", lpb);
+        return NULL;
+    }
+
+    I64Col col;
+    if (i64col_acquire(line_addrs, &col, "line_addrs") == 0) {
+        PyObject *out = PyList_New(col.len);
+        if (out == NULL) {
+            i64col_release(&col);
+            return NULL;
+        }
+        int pow2 = (lpb & (lpb - 1)) == 0;
+        int shift = bit_length64(lpb) - 1;
+        for (Py_ssize_t i = 0; i < col.len; i++) {
+            long long v = col.data[i];
+            if (lpb != 1)
+                /* Arithmetic shift == floor division for a power-of-two
+                 * divisor; general case uses Python floor semantics. */
+                v = pow2 ? (v >> shift) : floordiv64(v, lpb);
+            PyObject *boxed = PyLong_FromLongLong(v);
+            if (boxed == NULL) {
+                Py_DECREF(out);
+                i64col_release(&col);
+                return NULL;
+            }
+            PyList_SET_ITEM(out, i, boxed);
+        }
+        i64col_release(&col);
+        return out;
+    }
+
+    /* Not a buffer exporter (plain list/tuple fallback): same results as
+     * the pure-Python kernel via the generic protocol. */
+    PyErr_Clear();
+    if (lpb == 1)
+        return PySequence_List(line_addrs);
+    PyObject *seq =
+        PySequence_Fast(line_addrs, "line_addrs must be a sequence");
+    if (seq == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+    PyObject *divisor = PyLong_FromLongLong(lpb);
+    if (divisor == NULL) {
+        Py_DECREF(seq);
+        return NULL;
+    }
+    PyObject *out = PyList_New(n);
+    if (out == NULL) {
+        Py_DECREF(divisor);
+        Py_DECREF(seq);
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *q = PyNumber_FloorDivide(items[i], divisor);
+        if (q == NULL) {
+            Py_DECREF(out);
+            Py_DECREF(divisor);
+            Py_DECREF(seq);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, q);
+    }
+    Py_DECREF(divisor);
+    Py_DECREF(seq);
+    return out;
+}
+
+/* ------------------------------------------------------------------ */
+/* run_access_loop                                                     */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+run_access_loop(PyObject *self, PyObject *args)
+{
+    PyObject *access, *addrs, *writes, *read_op, *write_op, *payload;
+    if (!PyArg_ParseTuple(args, "OOOOOO:run_access_loop", &access, &addrs,
+                          &writes, &read_op, &write_op, &payload))
+        return NULL;
+
+    PyObject *addr_seq = PySequence_Fast(addrs, "addrs must be a sequence");
+    if (addr_seq == NULL)
+        return NULL;
+    PyObject *write_seq =
+        PySequence_Fast(writes, "writes must be a sequence");
+    if (write_seq == NULL) {
+        Py_DECREF(addr_seq);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(addr_seq);
+    Py_ssize_t nw = PySequence_Fast_GET_SIZE(write_seq);
+    if (nw < n)
+        n = nw; /* zip() semantics: stop at the shorter column */
+
+    PyObject *out = PyList_New(n);
+    if (out == NULL)
+        goto fail;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *addr = PySequence_Fast_GET_ITEM(addr_seq, i);
+        int w = PyObject_IsTrue(PySequence_Fast_GET_ITEM(write_seq, i));
+        if (w < 0)
+            goto fail;
+        PyObject *result;
+        if (w)
+            result = PyObject_CallFunctionObjArgs(access, addr, write_op,
+                                                  payload, NULL);
+        else
+            result = PyObject_CallFunctionObjArgs(access, addr, read_op,
+                                                  NULL);
+        if (result == NULL)
+            goto fail;
+        PyObject *ta = PyObject_GetAttr(result, str_tree_accesses);
+        Py_DECREF(result);
+        if (ta == NULL)
+            goto fail;
+        PyList_SET_ITEM(out, i, ta);
+    }
+    Py_DECREF(addr_seq);
+    Py_DECREF(write_seq);
+    return out;
+
+fail:
+    /* A partially filled PyList_New(n) list holds NULL slots; fill them
+     * before the container is released. */
+    if (out != NULL) {
+        for (Py_ssize_t i = 0; i < n; i++) {
+            if (PyList_GET_ITEM(out, i) == NULL) {
+                Py_INCREF(Py_None);
+                PyList_SET_ITEM(out, i, Py_None);
+            }
+        }
+        Py_DECREF(out);
+    }
+    Py_DECREF(addr_seq);
+    Py_DECREF(write_seq);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* accumulate                                                          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+accumulate(PyObject *self, PyObject *args)
+{
+    PyObject *start, *latencies;
+    if (!PyArg_ParseTuple(args, "OO:accumulate", &start, &latencies))
+        return NULL;
+    PyObject *seq =
+        PySequence_Fast(latencies, "latencies must be a sequence");
+    if (seq == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+
+    if (PyFloat_CheckExact(start)) {
+        double total = PyFloat_AS_DOUBLE(start);
+        Py_ssize_t i = 0;
+        for (; i < n; i++) {
+            PyObject *item = items[i];
+            if (!PyFloat_CheckExact(item))
+                break;
+            /* One IEEE-754 double addition per event, in event order —
+             * exactly CPython's float.__add__ fold. */
+            total += PyFloat_AS_DOUBLE(item);
+        }
+        if (i == n) {
+            Py_DECREF(seq);
+            return PyFloat_FromDouble(total);
+        }
+        /* Mixed operand types (the dict-fallback latency path): finish
+         * with the generic protocol so operand *types* match the
+         * interpreted kernel, not just their values. */
+        PyObject *acc = PyFloat_FromDouble(total);
+        if (acc == NULL) {
+            Py_DECREF(seq);
+            return NULL;
+        }
+        for (; i < n; i++) {
+            PyObject *next = PyNumber_Add(acc, items[i]);
+            Py_DECREF(acc);
+            if (next == NULL) {
+                Py_DECREF(seq);
+                return NULL;
+            }
+            acc = next;
+        }
+        Py_DECREF(seq);
+        return acc;
+    }
+
+    PyObject *acc = start;
+    Py_INCREF(acc);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *next = PyNumber_Add(acc, items[i]);
+        Py_DECREF(acc);
+        if (next == NULL) {
+            Py_DECREF(seq);
+            return NULL;
+        }
+        acc = next;
+    }
+    Py_DECREF(seq);
+    return acc;
+}
+
+/* ------------------------------------------------------------------ */
+/* drain_scalar                                                        */
+/* ------------------------------------------------------------------ */
+
+/* Raise the scalar kernel's duplicate-block ValueError.  Python formats
+ * the address with f"{a:#x}" — "0x" + lowercase hex, "0x0" for zero,
+ * sign before the prefix — spelled out via snprintf because
+ * PyErr_Format has no 64-bit hex conversion. */
+static void
+raise_duplicate(long long addr)
+{
+    char buf[32];
+    if (addr < 0)
+        snprintf(buf, sizeof(buf), "-0x%llx",
+                 (unsigned long long)(-(unsigned long long)addr));
+    else
+        snprintf(buf, sizeof(buf), "0x%llx", (unsigned long long)addr);
+    PyErr_Format(PyExc_ValueError, "duplicate block %s in stash", buf);
+}
+
+static void
+raise_leaf_range(long long leaf_label, int levels)
+{
+    PyErr_Format(PyExc_ValueError,
+                 "leaf label %lld out of range for %d-level tree",
+                 leaf_label, levels);
+}
+
+/* drain_scalar(path, addr_col, leaf_col, stash_slots, slot, addr, leaf,
+ *              levels, by_depth, drained_flat, resident) -> slot | None
+ *
+ * The columnar backend's fused drain + depth grouping (the scalar, i.e.
+ * non-vectorised, spelling) over the arena columns: stash residents are
+ * grouped first (insertion order), then every path bucket root->leaf is
+ * snapshotted into drained_flat and its slots grouped by legal eviction
+ * depth, with the same duplicate-block and leaf-range validation (and
+ * byte-identical messages) as repro.backend.columnar.  Returns the slot
+ * holding the block of interest, or None when it is absent (the caller
+ * allocates, exactly as the interpreted kernel does).
+ */
+static PyObject *
+drain_scalar(PyObject *self, PyObject *args)
+{
+    PyObject *path, *addr_obj, *leaf_obj, *stash, *slot_in;
+    long long addr, leaf;
+    int levels;
+    PyObject *by_depth, *drained_flat, *resident;
+    if (!PyArg_ParseTuple(args, "OOOOOLLiOOO:drain_scalar", &path,
+                          &addr_obj, &leaf_obj, &stash, &slot_in, &addr,
+                          &leaf, &levels, &by_depth, &drained_flat,
+                          &resident))
+        return NULL;
+    if (!PyList_Check(path) || !PyDict_Check(stash) ||
+        !PyList_Check(by_depth) || !PyList_Check(drained_flat) ||
+        !PyList_Check(resident)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "drain_scalar expects list/dict containers");
+        return NULL;
+    }
+
+    I64Col addr_col = {0}, leaf_col = {0};
+    if (i64col_acquire(addr_obj, &addr_col, "addr_col") < 0)
+        return NULL;
+    if (i64col_acquire(leaf_obj, &leaf_col, "leaf_col") < 0) {
+        i64col_release(&addr_col);
+        return NULL;
+    }
+
+    PyObject *slot = (slot_in == Py_None) ? NULL : slot_in;
+    Py_XINCREF(slot);
+    long long slot_val = 0;
+    if (slot != NULL) {
+        slot_val = PyLong_AsLongLong(slot);
+        if (slot_val == -1 && PyErr_Occurred())
+            goto fail;
+    }
+    int stash_occupied = PyDict_GET_SIZE(stash) > 0;
+    Py_ssize_t nlevels = PyList_GET_SIZE(by_depth);
+
+    /* -- stash residents: group by depth in insertion order ---------- */
+    if (stash_occupied) {
+        PyObject *key, *value;
+        Py_ssize_t pos = 0;
+        while (PyDict_Next(stash, &pos, &key, &value)) {
+            long long s = PyLong_AsLongLong(value);
+            if (s == -1 && PyErr_Occurred())
+                goto fail;
+            if (slot != NULL && s == slot_val)
+                continue; /* the block of interest is grouped last */
+            if (s < 0 || s >= leaf_col.len) {
+                PyErr_Format(PyExc_IndexError,
+                             "stash slot %lld outside the arena", s);
+                goto fail;
+            }
+            int depth = levels - bit_length64(leaf_col.data[s] ^ leaf);
+            if (depth < 0) {
+                raise_leaf_range(leaf_col.data[s], levels);
+                goto fail;
+            }
+            if (depth >= nlevels) {
+                PyErr_Format(PyExc_IndexError,
+                             "eviction depth %d outside by_depth", depth);
+                goto fail;
+            }
+            if (PyList_Append(PyList_GET_ITEM(by_depth, depth), value) < 0)
+                goto fail;
+            if (PyList_Append(resident, value) < 0)
+                goto fail;
+        }
+    }
+
+    /* -- path drain: snapshot + depth grouping, root->leaf ----------- */
+    Py_ssize_t path_len = PyList_GET_SIZE(path);
+    for (Py_ssize_t li = 0; li < path_len; li++) {
+        PyObject *lst = PyList_GET_ITEM(path, li);
+        if (!PyList_Check(lst)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "path buckets must be slot lists");
+            goto fail;
+        }
+        Py_ssize_t blen = PyList_GET_SIZE(lst);
+        if (blen == 0)
+            continue;
+        /* flat merge-ordered snapshot first, exactly like the Python
+         * kernel (the error path identifies the drained prefix from it). */
+        Py_ssize_t flat_len = PyList_GET_SIZE(drained_flat);
+        if (PyList_SetSlice(drained_flat, flat_len, flat_len, lst) < 0)
+            goto fail;
+        for (Py_ssize_t bi = 0; bi < blen; bi++) {
+            PyObject *s_obj = PyList_GET_ITEM(lst, bi);
+            long long s = PyLong_AsLongLong(s_obj);
+            if (s == -1 && PyErr_Occurred())
+                goto fail;
+            if (s < 0 || s >= addr_col.len) {
+                PyErr_Format(PyExc_IndexError,
+                             "bucket slot %lld outside the arena", s);
+                goto fail;
+            }
+            long long a = addr_col.data[s];
+            if (a == addr) {
+                if (slot != NULL) {
+                    raise_duplicate(a);
+                    goto fail;
+                }
+                slot = s_obj;
+                Py_INCREF(slot);
+                slot_val = s;
+                continue;
+            }
+            if (stash_occupied) {
+                PyObject *a_boxed = PyLong_FromLongLong(a);
+                if (a_boxed == NULL)
+                    goto fail;
+                int dup = PyDict_Contains(stash, a_boxed);
+                Py_DECREF(a_boxed);
+                if (dup < 0)
+                    goto fail;
+                if (dup) {
+                    raise_duplicate(a);
+                    goto fail;
+                }
+            }
+            int depth = levels - bit_length64(leaf_col.data[s] ^ leaf);
+            if (depth < 0) {
+                raise_leaf_range(leaf_col.data[s], levels);
+                goto fail;
+            }
+            if (depth >= nlevels) {
+                PyErr_Format(PyExc_IndexError,
+                             "eviction depth %d outside by_depth", depth);
+                goto fail;
+            }
+            if (PyList_Append(PyList_GET_ITEM(by_depth, depth), s_obj) < 0)
+                goto fail;
+        }
+    }
+
+    i64col_release(&addr_col);
+    i64col_release(&leaf_col);
+    if (slot == NULL)
+        Py_RETURN_NONE;
+    return slot;
+
+fail:
+    i64col_release(&addr_col);
+    i64col_release(&leaf_col);
+    Py_XDECREF(slot);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* place_greedy                                                        */
+/* ------------------------------------------------------------------ */
+
+/* place_greedy(path, by_depth, levels, cap) -> pool (list)
+ *
+ * Greedy placement, deepest level first; candidates LIFO, then the pool
+ * of deeper leftovers LIFO — the columnar backend's eviction loop
+ * transcribed over the same live bucket lists.  Bucket clearing stays
+ * deferred to placement time (each bucket empties just before refill),
+ * the by_depth scratch lists are left empty, and the returned pool
+ * carries any unplaced slots in the exact order the interpreted kernel
+ * would hold them (the caller's slow-path stash rebuild consumes it).
+ */
+static PyObject *
+place_greedy(PyObject *self, PyObject *args)
+{
+    PyObject *path, *by_depth;
+    int levels, cap;
+    if (!PyArg_ParseTuple(args, "OOii:place_greedy", &path, &by_depth,
+                          &levels, &cap))
+        return NULL;
+    if (!PyList_Check(path) || !PyList_Check(by_depth) ||
+        PyList_GET_SIZE(path) < (Py_ssize_t)levels + 1 ||
+        PyList_GET_SIZE(by_depth) < (Py_ssize_t)levels + 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "place_greedy expects path/by_depth lists of "
+                        "levels + 1 buckets");
+        return NULL;
+    }
+    PyObject *pool = PyList_New(0);
+    if (pool == NULL)
+        return NULL;
+
+    for (int level = levels; level >= 0; level--) {
+        PyObject *candidates = PyList_GET_ITEM(by_depth, level);
+        PyObject *slots = PyList_GET_ITEM(path, level);
+        if (!PyList_Check(candidates) || !PyList_Check(slots)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "path/by_depth entries must be lists");
+            goto fail;
+        }
+        if (PyList_GET_SIZE(slots) > 0) {
+            /* Deferred drain clear: the bucket was fully drained and
+             * empties here just before refill (in place — list identity
+             * is part of the storage's path-cache contract). */
+            if (PyList_SetSlice(slots, 0, PyList_GET_SIZE(slots), NULL) <
+                0)
+                goto fail;
+        }
+        Py_ssize_t ncand = PyList_GET_SIZE(candidates);
+        Py_ssize_t npool = PyList_GET_SIZE(pool);
+        if (ncand == 0 && npool == 0)
+            continue;
+        int free_slots = cap;
+        while (free_slots > 0 && ncand > 0) {
+            PyObject *item = PyList_GET_ITEM(candidates, ncand - 1);
+            Py_INCREF(item);
+            if (PyList_SetSlice(candidates, ncand - 1, ncand, NULL) < 0) {
+                Py_DECREF(item);
+                goto fail;
+            }
+            int rc = PyList_Append(slots, item);
+            Py_DECREF(item);
+            if (rc < 0)
+                goto fail;
+            ncand--;
+            free_slots--;
+        }
+        if (ncand > 0) {
+            if (PyList_SetSlice(pool, npool, npool, candidates) < 0)
+                goto fail;
+            if (PyList_SetSlice(candidates, 0, ncand, NULL) < 0)
+                goto fail;
+            npool = PyList_GET_SIZE(pool);
+        }
+        while (free_slots > 0 && npool > 0) {
+            PyObject *item = PyList_GET_ITEM(pool, npool - 1);
+            Py_INCREF(item);
+            if (PyList_SetSlice(pool, npool - 1, npool, NULL) < 0) {
+                Py_DECREF(item);
+                goto fail;
+            }
+            int rc = PyList_Append(slots, item);
+            Py_DECREF(item);
+            if (rc < 0)
+                goto fail;
+            npool--;
+            free_slots--;
+        }
+    }
+    return pool;
+
+fail:
+    Py_DECREF(pool);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef replay_core_methods[] = {
+    {"translate_block_addrs", translate_block_addrs, METH_VARARGS,
+     "Line-address column -> plain-int block addresses (zero-copy over "
+     "an int64 buffer; sequence fallback matches the Python kernel)."},
+    {"run_access_loop", run_access_loop, METH_VARARGS,
+     "Drive every (addr, is_write) event through frontend.access; "
+     "returns the per-event tree-access counts."},
+    {"accumulate", accumulate, METH_VARARGS,
+     "Event-ordered left-fold of per-event latencies onto a running "
+     "cycle count (bit-identical to Python float accumulation)."},
+    {"drain_scalar", drain_scalar, METH_VARARGS,
+     "Columnar Path ORAM path drain + stash merge + depth grouping over "
+     "the arena columns; returns the slot of the block of interest."},
+    {"place_greedy", place_greedy, METH_VARARGS,
+     "Greedy deepest-first eviction with LIFO candidate/pool placement; "
+     "returns the leftover pool."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef replay_core_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.sim.native._replay_core",
+    "Compiled replay core: fused access/eviction loop over columnar "
+    "arenas (see repro.sim.native).",
+    -1,
+    replay_core_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__replay_core(void)
+{
+    str_tree_accesses = PyUnicode_InternFromString("tree_accesses");
+    if (str_tree_accesses == NULL)
+        return NULL;
+    return PyModule_Create(&replay_core_module);
+}

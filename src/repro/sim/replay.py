@@ -27,13 +27,22 @@ per-event float operands — only the *bookkeeping around* the loop is
 batched. ``tests/test_replay_differential.py`` locks this down in
 lockstep against the scalar kernel.
 
-Mode selection: ``REPRO_REPLAY=batched`` (default) or ``scalar`` —
-the escape hatch that re-runs the historical per-event loop.
+Mode selection: ``REPRO_REPLAY=batched`` (default), ``scalar`` — the
+escape hatch that re-runs the historical per-event loop — or
+``compiled``, which hands the fused inner loop (translation, access
+driver, drain/evict, latency accumulation) to the optional C extension
+in :mod:`repro.sim.native`, zero-copy over the columnar arenas. When the
+extension is unbuilt, ``compiled`` falls back to ``batched`` with a
+visible :class:`RuntimeWarning` (or raises under ``REPRO_NATIVE=require``
+— the CI compiled lane's setting). Unknown ``REPRO_REPLAY`` values raise
+instead of silently selecting a kernel, so a misconfigured benchmark
+cannot masquerade as a batched run.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, List, Sequence, Tuple
 
 from repro.proc.hierarchy import MissTrace
@@ -48,23 +57,67 @@ except ImportError:  # pragma: no cover
 REPLAY_ENV = "REPRO_REPLAY"
 
 #: Supported replay kernels.
-REPLAY_MODES = ("batched", "scalar")
+REPLAY_MODES = ("batched", "scalar", "compiled")
 
 
 def default_replay_mode() -> str:
-    """Replay kernel from ``REPRO_REPLAY`` (defaults to ``batched``)."""
+    """Replay kernel from ``REPRO_REPLAY`` (defaults to ``batched``).
+
+    An unrecognised value raises — the same contract as the
+    explicit-argument path of :func:`resolve_replay_mode` — so a typo
+    (``REPRO_REPLAY=scaler``) aborts the run instead of silently
+    benchmarking the batched kernel under the wrong label.
+    """
     value = os.environ.get(REPLAY_ENV, "").strip().lower()
-    return value if value in REPLAY_MODES else "batched"
+    if not value:
+        return "batched"
+    if value not in REPLAY_MODES:
+        raise ValueError(
+            f"unknown replay mode {value!r} in {REPLAY_ENV}; "
+            f"choose from {REPLAY_MODES}"
+        )
+    return value
 
 
 def resolve_replay_mode(mode=None) -> str:
-    """Validate an explicit mode, or fall back to the environment."""
+    """Validate an explicit mode, or fall back to the environment.
+
+    ``compiled`` additionally requires the optional C extension: when it
+    is unbuilt (or switched off via ``REPRO_NATIVE``) the resolution
+    degrades to ``batched`` with a visible :class:`RuntimeWarning` —
+    unless ``REPRO_NATIVE=require``, which turns the fallback into a
+    :class:`~repro.errors.NativeKernelUnavailable` error so CI's
+    compiled lane cannot silently run the interpreted kernel.
+    """
     if mode is None:
-        return default_replay_mode()
-    if mode not in REPLAY_MODES:
+        mode = default_replay_mode()
+    elif mode not in REPLAY_MODES:
         raise ValueError(
             f"unknown replay mode {mode!r}; choose from {REPLAY_MODES}"
         )
+    if mode == "compiled":
+        from repro.sim.native import (
+            build_hint,
+            load_native_core,
+            native_policy,
+        )
+
+        if load_native_core() is None:
+            if native_policy() == "require":
+                from repro.errors import NativeKernelUnavailable
+
+                raise NativeKernelUnavailable(
+                    "REPRO_REPLAY=compiled requires the native extension "
+                    f"(REPRO_NATIVE=require is set); {build_hint()}"
+                )
+            warnings.warn(
+                "REPRO_REPLAY=compiled requested but the native extension "
+                f"is not built; falling back to the batched kernel "
+                f"({build_hint()})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return "batched"
     return mode
 
 
@@ -78,6 +131,10 @@ def translate_block_addrs(
     The result is a plain Python list — the access loop's operand — whose
     elements are exactly the scalar per-event divisions.
     """
+    if lines_per_block < 1:
+        raise ValueError(
+            f"lines_per_block must be >= 1, got {lines_per_block}"
+        )
     if _np is not None and isinstance(line_addrs, _np.ndarray):
         if lines_per_block == 1:
             return line_addrs.tolist()

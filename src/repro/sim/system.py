@@ -62,9 +62,11 @@ def replay_trace(
     """Feed every LLC miss/eviction through the Frontend and sum latency.
 
     ``mode`` selects the replay kernel: ``"batched"`` (the default — the
-    columnar pipeline of :mod:`repro.sim.replay`) or ``"scalar"`` (the
-    historical per-event loop). ``None`` defers to ``REPRO_REPLAY``. The
-    two kernels are bit-identical in every simulated outcome — SimResult,
+    columnar pipeline of :mod:`repro.sim.replay`), ``"scalar"`` (the
+    historical per-event loop) or ``"compiled"`` (the optional C core of
+    :mod:`repro.sim.native`; degrades to batched with a warning when the
+    extension is unbuilt). ``None`` defers to ``REPRO_REPLAY``. The
+    kernels are bit-identical in every simulated outcome — SimResult,
     frontend statistics, and final tree contents — a property pinned by
     the lockstep differential suite; the choice is performance-only and
     therefore never part of any result-cache key.
@@ -80,7 +82,12 @@ def replay_trace(
     mode = resolve_replay_mode(mode)
     engine = ReplayEngine(frontend, timing, proc=proc, block_bytes=block_bytes)
     engine.cycles = base_cycles(trace, proc)
-    if mode == "batched":
+    if mode == "compiled":
+        from repro.sim.native import load_native_core
+
+        engine.enable_native(load_native_core())
+        engine.run_trace(trace)
+    elif mode == "batched":
         engine.run_trace(trace)
     else:
         engine.run_trace_scalar(trace)

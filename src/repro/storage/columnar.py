@@ -165,6 +165,21 @@ class ColumnarTreeStorage:
             self.mac_col[slot],
         )
 
+    def interchange_columns(self):
+        """The ``(addr_col, leaf_col)`` pair for zero-copy interchange.
+
+        These are the live ``array('q')`` columns themselves — exporting
+        a buffer over them is the compiled replay core's access path (no
+        serialisation, no copies). Two rules bound the hand-off: the
+        columns grow strictly in place (``array.extend`` during
+        :meth:`alloc`), so consumers must bind the *objects*, never raw
+        pointers, across calls; and no buffer export may be live across
+        an :meth:`alloc` (CPython refuses to resize an array with
+        exported buffers — the C kernel acquires and releases within
+        each call).
+        """
+        return self.addr_col, self.leaf_col
+
     # -- geometry -----------------------------------------------------------
 
     def _indices(self, leaf: int) -> Tuple[int, ...]:

@@ -341,13 +341,15 @@ class TestReplayEquivalence:
 
     @pytest.mark.parametrize("scheme", ALL_SCHEMES)
     def test_batched_replay_kernel_bitwise_identical(self, scheme):
-        """Golden digests for the batched replay pipeline vs the scalar
-        escape hatch (``REPRO_REPLAY``): same SimResult, same digest."""
+        """Golden digests for every replay kernel (``REPRO_REPLAY``):
+        scalar, batched and compiled (which degrades to batched with a
+        warning when the extension is unbuilt) must produce the same
+        SimResult and the same digest."""
         frontends = {
             mode: build_frontend(
                 scheme, num_blocks=2**12, rng=DeterministicRng(7)
             )
-            for mode in ("scalar", "batched")
+            for mode in ("scalar", "batched", "compiled")
         }
         timing = OramTimingModel(tree_latency_cycles=1000.0)
         results = {
@@ -357,14 +359,16 @@ class TestReplayEquivalence:
             for mode, frontend in frontends.items()
         }
         assert results["scalar"] == results["batched"]
+        assert results["compiled"] == results["batched"]
         assert result_digest(results["scalar"]) == result_digest(results["batched"])
+        assert result_digest(results["compiled"]) == result_digest(results["batched"])
 
     @pytest.mark.parametrize("scheme", ["P_X16", "PIC_X32"])
     def test_batched_replay_final_tree_contents_identical(self, scheme):
         from repro.storage.snapshot import tree_digest
 
         trees = {}
-        for mode in ("scalar", "batched"):
+        for mode in ("scalar", "batched", "compiled"):
             frontend = build_frontend(
                 scheme, num_blocks=2**12, rng=DeterministicRng(7)
             )
@@ -376,7 +380,7 @@ class TestReplayEquivalence:
                 mode=mode,
             )
             trees[mode] = tree_digest(frontend.backend.storage)
-        assert trees["scalar"] == trees["batched"]
+        assert trees["scalar"] == trees["batched"] == trees["compiled"]
 
     @pytest.mark.parametrize("scheme", ["PC_X32", "PI_X8", "PIC_X32"])
     def test_prf_cache_bitwise_identical(self, scheme):

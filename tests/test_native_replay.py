@@ -1,0 +1,565 @@
+"""The compiled replay core: bit-identity, dispatch policy, hardening.
+
+Four layers of coverage for ``repro.sim.native._replay_core``:
+
+- **Pipeline lockstep** — compiled vs batched replay per batch across
+  scheme x storage combos (columnar combos engage the C drain/evict,
+  object combos only the C driver loop), same bar as the PR-4/PR-5
+  differential harnesses: SimResult, ``repr(cycles)``, stats image and
+  tree digests all equal.
+- **Backend lockstep** — a native-enabled columnar backend against the
+  scalar columnar reference, stash snapshot + full tree records after
+  every access, including stash-pressure (Z=2) traces that force the
+  leftover-pool slow path and READRMV/APPEND mixes.
+- **Error-path identity** — the C kernel raises the byte-identical
+  ``ValueError`` messages (duplicate block, out-of-range leaf) and the
+  transactional rollback leaves both backends in equal, usable state.
+- **Dispatch policy** — ``REPRO_NATIVE`` off-values, the fallback
+  ``RuntimeWarning`` (naming the build command), and ``require`` mode
+  escalating to :class:`~repro.errors.NativeKernelUnavailable`.
+
+Tests that need the built extension skip when it is absent; the CI
+compiled lane builds it and runs this file under ``REPRO_NATIVE=require``
+so a silently-unbuilt extension cannot hide behind the skips there.
+"""
+
+import warnings
+from array import array
+
+import pytest
+
+import repro.sim.native as native_pkg
+from repro.backend.columnar import ColumnarPathOramBackend
+from repro.backend.ops import Op
+from repro.backend.path_oram import PathOramBackend
+from repro.config import OramConfig
+from repro.errors import IntegrityViolationError, NativeKernelUnavailable
+from repro.presets import build_frontend
+from repro.sim.engine import ReplayEngine
+from repro.sim.native import NATIVE_ENV, load_native_core, native_policy
+from repro.sim.replay import resolve_replay_mode, translate_block_addrs
+from repro.sim.system import replay_trace
+from repro.sim.timing import OramTimingModel
+from repro.storage.block import Block
+from repro.storage.columnar import ColumnarTreeStorage
+from repro.storage.snapshot import tree_digest, tree_records
+from repro.storage.tree import TreeStorage
+from repro.utils.rng import DeterministicRng
+
+from test_replay_differential import (
+    BLOCKS,
+    chunked,
+    frontend_digests,
+    make_trace,
+    stats_image,
+)
+
+CORE = load_native_core()
+needs_core = pytest.mark.skipif(
+    CORE is None,
+    reason="compiled core not built (python setup.py build_ext --inplace)",
+)
+
+
+def native_pair(config: OramConfig, seed: int = 7):
+    """Scalar-reference and native-enabled columnar backends, same seeds."""
+    ref = ColumnarPathOramBackend(
+        config, ColumnarTreeStorage(config), DeterministicRng(seed)
+    )
+    nat = ColumnarPathOramBackend(
+        config, ColumnarTreeStorage(config), DeterministicRng(seed)
+    )
+    nat.enable_native_kernel(CORE)
+    return ref, nat
+
+
+SMALL = OramConfig(num_blocks=256, block_bytes=32)
+PRESSURE_Z2 = OramConfig(num_blocks=256, block_bytes=16, blocks_per_bucket=2)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline lockstep (compiled vs batched through the public replay API)
+# ---------------------------------------------------------------------------
+
+
+@needs_core
+class TestCompiledPipelineLockstep:
+    #: Columnar combos engage drain/evict in C; object combos only the
+    #: C access driver + accumulate — both must be invisible.
+    COMBOS = [
+        ("PI_X8", "columnar"),
+        ("PIC_X32", "columnar"),
+        ("PC_X32", "columnar"),
+        ("P_X16", "object"),
+    ]
+
+    @pytest.mark.parametrize("scheme,storage", COMBOS)
+    @pytest.mark.parametrize("seed", (8, 2015))
+    def test_compiled_is_bit_identical_per_batch(self, scheme, storage, seed):
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        batched_fe = build_frontend(
+            scheme, num_blocks=BLOCKS, rng=DeterministicRng(7), storage=storage
+        )
+        compiled_fe = build_frontend(
+            scheme, num_blocks=BLOCKS, rng=DeterministicRng(7), storage=storage
+        )
+        trace = make_trace(seed, events=600)
+        for index, chunk in enumerate(chunked(trace, batch=150)):
+            batched = replay_trace(
+                batched_fe, chunk, timing, scheme=scheme, mode="batched"
+            )
+            compiled = replay_trace(
+                compiled_fe, chunk, timing, scheme=scheme, mode="compiled"
+            )
+            context = f"{scheme}/{storage} seed={seed} batch={index}"
+            assert batched == compiled, context
+            assert repr(batched.cycles) == repr(compiled.cycles), context
+            assert stats_image(batched_fe) == stats_image(compiled_fe), context
+            assert frontend_digests(batched_fe) == frontend_digests(
+                compiled_fe
+            ), context
+
+    def test_recursive_scheme_compiled(self):
+        """Recursive frontends (per-level object backends) under the C
+        driver loop: only the engine stages compile, outcomes identical."""
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        results = {}
+        for mode in ("batched", "compiled"):
+            fe = build_frontend("R_X8", num_blocks=BLOCKS, rng=DeterministicRng(7))
+            results[mode] = (
+                replay_trace(
+                    fe, make_trace(11, events=500), timing,
+                    scheme="R_X8", mode=mode,
+                ),
+                frontend_digests(fe),
+            )
+        assert results["compiled"] == results["batched"]
+
+
+# ---------------------------------------------------------------------------
+# Backend lockstep (native drain/evict vs the scalar columnar reference)
+# ---------------------------------------------------------------------------
+
+
+@needs_core
+class TestNativeBackendLockstep:
+    def drive(self, config, steps, seed, with_removal=False):
+        """Random ops against both backends; compare after every access."""
+        ref, nat = native_pair(config, seed=seed)
+        rng = DeterministicRng(seed * 31 + 5)
+        posmap = {}
+        removed_ref, removed_nat = {}, {}
+        num_addrs = config.num_blocks // 4
+        for index in range(steps):
+            roll = rng.random()
+            if with_removal and removed_ref and roll < 0.2:
+                addr = sorted(removed_ref)[rng.randrange(len(removed_ref))]
+                block = removed_ref.pop(addr)
+                ref.access(Op.APPEND, addr, append_block=block)
+                nat.access(Op.APPEND, addr, append_block=removed_nat.pop(addr))
+                # The PosMap still maps the address to the leaf assigned
+                # at removal time (the PLB's bookkeeping).
+                posmap[addr] = block.leaf
+            else:
+                addr = rng.randrange(num_addrs)
+                while addr in removed_ref:
+                    addr = rng.randrange(num_addrs)
+                leaf = posmap.get(addr, 0)
+                new_leaf = rng.random_leaf(config.levels)
+                if with_removal and roll > 0.85:
+                    a = ref.access(Op.READRMV, addr, leaf, new_leaf)
+                    b = nat.access(Op.READRMV, addr, leaf, new_leaf)
+                    removed_ref[addr], removed_nat[addr] = a, b
+                    posmap.pop(addr, None)
+                elif roll < 0.5:
+                    payload = bytes([rng.randrange(256)]) * config.block_bytes
+
+                    def update(block, payload=payload):
+                        block.data = payload
+
+                    ref.access(Op.WRITE, addr, leaf, new_leaf, update=update)
+                    nat.access(Op.WRITE, addr, leaf, new_leaf, update=update)
+                    posmap[addr] = new_leaf
+                else:
+                    ref.access(Op.READ, addr, leaf, new_leaf)
+                    nat.access(Op.READ, addr, leaf, new_leaf)
+                    posmap[addr] = new_leaf
+            assert ref.stash_snapshot() == nat.stash_snapshot(), index
+        assert tree_records(ref.storage) == tree_records(nat.storage)
+
+    @pytest.mark.parametrize("seed", (1, 9, 40))
+    def test_randomized_traces(self, seed):
+        self.drive(SMALL, steps=200, seed=seed)
+
+    @pytest.mark.parametrize("seed", (2, 17))
+    def test_stash_pressure_forces_slow_path_rebuild(self, seed):
+        """Z=2 leaves placement leftovers, exercising the C pool return
+        and the shared merge-order stash rebuild."""
+        self.drive(PRESSURE_Z2, steps=250, seed=seed)
+
+    @pytest.mark.parametrize("seed", (3, 23))
+    def test_removal_and_append_mix(self, seed):
+        self.drive(SMALL, steps=220, seed=seed, with_removal=True)
+
+
+# ---------------------------------------------------------------------------
+# Error-path identity (C messages + transactional rollback)
+# ---------------------------------------------------------------------------
+
+
+@needs_core
+class TestErrorPathIdentity:
+    def test_out_of_range_leaf_message_and_rollback_identical(self):
+        ref, nat = native_pair(SMALL)
+        messages = []
+        for backend in (ref, nat):
+            backend.access(
+                Op.APPEND,
+                3,
+                append_block=Block(3, SMALL.num_leaves * 2, bytes(32), None),
+            )
+            with pytest.raises(ValueError, match="out of range") as err:
+                backend.access(Op.READ, 8, 0, 1)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+        assert ref.stash_snapshot() == nat.stash_snapshot()
+        assert tree_records(ref.storage) == tree_records(nat.storage)
+
+    def test_duplicate_block_in_drained_bucket_identical(self):
+        """A stash/tree duplicate detected *inside the C drain* raises the
+        byte-identical message the scalar loop raises."""
+        ref, nat = native_pair(SMALL)
+        messages = []
+        for backend in (ref, nat):
+            backend.access(
+                Op.APPEND, 5, append_block=Block(5, 1, bytes(32), None)
+            )
+            # Evict block 5 out of the stash into the tree...
+            backend.access(Op.READ, 9, 0, 2)
+            # ...then plant a second copy in the stash and walk a path
+            # that drains the first: the drain must flag the duplicate.
+            backend.access(
+                Op.APPEND, 5, append_block=Block(5, 1, bytes(32), None)
+            )
+            with pytest.raises(ValueError, match="duplicate block") as err:
+                backend.access(Op.READ, 7, 1, 0)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+        assert ref.stash_snapshot() == nat.stash_snapshot()
+        assert tree_records(ref.storage) == tree_records(nat.storage)
+
+    def test_failing_update_restores_identically(self):
+        ref, nat = native_pair(SMALL)
+        posmap = {}
+        rng = DeterministicRng(6)
+        for _ in range(40):
+            addr = rng.randrange(64)
+            leaf = posmap.get(addr, 0)
+            new_leaf = rng.random_leaf(SMALL.levels)
+            ref.access(Op.READ, addr, leaf, new_leaf)
+            nat.access(Op.READ, addr, leaf, new_leaf)
+            posmap[addr] = new_leaf
+
+        def failing(block):
+            block.data = b"\xEE" * SMALL.block_bytes
+            raise IntegrityViolationError("injected")
+
+        addr = next(iter(posmap))
+        for backend in (ref, nat):
+            with pytest.raises(IntegrityViolationError):
+                backend.access(
+                    Op.WRITE, addr, posmap[addr], 3, update=failing
+                )
+        assert ref.stash_snapshot() == nat.stash_snapshot()
+        assert tree_digest(ref.storage) == tree_digest(nat.storage)
+        # Both stay usable after the rollback.
+        for backend in (ref, nat):
+            backend.access(Op.READ, addr, posmap[addr], 5)
+        assert tree_digest(ref.storage) == tree_digest(nat.storage)
+
+
+# ---------------------------------------------------------------------------
+# Kernel primitives (direct C calls against the Python reference)
+# ---------------------------------------------------------------------------
+
+
+@needs_core
+class TestKernelPrimitives:
+    @pytest.mark.parametrize("lpb", (1, 2, 8, 3, 7))
+    def test_translate_matches_python(self, lpb):
+        addrs = [0, 1, 5, 63, 64, 1023, 2**40 + 17]
+        expect = [a // lpb for a in addrs]
+        assert CORE.translate_block_addrs(addrs, lpb) == expect
+        assert CORE.translate_block_addrs(array("q", addrs), lpb) == expect
+        assert translate_block_addrs(addrs, lpb) == expect
+
+    @pytest.mark.parametrize("bad", (0, -1, -8))
+    def test_translate_guard_message_identical(self, bad):
+        with pytest.raises(ValueError) as c_err:
+            CORE.translate_block_addrs([1, 2], bad)
+        with pytest.raises(ValueError) as py_err:
+            translate_block_addrs([1, 2], bad)
+        assert str(c_err.value) == str(py_err.value)
+        assert f"got {bad}" in str(c_err.value)
+
+    def test_accumulate_is_the_event_ordered_left_fold(self):
+        latencies = [0.1 * k + 3.7 for k in range(200)]
+        total = 12.5
+        for lat in latencies:
+            total += lat
+        assert repr(CORE.accumulate(12.5, latencies)) == repr(total)
+        # Operand-type fidelity off the float fast path.
+        assert CORE.accumulate(0, [1, 2.5]) == 3.5
+        assert CORE.accumulate(0.0, []) == 0.0
+
+    def test_run_access_loop_op_selection_and_zip(self):
+        calls = []
+
+        class FakeResult:
+            def __init__(self, n):
+                self.tree_accesses = n
+
+        def access(addr, op, payload=None):
+            calls.append((addr, op, payload))
+            return FakeResult(addr * 10)
+
+        ns = CORE.run_access_loop(
+            access, [4, 7, 9], [True, False], Op.READ, Op.WRITE, b"pp"
+        )
+        # zip semantics: stops at the shorter column.
+        assert ns == [40, 70]
+        assert calls == [(4, Op.WRITE, b"pp"), (7, Op.READ, None)]
+
+    def test_run_access_loop_propagates_access_errors(self):
+        def access(addr, op, payload=None):
+            raise RuntimeError("backend exploded")
+
+        with pytest.raises(RuntimeError, match="backend exploded"):
+            CORE.run_access_loop(
+                access, [1], [False], Op.READ, Op.WRITE, b""
+            )
+
+    def test_place_greedy_matches_python_reference(self):
+        rng = DeterministicRng(13)
+        for trial in range(20):
+            levels = rng.randrange(3) + 2
+            cap = rng.randrange(3) + 1
+            path = [
+                [rng.randrange(1000) for _ in range(rng.randrange(cap + 1))]
+                for _ in range(levels + 1)
+            ]
+            by_depth = [
+                [rng.randrange(1000) for _ in range(rng.randrange(4))]
+                for _ in range(levels + 1)
+            ]
+            # Python reference: deepest first, candidates LIFO then pool
+            # LIFO, scratch lists left empty (the scalar loop verbatim).
+            ref_path = [list(b) for b in path]
+            ref_depth = [list(c) for c in by_depth]
+            ref_pool = []
+            for level in range(levels, -1, -1):
+                candidates = ref_depth[level]
+                slots = ref_path[level]
+                del slots[:]
+                if not (candidates or ref_pool):
+                    continue
+                free = cap
+                while free > 0 and candidates:
+                    slots.append(candidates.pop())
+                    free -= 1
+                if candidates:
+                    ref_pool.extend(candidates)
+                    candidates.clear()
+                while free > 0 and ref_pool:
+                    slots.append(ref_pool.pop())
+                    free -= 1
+            pool = CORE.place_greedy(path, by_depth, levels, cap)
+            assert path == ref_path, trial
+            assert pool == ref_pool, trial
+            assert all(not c for c in by_depth), trial
+
+
+# ---------------------------------------------------------------------------
+# Dispatch policy (REPRO_NATIVE / fallback / require)
+# ---------------------------------------------------------------------------
+
+
+class TestDispatchPolicy:
+    @pytest.mark.parametrize(
+        "value", ("0", "off", "no", "false", "disable", "disabled", " OFF ")
+    )
+    def test_off_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(NATIVE_ENV, value)
+        assert native_policy() == "off"
+        assert load_native_core() is None
+
+    def test_policy_defaults_on(self, monkeypatch):
+        monkeypatch.delenv(NATIVE_ENV, raising=False)
+        assert native_policy() == "on"
+        monkeypatch.setenv(NATIVE_ENV, "require")
+        assert native_policy() == "require"
+
+    def test_unbuilt_compiled_falls_back_with_warning(self, monkeypatch):
+        """``mode=compiled`` without the extension degrades to batched
+        loudly, and the warning names the build command."""
+        monkeypatch.delenv(NATIVE_ENV, raising=False)
+        monkeypatch.setattr(native_pkg, "_CORE_CACHE", [None])
+        with pytest.warns(RuntimeWarning, match="build_ext --inplace"):
+            assert resolve_replay_mode("compiled") == "batched"
+
+    def test_off_policy_falls_back_even_when_built(self, monkeypatch):
+        monkeypatch.setenv(NATIVE_ENV, "off")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_replay_mode("compiled") == "batched"
+
+    def test_require_mode_raises_when_unbuilt(self, monkeypatch):
+        monkeypatch.setenv(NATIVE_ENV, "require")
+        monkeypatch.setattr(native_pkg, "_CORE_CACHE", [None])
+        with pytest.raises(NativeKernelUnavailable, match="REPRO_NATIVE"):
+            resolve_replay_mode("compiled")
+
+    def test_fallback_replay_matches_batched(self, monkeypatch):
+        """End to end: a fallback compiled run is the batched run."""
+        monkeypatch.delenv(NATIVE_ENV, raising=False)  # pin policy "on"
+        monkeypatch.setattr(native_pkg, "_CORE_CACHE", [None])
+        timing = OramTimingModel(tree_latency_cycles=1000.0)
+        results = {}
+        for mode in ("batched", "compiled"):
+            fe = build_frontend("PI_X8", num_blocks=BLOCKS, rng=DeterministicRng(7))
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results[mode] = (
+                    replay_trace(
+                        fe, make_trace(2, events=300), timing,
+                        scheme="PI_X8", mode=mode,
+                    ),
+                    frontend_digests(fe),
+                )
+        assert results["compiled"] == results["batched"]
+
+    @needs_core
+    def test_env_selects_compiled(self, monkeypatch):
+        monkeypatch.delenv(NATIVE_ENV, raising=False)
+        monkeypatch.setenv("REPRO_REPLAY", "compiled")
+        assert resolve_replay_mode(None) == "compiled"
+
+
+# ---------------------------------------------------------------------------
+# Engine hookup
+# ---------------------------------------------------------------------------
+
+
+@needs_core
+class TestEngineHookup:
+    def test_enable_native_none_is_noop(self):
+        fe = build_frontend("PI_X8", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        engine = ReplayEngine(fe, OramTimingModel(tree_latency_cycles=1000.0))
+        engine.enable_native(None)
+        assert engine._native is None
+
+    def test_enable_native_reaches_columnar_backend(self):
+        fe = build_frontend(
+            "PI_X8", num_blocks=BLOCKS, rng=DeterministicRng(7),
+            storage="columnar",
+        )
+        engine = ReplayEngine(fe, OramTimingModel(tree_latency_cycles=1000.0))
+        engine.enable_native(CORE)
+        assert engine._native is CORE
+        assert fe.backend._native is CORE
+
+    def test_enable_native_tolerates_object_backends(self):
+        """Recursive frontends carry object backends with no native
+        kernel hook; the engine still compiles its own stages."""
+        fe = build_frontend("R_X8", num_blocks=BLOCKS, rng=DeterministicRng(7))
+        engine = ReplayEngine(fe, OramTimingModel(tree_latency_cycles=1000.0))
+        engine.enable_native(CORE)
+        assert engine._native is CORE
+
+
+# ---------------------------------------------------------------------------
+# Restore-path hardening (the narrowed except blocks, both backends)
+# ---------------------------------------------------------------------------
+
+
+def hardened_pair():
+    config = SMALL
+    obj = PathOramBackend(config, TreeStorage(config), DeterministicRng(3))
+    col = ColumnarPathOramBackend(
+        config, ColumnarTreeStorage(config), DeterministicRng(3)
+    )
+    return obj, col
+
+
+class TestRestoreHardening:
+    def warm(self, backend, accesses=30):
+        posmap = {}
+        rng = DeterministicRng(8)
+        for _ in range(accesses):
+            addr = rng.randrange(64)
+            new_leaf = rng.random_leaf(SMALL.levels)
+            backend.access(Op.READ, addr, posmap.get(addr, 0), new_leaf)
+            posmap[addr] = new_leaf
+        return posmap
+
+    def test_keyboard_interrupt_rolls_back(self):
+        """The old ``except Exception`` skipped restoration for
+        BaseException-only errors; an interrupt mid-update must now roll
+        back instead of leaving a half-mutated tree."""
+        for backend in hardened_pair():
+            posmap = self.warm(backend)
+            addr = next(iter(posmap))
+            before = (backend.stash_snapshot(), tree_records(backend.storage))
+
+            def interrupting(block):
+                block.data = b"\xAA" * SMALL.block_bytes
+                raise KeyboardInterrupt
+
+            with pytest.raises(KeyboardInterrupt):
+                backend.access(
+                    Op.WRITE, addr, posmap[addr], 1, update=interrupting
+                )
+            assert (
+                backend.stash_snapshot(), tree_records(backend.storage)
+            ) == before
+            # Still usable.
+            backend.access(Op.READ, addr, posmap[addr], 2)
+
+    def test_restore_failure_is_chained_not_masking(self, monkeypatch):
+        """A restore failure of an expected kind rides along as a note on
+        the original error instead of replacing it."""
+        for backend in hardened_pair():
+            posmap = self.warm(backend)
+            addr = next(iter(posmap))
+
+            def broken_restore(*args, **kwargs):
+                raise ValueError("restore exploded")
+
+            monkeypatch.setattr(backend, "_restore_on_error", broken_restore)
+
+            def failing(block):
+                raise IntegrityViolationError("original fault")
+
+            with pytest.raises(IntegrityViolationError) as err:
+                backend.access(Op.WRITE, addr, posmap[addr], 1, update=failing)
+            notes = getattr(err.value, "__notes__", [])
+            assert any("state restoration also failed" in n for n in notes)
+            assert any("restore exploded" in n for n in notes)
+
+    def test_unexpected_restore_error_propagates(self, monkeypatch):
+        """Programming errors inside the restore path are not demoted to
+        a note — they surface, with the original error as context."""
+        for backend in hardened_pair():
+            posmap = self.warm(backend)
+            addr = next(iter(posmap))
+
+            def buggy_restore(*args, **kwargs):
+                raise ZeroDivisionError("restore bug")
+
+            monkeypatch.setattr(backend, "_restore_on_error", buggy_restore)
+
+            def failing(block):
+                raise IntegrityViolationError("original fault")
+
+            with pytest.raises(ZeroDivisionError) as err:
+                backend.access(Op.WRITE, addr, posmap[addr], 1, update=failing)
+            assert isinstance(err.value.__context__, IntegrityViolationError)

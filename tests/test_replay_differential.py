@@ -124,7 +124,12 @@ class TestLockstep:
             assert frontend_digests(scalar_fe) == frontend_digests(batched_fe), context
 
     def test_whole_trace_multi_seed_sweep(self):
-        """Longer single-shot replays across every preset scheme."""
+        """Longer single-shot replays across every preset scheme.
+
+        Every supported kernel — scalar, batched and compiled (which
+        degrades to batched with a warning when the extension is
+        unbuilt) — must agree on SimResult and tree digests.
+        """
         timing = OramTimingModel(tree_latency_cycles=1000.0)
         for scheme in ("R_X8", "P_X16", "PC_X32", "PI_X8", "PIC_X32"):
             for seed in (3, 44):
@@ -143,7 +148,10 @@ class TestLockstep:
                         ),
                         frontend_digests(frontend),
                     )
-                assert results["scalar"] == results["batched"], (scheme, seed)
+                for mode in REPLAY_MODES:
+                    assert results[mode] == results["batched"], (
+                        scheme, seed, mode
+                    )
 
 
 class TestPlanBatch:
@@ -198,9 +206,20 @@ class TestKernelSelection:
         assert default_replay_mode() == "scalar"
         assert resolve_replay_mode(None) == "scalar"
 
-    def test_env_garbage_falls_back_to_batched(self, monkeypatch):
+    def test_env_garbage_raises(self, monkeypatch):
+        """A typo'd REPRO_REPLAY aborts instead of silently running
+        batched under the wrong label (regression: it used to fall
+        back)."""
         monkeypatch.setenv("REPRO_REPLAY", "quantum")
-        assert default_replay_mode() == "batched"
+        with pytest.raises(ValueError, match="unknown replay mode 'quantum'"):
+            default_replay_mode()
+        monkeypatch.setenv("REPRO_REPLAY", "scaler")  # the classic typo
+        with pytest.raises(ValueError, match="REPRO_REPLAY"):
+            resolve_replay_mode(None)
+
+    def test_env_whitespace_and_case_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY", "  Scalar ")
+        assert default_replay_mode() == "scalar"
 
     def test_explicit_mode_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_REPLAY", "scalar")
@@ -233,3 +252,32 @@ class TestTranslation:
     def test_plain_sequence_fallback(self):
         assert translate_block_addrs([0, 5, 9, 16], 4) == [0, 1, 2, 4]
         assert translate_block_addrs([7, 8], 1) == [7, 8]
+
+    def test_numpy_absent_path_matches_numpy_path(self, monkeypatch):
+        """The scalar fallback (numpy unavailable) is lockstep with the
+        vectorised shift/divide across pow2, non-pow2 and identity."""
+        import repro.sim.replay as replay_mod
+
+        trace = make_trace(6, events=128, blocks=2**12)
+        line_addrs, _ = trace.columns()
+        vectorised = {
+            lpb: translate_block_addrs(line_addrs, lpb) for lpb in (1, 2, 8, 3, 7)
+        }
+        monkeypatch.setattr(replay_mod, "_np", None)
+        plain = [int(a) for a in line_addrs]
+        for lpb, expect in vectorised.items():
+            assert translate_block_addrs(plain, lpb) == expect, lpb
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_lines_per_block_below_one_rejected(self, bad):
+        """Regression: a malformed geometry used to take the shift
+        fast-path and emit garbage addresses; now it fails loudly."""
+        with pytest.raises(ValueError, match="lines_per_block must be >= 1"):
+            translate_block_addrs([1, 2, 3], bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_lines_per_block_guard_covers_numpy_columns(self, bad):
+        trace = make_trace(9, events=8)
+        line_addrs, _ = trace.columns()
+        with pytest.raises(ValueError, match="lines_per_block must be >= 1"):
+            translate_block_addrs(line_addrs, bad)
