@@ -430,16 +430,25 @@ _SERVE_DEMO = dict(
 
 def _serve_main(args: List[str]) -> int:
     """The ``serve`` subcommand: N tenants on M shards -> stats + JSON."""
-    from repro.serve import OramService, POLICIES, ServeConfig, tenants_for
+    from repro.serve import (
+        ADMISSION_ORDERS,
+        OramService,
+        POLICIES,
+        ServeConfig,
+        tenants_for,
+    )
     from repro.sim.runner import SimulationRunner
 
     values: Dict[str, Optional[int]] = {
         "tenants": None, "shards": None, "requests": None, "burst": None,
         "max-batch": None, "queue-cap": None, "seed": None, "misses": None,
+        "deadline": None, "quota": None, "throttle-epochs": None,
+        "degrade-after": None, "recover-after": None,
     }
     scheme = "PC_X32"
     benches: List[str] = []
     policy: Optional[str] = None
+    admission: Optional[str] = None
     mode = "serial"
     out: Optional[str] = None
     demo = False
@@ -476,6 +485,15 @@ def _serve_main(args: List[str]) -> int:
                 )
                 return 2
             policy = value
+        elif arg == "--admission" or arg.startswith("--admission="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value not in ADMISSION_ORDERS:
+                print(
+                    f"--admission requires one of: {', '.join(ADMISSION_ORDERS)}",
+                    file=sys.stderr,
+                )
+                return 2
+            admission = value
         elif arg == "--mode" or arg.startswith("--mode="):
             value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
             if value not in ("serial", "async"):
@@ -517,12 +535,28 @@ def _serve_main(args: List[str]) -> int:
                 values["queue-cap"] if values["queue-cap"] is not None else 64
             ),
             policy=policy if policy is not None else "defer",
+            admission=admission if admission is not None else "edf",
+            throttle_epochs=(
+                values["throttle-epochs"]
+                if values["throttle-epochs"] is not None
+                else 1
+            ),
+            degrade_after=values["degrade-after"],
+            recover_after=values["recover-after"],
         )
         service = OramService(
             tenants_for(
                 benches,
                 values["tenants"] if values["tenants"] is not None else 2,
                 requests=values["requests"],
+                deadline_cycles=(
+                    float(values["deadline"])
+                    if values["deadline"] is not None
+                    else None
+                ),
+                quota=(
+                    float(values["quota"]) if values["quota"] is not None else None
+                ),
             ),
             runner=runner,
             config=config,
@@ -559,6 +593,14 @@ def _serve_main(args: List[str]) -> int:
     print(
         f"  totals: {totals['requests']} requests in {report['epochs']} "
         f"epochs, {totals['cycles'] / 1e6:.2f} Mcycles"
+    )
+    res = report["resilience"]
+    print(
+        f"  resilience: missed {res['deadline_missed']}"
+        f"  throttled {res['throttled']}  shed {res['shed']}"
+        f"  deferred {res['deferred']}"
+        f"  degradation {res['degradation']['level']}"
+        f" ({len(res['degradation']['transitions'])} transition(s))"
     )
     if out is None:
         out = DEFAULT_SERVE_OUT
@@ -672,6 +714,8 @@ def main(argv=None) -> int:
         print("Fabric options (after 'fabric'):")
         print("  serve-worker --connect HOST:PORT [--timeout SECS]")
         print("                      run one worker against a sweep coordinator")
+        print("                      (REPRO_CONNECT_RETRIES bounds each dial loop;")
+        print("                      REPRO_RPC_TIMEOUT bounds individual RPC calls)")
         print("Serve options (after 'serve'):")
         print("  --tenants N         simulated tenant clients (round-robin roster)")
         print("  --shards M          ORAM instances in the pool")
@@ -680,7 +724,13 @@ def main(argv=None) -> int:
         print("                      interleaved 'a+b' mixes allowed)")
         print("  --requests N        per-tenant request cap")
         print("  --burst/--max-batch/--queue-cap N   admission & batching knobs")
-        print("  --policy defer|shed backpressure at a full shard queue")
+        print("  --policy defer|shed|throttle   backpressure at a full shard queue")
+        print("  --admission edf|fifo admission order (edf == fifo with no deadlines)")
+        print("  --deadline N        per-request SLO deadline in simulated cycles")
+        print("  --quota N           per-tenant token-bucket quota (requests/epoch)")
+        print("  --throttle-epochs N cooldown epochs charged by the throttle policy")
+        print("  --degrade-after N / --recover-after N   graceful-degradation")
+        print("                      thresholds in consecutive (clean) epochs")
         print("  --mode serial|async epoch driver (identical simulated results)")
         print("  --seed N / --misses N   runner seed and trace miss budget")
         print("  --demo              small fixed scenario (the CI smoke artifact)")

@@ -104,6 +104,15 @@ class SweepInterrupted(ReproError):
 #: a programming error and must propagate, not be silently attached.
 RESTORE_FAILURES = (ReproError, ValueError, KeyError, IndexError, BufferError)
 
+#: Exception types a fabric worker reports as an *ordinary* failed cell
+#: (one ``error`` frame, one charged attempt, retried/quarantined by the
+#: coordinator): the library's own errors, the data faults a corrupted
+#: spec/trace/cache can produce, and environmental failures (I/O,
+#: memory, arithmetic). Programming errors — TypeError, AttributeError,
+#: and friends — are *not* listed: they propagate and kill the worker so
+#: bugs surface loudly instead of silently burning the retry budget.
+CELL_FAILURES = RESTORE_FAILURES + (ArithmeticError, MemoryError, OSError)
+
 
 class CacheCorruptionWarning(RuntimeWarning):
     """A disk-cache entry was corrupt/stale and has been evicted for recompute.

@@ -34,6 +34,18 @@ Scheduling model:
   impossible: nobody ever joined within ``startup_timeout``, or every
   worker is gone with no respawn budget. Completed cells are already
   journaled at that point, so ``--resume`` continues exactly there.
+
+RPC hardening: every coordinator send is bounded by the
+:class:`~repro.resilience.RpcPolicy` timeout (``REPRO_RPC_TIMEOUT``);
+an expiry is counted in ``rpc_timeouts`` and handled exactly like a
+severed connection. Workers that reconnect after a transient failure
+rejoin as fresh sessions under a stable identity (counted in
+``reconnects``), and a per-identity :class:`~repro.resilience.CircuitBreaker`
+quarantines identities that flap repeatedly — their redials are refused
+(``quarantined_workers``) until the breaker cooldown elapses, so one
+pathological host cannot keep churning leases. Every trip is counted
+(``breaker_trips``); a completed cell fully closes the identity's
+breaker again.
 """
 
 from __future__ import annotations
@@ -50,10 +62,16 @@ from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import FabricError
-from repro.fabric.protocol import ProtocolError, recv_message, send_message
+from repro.fabric.protocol import (
+    ProtocolError,
+    RpcTimeout,
+    recv_message,
+    send_message,
+)
 from repro.fabric.store import SharedStore
 from repro.fabric.worker import runner_to_wire
 from repro.faults import RetryPolicy
+from repro.resilience import CircuitBreaker, RpcPolicy
 from repro.sim.metrics import SimResult
 from repro.sim.runner import ProgressCallback, SimulationRunner
 
@@ -61,9 +79,10 @@ from repro.sim.runner import ProgressCallback, SimulationRunner
 class _WorkerConn:
     """Coordinator-side state for one connected worker."""
 
-    def __init__(self, index: int, sock: socket.socket):
+    def __init__(self, index: int, sock: socket.socket, ident: str = "?"):
         self.index = index
         self.sock = sock
+        self.ident = ident
         self.send_lock = threading.Lock()
         self.alive = True
         self.waiting = False  # blocked on recv, owed a lease when work appears
@@ -86,6 +105,9 @@ class FabricCoordinator:
         startup_timeout: float = 60.0,
         lease_cap: int = 4,
         respawn_budget: Optional[int] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 60.0,
+        rpc: Optional[RpcPolicy] = None,
     ):
         self.spawn = spawn
         self.host = host
@@ -116,7 +138,20 @@ class FabricCoordinator:
             "timeouts": 0,
             "reclaimed": 0,
             "respawned": 0,
+            "rpc_timeouts": 0,
+            "reconnects": 0,
+            "breaker_trips": 0,
+            "quarantined_workers": 0,
         }
+        self._breaker_threshold = max(1, breaker_threshold)
+        self._breaker_cooldown = breaker_cooldown
+        self._rpc = rpc if rpc is not None else RpcPolicy.from_env()
+        # Per-worker-identity circuit breakers: a worker that keeps
+        # flapping (N consecutive failures) is quarantined — its redials
+        # are refused until the cooldown elapses. Keyed by the worker's
+        # self-assigned ident, which survives reconnects, not by the
+        # per-session connection index.
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._server: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._conns: Dict[int, _WorkerConn] = {}
@@ -158,7 +193,10 @@ class FabricCoordinator:
             if conn.alive:
                 try:
                     with conn.send_lock:
-                        send_message(conn.sock, {"type": "shutdown"}, "coordinator")
+                        send_message(
+                            conn.sock, {"type": "shutdown"}, "coordinator",
+                            timeout=self._rpc.timeout,
+                        )
                 except ProtocolError:
                     pass
             try:
@@ -257,10 +295,34 @@ class FabricCoordinator:
             except OSError:
                 pass
             return
+        ident = str(hello.get("ident") or hello.get("pid") or "?")
+        session = int(hello.get("session", 1) or 1)
+        with self._lock:
+            breaker = self._breakers.get(ident)
+            quarantined = breaker is not None and not breaker.allow()
+            if quarantined:
+                self.counters["quarantined_workers"] += 1
+        if quarantined:
+            # A flapping identity inside its cooldown: refuse the session
+            # so it stops churning leases. The worker sees a non-config
+            # frame and exits cleanly; a redial after the cooldown gets a
+            # half-open probe.
+            try:
+                send_message(
+                    sock, {"type": "shutdown"}, "coordinator",
+                    timeout=self._rpc.timeout,
+                )
+            except ProtocolError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
         with self._lock:
             index = self._next_index
             self._next_index += 1
-            conn = _WorkerConn(index, sock)
+            conn = _WorkerConn(index, sock, ident)
             self._conns[index] = conn
         try:
             with conn.send_lock:
@@ -273,11 +335,18 @@ class FabricCoordinator:
                         "heartbeat": self.heartbeat_interval,
                     },
                     "coordinator",
+                    timeout=self._rpc.timeout,
                 )
+        except RpcTimeout:
+            self.counters["rpc_timeouts"] += 1
+            self._events.put(("lost", index, None))
+            return
         except ProtocolError:
             self._events.put(("lost", index, None))
             return
         self.counters["workers_joined"] += 1
+        if session > 1:
+            self.counters["reconnects"] += 1
         self._last_liveness = time.monotonic()
         self._events.put(("joined", index, None))
         while True:
@@ -349,6 +418,10 @@ class FabricCoordinator:
             conn.waiting = True
             self._dispatch(conn)
         elif event == "result":
+            with self._lock:
+                breaker = self._breakers.get(conn.ident)
+            if breaker is not None:
+                breaker.record_success()
             task = self._open.pop(message["id"], None)
             self._drop_task(message["id"])
             if task is not None:
@@ -395,8 +468,12 @@ class FabricCoordinator:
         try:
             with conn.send_lock:
                 send_message(
-                    conn.sock, {"type": "lease", "tasks": tasks}, "coordinator"
+                    conn.sock, {"type": "lease", "tasks": tasks}, "coordinator",
+                    timeout=self._rpc.timeout,
                 )
+        except RpcTimeout:
+            self.counters["rpc_timeouts"] += 1
+            self._on_worker_down(conn, "lease send timed out")
         except ProtocolError:
             self._on_worker_down(conn, "lease send failed")
 
@@ -485,6 +562,17 @@ class FabricCoordinator:
         except OSError:
             pass
         self.counters["dead"] += 1
+        if not self._closing:
+            with self._lock:
+                breaker = self._breakers.setdefault(
+                    conn.ident,
+                    CircuitBreaker(
+                        threshold=self._breaker_threshold,
+                        cooldown=self._breaker_cooldown,
+                    ),
+                )
+            if breaker.record_failure():
+                self.counters["breaker_trips"] += 1
         reclaim = list(conn.leases.items())
         conn.leases.clear()
         for task_id, task in reclaim:

@@ -9,7 +9,7 @@ journal already round-trips exactly).
 
 Message types (coordinator <-> worker)::
 
-    worker -> hello      {pid}                     first frame after connect
+    worker -> hello      {pid, ident, session}     first frame after connect
     coord  -> config     {index, runner, heartbeat} runner spawn payload
     worker -> need       {}                        ask for a lease
     coord  -> lease      {tasks: [{id, kind, label, bench, spec, misses,
@@ -25,7 +25,12 @@ site with keys ``<role>/send/<type>`` and ``<role>/recv/<type>`` — a
 callers treat exactly like a dropped connection (that is the point: a
 chaos plan can sever any edge of the fabric deterministically). A
 ``stall`` injected there delays the frame, exercising the heartbeat
-timeout path.
+timeout path. The ``rpc.timeout`` site (same keys) surfaces as
+:class:`RpcTimeout` instead — the injected twin of a real per-call
+deadline expiring, which is also what a ``timeout=`` argument raises
+when the socket blocks past it. Callers treat a timeout like a severed
+connection *plus* count it, so retry/reconnect accounting can be
+asserted under injection.
 
 Frames are bounded by :data:`MAX_MESSAGE_BYTES` so a garbled length
 prefix (or a non-fabric peer) fails fast instead of allocating gigabytes.
@@ -50,10 +55,20 @@ class ProtocolError(FabricError):
     """A fabric connection failed or delivered a malformed frame.
 
     Both peers treat this as "the other side is gone": the coordinator
-    reclaims the worker's leases, a worker exits. An injected
-    ``fabric.rpc.crash`` fault is converted into this type so chaos
-    plans sever connections through the same path a real network
-    failure would take.
+    reclaims the worker's leases, a worker reconnects (or exits when the
+    coordinator itself is unreachable). An injected ``fabric.rpc.crash``
+    fault is converted into this type so chaos plans sever connections
+    through the same path a real network failure would take.
+    """
+
+
+class RpcTimeout(ProtocolError):
+    """An RPC call blocked past its deadline (real or injected).
+
+    A subclass of :class:`ProtocolError` — every recovery path that
+    handles a dropped connection handles a timeout identically — but
+    distinct so the coordinator can count timeouts separately in its
+    resilience stats.
     """
 
 
@@ -71,47 +86,92 @@ def parse_address(text: str) -> Tuple[str, int]:
     return host, port
 
 
-def send_message(sock: socket.socket, message: Dict, role: str = "peer") -> None:
-    """Frame and send one message (raises :class:`ProtocolError` on failure)."""
+def send_message(
+    sock: socket.socket,
+    message: Dict,
+    role: str = "peer",
+    timeout: Optional[float] = None,
+) -> None:
+    """Frame and send one message (raises :class:`ProtocolError` on failure).
+
+    ``timeout`` bounds the whole send; expiry raises :class:`RpcTimeout`.
+    The socket's prior timeout is restored afterwards.
+    """
+    key = f"{role}/send/{message.get('type', '?')}"
     try:
-        fault_hook("fabric.rpc", f"{role}/send/{message.get('type', '?')}")
+        fault_hook("fabric.rpc", key)
     except InjectedFault as exc:
         raise ProtocolError(f"connection dropped (injected): {exc}") from exc
+    try:
+        fault_hook("rpc.timeout", key)
+    except InjectedFault as exc:
+        raise RpcTimeout(f"rpc send timed out (injected): {exc}") from exc
     data = json.dumps(message, sort_keys=True).encode("utf-8")
     if len(data) > MAX_MESSAGE_BYTES:
         raise ProtocolError(f"frame too large: {len(data)} bytes")
+    previous = sock.gettimeout() if timeout is not None else None
+    if timeout is not None:
+        sock.settimeout(timeout)
     try:
         sock.sendall(struct.pack(">I", len(data)) + data)
+    except socket.timeout as exc:
+        raise RpcTimeout(f"send timed out after {timeout}s") from exc
     except OSError as exc:
         raise ProtocolError(f"send failed: {exc}") from exc
+    finally:
+        if timeout is not None:
+            try:
+                sock.settimeout(previous)
+            except OSError:
+                pass
 
 
-def recv_message(sock: socket.socket, role: str = "peer") -> Optional[Dict]:
+def recv_message(
+    sock: socket.socket, role: str = "peer", timeout: Optional[float] = None
+) -> Optional[Dict]:
     """Receive one message; None on clean EOF at a frame boundary.
 
     A connection that dies *inside* a frame — the signature of a killed
     worker — raises :class:`ProtocolError`, as do oversized or
-    non-object frames.
+    non-object frames. ``timeout`` bounds each socket read; expiry
+    raises :class:`RpcTimeout` (prior socket timeout restored after).
     """
-    header = _recv_exact(sock, 4)
-    if header is None:
-        return None
-    (length,) = struct.unpack(">I", header)
-    if length > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"frame length {length} exceeds {MAX_MESSAGE_BYTES}")
-    data = _recv_exact(sock, length)
-    if data is None:
-        raise ProtocolError("connection dropped mid-frame")
+    previous = sock.gettimeout() if timeout is not None else None
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        header = _recv_exact(sock, 4)
+        if header is None:
+            return None
+        (length,) = struct.unpack(">I", header)
+        if length > MAX_MESSAGE_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds {MAX_MESSAGE_BYTES}"
+            )
+        data = _recv_exact(sock, length)
+        if data is None:
+            raise ProtocolError("connection dropped mid-frame")
+    finally:
+        if timeout is not None:
+            try:
+                sock.settimeout(previous)
+            except OSError:
+                pass
     try:
         message = json.loads(data.decode("utf-8"))
     except ValueError as exc:
         raise ProtocolError(f"malformed frame: {exc}") from exc
     if not isinstance(message, dict) or "type" not in message:
         raise ProtocolError("frame is not a typed message object")
+    key = f"{role}/recv/{message['type']}"
     try:
-        fault_hook("fabric.rpc", f"{role}/recv/{message['type']}")
+        fault_hook("fabric.rpc", key)
     except InjectedFault as exc:
         raise ProtocolError(f"connection dropped (injected): {exc}") from exc
+    try:
+        fault_hook("rpc.timeout", key)
+    except InjectedFault as exc:
+        raise RpcTimeout(f"rpc recv timed out (injected): {exc}") from exc
     return message
 
 
@@ -122,6 +182,8 @@ def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     while remaining:
         try:
             chunk = sock.recv(remaining)
+        except socket.timeout as exc:
+            raise RpcTimeout(f"recv timed out: {exc}") from exc
         except OSError as exc:
             raise ProtocolError(f"recv failed: {exc}") from exc
         if not chunk:

@@ -1,14 +1,28 @@
 """Fabric worker: executes leased sweep cells against a shipped runner.
 
-A worker dials the coordinator, introduces itself, receives its runner
-configuration (the same ``_spawn_payload`` image process-pool workers
-are built from, made wire-safe by :func:`runner_to_wire`), and then
-loops: ask for a lease (``need``), execute every task in it, stream one
-``result``/``error`` frame per cell, repeat until ``shutdown`` or the
-connection closes. A side thread sends ``heartbeat`` frames so the
-coordinator can distinguish "busy replaying a long cell" from "dead" —
-a worker computing for minutes keeps beating; a killed worker goes
-silent and its leases are reclaimed.
+A worker dials the coordinator (with bounded, seeded-jitter connect
+retries — see :class:`~repro.resilience.RpcPolicy`), introduces itself,
+receives its runner configuration (the same ``_spawn_payload`` image
+process-pool workers are built from, made wire-safe by
+:func:`runner_to_wire`), and then loops: ask for a lease (``need``),
+execute every task in it, stream one ``result``/``error`` frame per
+cell, repeat until a ``shutdown`` frame arrives (a deliberate stop
+always carries one; a bare mid-session EOF is severance and triggers a
+reconnect, never a silent exit). A side thread
+sends ``heartbeat`` frames so the coordinator can distinguish "busy
+replaying a long cell" from "dead" — a worker computing for minutes
+keeps beating; a killed worker goes silent and its leases are reclaimed.
+
+Transient failures heal in place: a session severed mid-stream (socket
+error, RPC timeout, injected ``rpc.flap``) is *reconnected* — the worker
+dials again under the same identity and rejoins as a fresh session; the
+coordinator counts the reconnect and its per-worker circuit breaker
+quarantines identities that flap repeatedly. A coordinator that is
+gone for good fails the redial loop, which is a clean exit (its leases
+were reclaimed the moment the connection dropped). ``REPRO_CONNECT_RETRIES``
+bounds each dial loop; ``REPRO_RPC_TIMEOUT`` bounds worker sends and the
+config wait (the idle lease recv is deliberately unbounded — waiting for
+work is the normal state, and heartbeats cover liveness).
 
 Determinism: a worker never *decides* anything. Which cell it runs,
 with which sized spec and attempt number, is dictated by the lease; the
@@ -21,21 +35,32 @@ Fault plane: every executed cell passes ``fault_hook("fabric.worker",
 ``worker`` site — and each heartbeat passes
 ``fault_hook("fabric.worker", "heartbeat/<index>/<n>")``, so chaos
 plans can kill a worker on a specific cell (``fabric.worker.exit@...``)
-or silence its heartbeat (``fabric.worker.stall@heartbeat/...``).
+or silence its heartbeat (``fabric.worker.stall@heartbeat/...``). Each
+session additionally passes ``fault_hook("rpc.flap", "<index>/<session>")``
+right after configuration: a ``crash`` there severs the session and
+drives the reconnect path deterministically.
+
+Cell failures are reported as ``error`` frames only for *expected*
+failure kinds (:data:`~repro.errors.CELL_FAILURES`); a programming
+error in the cell path propagates and kills the worker, so the bug
+surfaces through the coordinator's dead-worker accounting instead of
+masquerading as a retryable cell failure.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import os
 import socket
 import threading
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.config import ProcessorConfig
 from repro.dram.config import DramConfig
-from repro.errors import InjectedFault
+from repro.errors import CELL_FAILURES, InjectedFault
 from repro.fabric.protocol import (
     ProtocolError,
     parse_address,
@@ -43,8 +68,13 @@ from repro.fabric.protocol import (
     send_message,
 )
 from repro.faults import fault_hook, install_from_env
+from repro.resilience import RpcPolicy
 from repro.sim.runner import SimulationRunner
 from repro.spec import SchemeSpec
+
+#: Distinguishes worker instances sharing one process (thread workers in
+#: tests); combined with the pid it forms the worker's fabric identity.
+_INSTANCES = itertools.count()
 
 
 def runner_to_wire(runner: SimulationRunner) -> Dict[str, object]:
@@ -71,75 +101,145 @@ def runner_from_wire(wire: Dict[str, object]) -> SimulationRunner:
 class FabricWorker:
     """One worker endpoint (runnable in a process *or* a test thread)."""
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 10.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        rpc: Optional[RpcPolicy] = None,
+    ):
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
+        self.ident = f"{os.getpid()}.{next(_INSTANCES)}"
+        self.rpc = rpc if rpc is not None else RpcPolicy.from_env(seed=os.getpid())
         self.index: Optional[int] = None
         self.cells_executed = 0
+        self.sessions = 0
+        self.reconnects = 0
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
-        self._stop = threading.Event()
         self._base: Optional[SimulationRunner] = None
         # Derived runners per non-default miss budget (bench-grid sweeps).
         self._runners: Dict[int, SimulationRunner] = {}
 
     def run(self) -> int:
-        """Serve leases until shutdown/disconnect; returns an exit code."""
+        """Serve sessions until shutdown/unreachable; returns an exit code.
+
+        Each session is one connect→hello→config→lease-loop lifetime; a
+        transiently severed session rolls into a reconnect, a clean
+        shutdown (or a coordinator gone for good after we served) ends
+        the loop.
+        """
+        while True:
+            self.sessions += 1
+            code = self._session(self.sessions)
+            if code is not None:
+                return code
+            self.reconnects += 1
+
+    def _connect(self) -> None:
+        """Dial with bounded, seeded-jitter retries (``REPRO_CONNECT_RETRIES``)."""
+        last: Optional[Exception] = None
+        for attempt in range(1, self.rpc.connect_attempts + 1):
+            delay = self.rpc.delay(attempt)
+            if delay:
+                time.sleep(delay)
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                self._sock.settimeout(None)
+                return
+            except OSError as exc:
+                last = exc
+        raise ProtocolError(
+            f"cannot reach coordinator at {self.host}:{self.port} "
+            f"after {self.rpc.connect_attempts} attempt(s): {last}"
+        )
+
+    def _session(self, session: int) -> Optional[int]:
+        """One connection lifetime; an exit code, or None to reconnect."""
         try:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout
+            self._connect()
+        except ProtocolError:
+            if session == 1:
+                raise  # never reached a coordinator: surface the error
+            return 0  # coordinator gone after we served: clean exit
+        stop = threading.Event()
+        sock = self._sock
+        try:
+            self._send(
+                {
+                    "type": "hello",
+                    "pid": os.getpid(),
+                    "ident": self.ident,
+                    "session": session,
+                }
             )
-        except OSError as exc:
-            raise ProtocolError(
-                f"cannot reach coordinator at {self.host}:{self.port}: {exc}"
-            ) from exc
-        self._sock.settimeout(None)
-        try:
-            self._send({"type": "hello", "pid": os.getpid()})
-            config = recv_message(self._sock, "worker")
+            config = recv_message(sock, "worker", timeout=self.rpc.timeout)
             if config is None or config.get("type") != "config":
-                return 0  # coordinator went away before configuring us
+                return 0  # coordinator went away (or quarantined us)
             self.index = config["index"]
-            self._base = runner_from_wire(config["runner"])
+            if self._base is None:
+                self._base = runner_from_wire(config["runner"])
             heartbeat = float(config.get("heartbeat", 0) or 0)
             if heartbeat > 0:
                 threading.Thread(
                     target=self._heartbeat_loop,
-                    args=(heartbeat,),
+                    args=(heartbeat, stop, sock),
                     daemon=True,
                     name=f"fabric-heartbeat-{self.index}",
                 ).start()
+            try:
+                fault_hook("rpc.flap", f"{self.index}/{session}")
+            except InjectedFault as exc:
+                raise ProtocolError(f"session flapped (injected): {exc}") from exc
             while True:
                 self._send({"type": "need"})
-                message = recv_message(self._sock, "worker")
-                if message is None or message.get("type") == "shutdown":
+                message = recv_message(sock, "worker")
+                if message is None:
+                    # A deliberate stop always carries a "shutdown" frame
+                    # (coordinator close and quarantine both send one), so
+                    # a bare EOF mid-session means we were severed — the
+                    # same as a reset, which path we take must not depend
+                    # on whether unread bytes turned the close into an
+                    # RST. Dial again; a coordinator that is gone for
+                    # good fails the redial, which exits cleanly.
+                    return None
+                if message.get("type") == "shutdown":
                     return 0
                 if message.get("type") == "lease":
                     for task in message.get("tasks", []):
                         self._execute(task)
         except ProtocolError:
-            # Connection severed (organically or by injection): the
-            # coordinator reclaims our leases; nothing to clean up here.
-            return 0
+            # Session severed (organically or by injection): the
+            # coordinator reclaims our leases; dial again.
+            return None
         finally:
-            self._stop.set()
+            stop.set()
             try:
-                self._sock.close()
+                sock.close()
             except OSError:
                 pass
 
     def _send(self, message: Dict) -> None:
         with self._send_lock:
-            send_message(self._sock, message, "worker")
+            send_message(self._sock, message, "worker", timeout=self.rpc.timeout)
 
-    def _heartbeat_loop(self, interval: float) -> None:
+    def _heartbeat_loop(
+        self, interval: float, stop: threading.Event, sock: socket.socket
+    ) -> None:
         n = 0
-        while not self._stop.wait(interval):
+        while not stop.wait(interval):
             n += 1
             try:
                 fault_hook("fabric.worker", f"heartbeat/{self.index}/{n}")
-                self._send({"type": "heartbeat", "n": n})
+                with self._send_lock:
+                    send_message(
+                        sock, {"type": "heartbeat", "n": n}, "worker",
+                        timeout=self.rpc.timeout,
+                    )
             except (ProtocolError, InjectedFault, OSError):
                 return  # silenced or severed: the coordinator's timeout handles us
 
@@ -166,7 +266,7 @@ class FabricWorker:
             else:
                 spec = SchemeSpec.from_dict(task["spec"])
                 result = runner._run_cell(spec, label, bench, attempt=attempt)
-        except Exception as exc:
+        except CELL_FAILURES as exc:
             reply = {
                 "type": "error",
                 "id": task["id"],

@@ -9,7 +9,9 @@ Public surface:
   :func:`active` — process-wide plan management (workers re-install from
   the ``REPRO_FAULTS`` env var).
 - :class:`injected` — context manager scoping a plan to a test block.
-- :class:`RetryPolicy` — deterministic exponential backoff for cell retry.
+- :class:`RetryPolicy` — deterministic exponential backoff for cell retry
+  (now owned by :mod:`repro.resilience`; re-exported here for
+  compatibility).
 """
 
 from repro.faults.plan import (  # noqa: F401

@@ -12,8 +12,9 @@ Plan grammar (``REPRO_FAULTS`` / ``--faults``)::
     plan    := entry {';' entry}
 
 ``site`` names where the hook lives (``cell``, ``worker``, ``serve.shard``,
-``cache.write``, ``cache.entry``, ``sweep``, ``fabric.worker``,
-``fabric.rpc``); ``action`` is what happens
+``serve.deadline``, ``cache.write``, ``cache.entry``, ``sweep``,
+``fabric.worker``, ``fabric.rpc``, ``rpc.timeout``, ``rpc.flap``);
+``action`` is what happens
 (``crash``, ``exit``, ``stall``, ``interrupt``, ``kill``, ``corrupt``,
 ``truncate``); ``keypat`` is an ``fnmatch`` pattern over the site-specific
 key (the *first* ``@`` splits, so keys themselves may contain ``@``, as
@@ -30,6 +31,9 @@ Examples::
     cache.entry.truncate@trace/*#1      # damage first trace entry read
     fabric.worker.exit@*/gob/1#1        # fabric worker dies mid-cell
     fabric.rpc.crash@worker/send/result#1  # drop connection on first result
+    rpc.timeout.crash@coordinator/send/lease#1  # first lease send times out
+    rpc.flap.crash@0/1#1                # worker 0's first session flaps
+    serve.deadline.stall@*#1|cycles=50000  # tighten epoch-1 deadlines
 
 Fabric sites: ``fabric.worker`` fires per executed cell
 (``label/bench/attempt``) and per heartbeat (``heartbeat/index/n``);
@@ -37,7 +41,21 @@ Fabric sites: ``fabric.worker`` fires per executed cell
 a ``crash`` is surfaced as a dropped connection. The coordinator's
 heartbeat-timeout detection, lease reclaim and respawn turn all of these
 into one charged attempt on the affected cells — the same retry
-accounting the process pool uses.
+accounting the process pool uses. ``rpc.timeout`` (same keys as
+``fabric.rpc``) surfaces as an expired per-call deadline instead, so the
+coordinator's ``rpc_timeouts`` counter and retry path can be asserted;
+``rpc.flap`` fires once per worker session (``index/session``) right
+after configuration — a ``crash`` there severs the session and drives
+the worker's auto-reconnect (and, repeated, the coordinator's
+per-worker circuit breaker).
+
+Serve sites: ``serve.shard`` fires per shard per epoch (key: shard
+index) and ``serve.deadline`` fires per tenant per admission epoch
+(key: tenant index). A ``stall`` at ``serve.deadline`` with
+``cycles=N`` tightens that epoch's newly assigned deadlines by N
+simulated cycles — pure SLO bookkeeping that provokes deadline misses
+without perturbing the simulated access sequence, which is what keeps
+chaos serve runs bit-identical to their goldens.
 
 Determinism: occurrence counters are keyed per ``(site, key)`` and file
 damage uses a seed-derived deterministic byte pattern, so the same plan on

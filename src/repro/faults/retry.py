@@ -1,44 +1,11 @@
-"""Retry/backoff policy for self-healing sweep cells.
+"""Compatibility shim: :class:`RetryPolicy` lives in :mod:`repro.resilience`.
 
-Backoff delays are a fixed geometric series (not jittered): recovery must be
-deterministic like everything else in this repo, and the delays only pace
-re-dispatch — they never influence simulated results.
+The cell-retry policy grew RPC siblings (``RpcPolicy``, circuit
+breakers, admission control) and moved into the unified
+``repro.resilience`` control plane; this module keeps the historical
+``repro.faults.retry`` import path working.
 """
 
-from __future__ import annotations
+from repro.resilience.retry import RetryPolicy  # noqa: F401
 
-import os
-from dataclasses import dataclass
-from typing import Optional
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How a failed sweep cell is re-dispatched before being quarantined."""
-
-    #: Total attempts per cell (first try included). 1 = no retry.
-    attempts: int = 3
-    #: Delay before the second attempt, in seconds.
-    backoff: float = 0.05
-    #: Multiplier applied per further attempt.
-    factor: float = 2.0
-    #: Ceiling on any single delay.
-    max_backoff: float = 2.0
-    #: Hard per-cell wall-clock timeout in seconds (pool mode only; the
-    #: serial driver cannot preempt a running cell). None = no timeout.
-    timeout: Optional[float] = None
-
-    def delay(self, attempt: int) -> float:
-        """Pause before dispatching ``attempt`` (2-based; attempt 1 is free)."""
-        if attempt <= 1:
-            return 0.0
-        return min(self.backoff * self.factor ** (attempt - 2), self.max_backoff)
-
-    @classmethod
-    def from_env(cls) -> "RetryPolicy":
-        """Build a policy from REPRO_RETRIES / REPRO_RETRY_BASE / REPRO_CELL_TIMEOUT."""
-        attempts = int(os.environ.get("REPRO_RETRIES", "3") or "3")
-        backoff = float(os.environ.get("REPRO_RETRY_BASE", "0.05") or "0.05")
-        timeout_text = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
-        timeout = float(timeout_text) if timeout_text else None
-        return cls(attempts=max(1, attempts), backoff=backoff, timeout=timeout)
+__all__ = ["RetryPolicy"]

@@ -1,0 +1,67 @@
+"""A generic consecutive-failure circuit breaker.
+
+Generalizes the PR 7 per-shard serve breaker to any identity-keyed
+failure domain — the fabric coordinator keeps one per worker identity so
+a flapping worker is quarantined instead of re-leased forever. The
+breaker is pure scheduling state: opening or closing one never changes
+report content, only who gets offered work when.
+
+States: *closed* (normal), *open* (refusing since ``opened_at``), and —
+once ``cooldown`` has elapsed — *half-open*: :meth:`allow` admits one
+probe; a success closes the breaker, a further failure re-opens it and
+restarts the cooldown clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive failures; cool down on a clock."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self.clock = clock
+        self.failures = 0
+        self.trips = 0
+        self.opened_at: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at is not None
+
+    def record_failure(self) -> bool:
+        """Count one failure; True exactly when this one trips the breaker."""
+        self.failures += 1
+        if self.opened_at is None:
+            if self.failures >= self.threshold:
+                self.opened_at = self.clock()
+                self.trips += 1
+                return True
+        else:
+            # A half-open probe failed: re-open and restart the cooldown.
+            self.opened_at = self.clock()
+        return False
+
+    def record_success(self) -> None:
+        """A healthy interaction fully closes the breaker."""
+        self.failures = 0
+        self.opened_at = None
+
+    def allow(self) -> bool:
+        """May the guarded party be engaged right now?
+
+        True while closed; once open, False until ``cooldown`` seconds
+        have passed, then True for a half-open probe.
+        """
+        if self.opened_at is None:
+            return True
+        return self.clock() - self.opened_at >= self.cooldown

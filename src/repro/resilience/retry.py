@@ -1,0 +1,95 @@
+"""Retry/backoff policies for sweep cells and fabric RPC edges.
+
+Backoff delays are deterministic: cell retry uses a fixed geometric
+series, RPC retry adds *seeded* jitter (a CRC32 hash of ``seed|attempt``
+mapped into ``[-jitter, +jitter]``) so concurrent workers de-synchronise
+their reconnect storms without a single nondeterministic draw. Delays
+only pace re-dispatch — they never influence simulated results.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failed sweep cell is re-dispatched before being quarantined."""
+
+    #: Total attempts per cell (first try included). 1 = no retry.
+    attempts: int = 3
+    #: Delay before the second attempt, in seconds.
+    backoff: float = 0.05
+    #: Multiplier applied per further attempt.
+    factor: float = 2.0
+    #: Ceiling on any single delay.
+    max_backoff: float = 2.0
+    #: Hard per-cell wall-clock timeout in seconds (pool mode only; the
+    #: serial driver cannot preempt a running cell). None = no timeout.
+    timeout: Optional[float] = None
+
+    def delay(self, attempt: int) -> float:
+        """Pause before dispatching ``attempt`` (2-based; attempt 1 is free)."""
+        if attempt <= 1:
+            return 0.0
+        return min(self.backoff * self.factor ** (attempt - 2), self.max_backoff)
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Build a policy from REPRO_RETRIES / REPRO_RETRY_BASE / REPRO_CELL_TIMEOUT."""
+        attempts = int(os.environ.get("REPRO_RETRIES", "3") or "3")
+        backoff = float(os.environ.get("REPRO_RETRY_BASE", "0.05") or "0.05")
+        timeout_text = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+        timeout = float(timeout_text) if timeout_text else None
+        return cls(attempts=max(1, attempts), backoff=backoff, timeout=timeout)
+
+
+@dataclass(frozen=True)
+class RpcPolicy:
+    """Connect/RPC hardening knobs for one fabric endpoint.
+
+    ``connect_attempts`` bounds both the dial loop and how often a
+    worker re-establishes a dropped session; ``timeout`` is the per-call
+    deadline applied to coordinator sends and worker sends/config waits
+    (a worker idling on its lease recv is *not* timed out — waiting for
+    work is the normal state, and heartbeats cover liveness).
+    """
+
+    #: Total connect attempts per dial (first try included).
+    connect_attempts: int = 3
+    #: Delay before the second attempt, in seconds.
+    backoff: float = 0.1
+    #: Multiplier applied per further attempt.
+    factor: float = 2.0
+    #: Ceiling on the un-jittered delay.
+    max_backoff: float = 2.0
+    #: Jitter fraction: each delay is scaled by ``1 ± jitter``.
+    jitter: float = 0.5
+    #: Per-RPC-call deadline in seconds. None = block forever.
+    timeout: Optional[float] = 30.0
+    #: Seed for the deterministic jitter hash.
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        """Seeded-jitter pause before dial ``attempt`` (attempt 1 is free)."""
+        if attempt <= 1:
+            return 0.0
+        base = min(self.backoff * self.factor ** (attempt - 2), self.max_backoff)
+        frac = zlib.crc32(f"{self.seed}|{attempt}".encode("utf-8")) / 0xFFFFFFFF
+        return base * (1.0 + self.jitter * (2.0 * frac - 1.0))
+
+    @classmethod
+    def from_env(cls, seed: int = 0) -> "RpcPolicy":
+        """Build a policy from REPRO_CONNECT_RETRIES / REPRO_RPC_TIMEOUT.
+
+        ``REPRO_RPC_TIMEOUT=0`` (or negative) disables per-call deadlines.
+        """
+        attempts = int(os.environ.get("REPRO_CONNECT_RETRIES", "3") or "3")
+        timeout_text = os.environ.get("REPRO_RPC_TIMEOUT", "").strip()
+        timeout: Optional[float] = float(timeout_text) if timeout_text else 30.0
+        if timeout is not None and timeout <= 0:
+            timeout = None
+        return cls(connect_attempts=max(1, attempts), timeout=timeout, seed=seed)

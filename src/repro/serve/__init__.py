@@ -7,6 +7,7 @@ traffic (the property ``tests/test_serve_lockstep.py`` pins). See
 """
 
 from repro.serve.server import (
+    ADMISSION_ORDERS,
     POLICIES,
     OramService,
     OramShard,
@@ -22,6 +23,7 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "ADMISSION_ORDERS",
     "POLICIES",
     "OramService",
     "OramShard",

@@ -13,13 +13,20 @@ trace (see :func:`serve_replay_equivalent` and
 Scheduling is epoch-based, and every simulated outcome is decided by
 three shared, deterministic steps:
 
-1. **Admission** (:meth:`OramService._admit`) — tenants are considered
-   in fixed index order; each offers up to ``burst`` requests, routed to
-   shards by an address hash. Per-shard epoch queues are bounded by
+1. **Admission** (:meth:`OramService._admit`) — each tenant offers up
+   to ``burst`` requests; offers are ordered earliest-deadline-first
+   (ties and deadline-free requests fall back to (tenant index, stream
+   position) — with no deadlines configured the EDF order *is* the
+   historical FIFO order, bit for bit) and routed to shards by an
+   address hash. Per-shard epoch queues are bounded by
    ``queue_capacity``; an arrival at a full queue is either **shed**
-   (dropped permanently, counted, cursor advances) or **deferred** (the
+   (dropped permanently, counted, cursor advances), **deferred** (the
    tenant stops issuing for this epoch and retries the same request
-   next epoch) per the configured backpressure policy.
+   next epoch), or **throttled** (deferred plus a cooldown of
+   ``throttle_epochs`` epochs) per the configured backpressure policy.
+   Per-tenant token-bucket quotas and the graceful-degradation ladder
+   (see :mod:`repro.resilience`) are enforced here too — admission is
+   the single mutation site for every overload decision.
 2. **Execution** (:meth:`OramShard.execute`) — each shard drains its
    epoch queue in admission (ticket) order, coalesced into
    ``max_batch``-sized runs through ``ReplayEngine.run_batch`` — which
@@ -40,6 +47,7 @@ identical simulated results; only wall-clock observations differ.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 import zlib
 from dataclasses import dataclass
@@ -47,6 +55,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReproError
 from repro.faults import active as faults_active
+from repro.resilience import DegradationController, TokenBucket
 from repro.proc.hierarchy import MissTrace
 from repro.sim.engine import ReplayEngine
 from repro.sim.metrics import SimResult
@@ -61,8 +70,16 @@ from repro.serve.workload import (
 )
 from repro.utils.rng import DeterministicRng
 
-#: Backpressure policies for a full shard queue.
-POLICIES = ("defer", "shed")
+#: Backpressure policies for a full shard queue. ``throttle`` defers
+#: *and* puts the tenant on a ``throttle_epochs`` cooldown, so a tenant
+#: that keeps hitting full queues backs off instead of re-offering every
+#: epoch.
+POLICIES = ("defer", "shed", "throttle")
+
+#: Admission orderings: ``edf`` (earliest-deadline-first; identical to
+#: ``fifo`` when no tenant sets a deadline) and ``fifo`` (the historical
+#: fixed tenant-index order, kept as the lockstep reference).
+ADMISSION_ORDERS = ("edf", "fifo")
 
 #: Fallback sizing benchmark when every tenant uses an explicit event
 #: stream (only ``block_bytes``/``onchip``/``plb`` sizing is taken from
@@ -86,9 +103,20 @@ class ServeConfig:
     policy: str = "defer"
     shard_blocks: Optional[int] = None
     record_accesses: bool = False
+    #: Admission ordering — see :data:`ADMISSION_ORDERS`.
+    admission: str = "edf"
+    #: Cooldown length (epochs) imposed by the ``throttle`` policy.
+    throttle_epochs: int = 1
+    #: Consecutive overloaded epochs before the degradation ladder
+    #: escalates one level. None (the default) disables degradation.
+    degrade_after: Optional[int] = None
+    #: Consecutive clean epochs before de-escalating (default: mirror
+    #: ``degrade_after``).
+    recover_after: Optional[int] = None
 
     def __post_init__(self):
-        for field in ("shards", "burst", "max_batch", "queue_capacity"):
+        for field in ("shards", "burst", "max_batch", "queue_capacity",
+                      "throttle_epochs"):
             if getattr(self, field) < 1:
                 raise ConfigurationError(f"serve config: {field} must be >= 1")
         if self.policy not in POLICIES:
@@ -96,8 +124,17 @@ class ServeConfig:
                 f"serve config: unknown policy {self.policy!r}; "
                 f"choose from {POLICIES}"
             )
+        if self.admission not in ADMISSION_ORDERS:
+            raise ConfigurationError(
+                f"serve config: unknown admission order {self.admission!r}; "
+                f"choose from {ADMISSION_ORDERS}"
+            )
         if self.shard_blocks is not None and self.shard_blocks < 2:
             raise ConfigurationError("serve config: shard_blocks must be >= 2")
+        for field in ("degrade_after", "recover_after"):
+            value = getattr(self, field)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"serve config: {field} must be >= 1")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -108,18 +145,37 @@ class ServeConfig:
             "queue_capacity": self.queue_capacity,
             "policy": self.policy,
             "shard_blocks": self.shard_blocks,
+            "admission": self.admission,
+            "throttle_epochs": self.throttle_epochs,
+            "degrade_after": self.degrade_after,
+            "recover_after": self.recover_after,
         }
 
 
 class _Admitted:
-    """One admitted request in a shard's epoch queue."""
+    """One admitted request in a shard's epoch queue.
 
-    __slots__ = ("tenant", "local_addr", "is_write", "wall_start", "wall_end")
+    ``deadline`` is the request's absolute deadline on the service's
+    virtual clock (None when its tenant has no SLO); it rides along so
+    post-barrier accounting can judge misses without re-deriving
+    admission history.
+    """
 
-    def __init__(self, tenant: int, local_addr: int, is_write: bool):
+    __slots__ = (
+        "tenant", "local_addr", "is_write", "deadline", "wall_start", "wall_end"
+    )
+
+    def __init__(
+        self,
+        tenant: int,
+        local_addr: int,
+        is_write: bool,
+        deadline: Optional[float] = None,
+    ):
         self.tenant = tenant
         self.local_addr = local_addr
         self.is_write = is_write
+        self.deadline = deadline
         self.wall_start = time.perf_counter()
         self.wall_end = self.wall_start
 
@@ -229,9 +285,19 @@ class OramShard:
 
 
 class _TenantState:
-    """Mutable serving state of one tenant: stream, cursor, stats, region."""
+    """Mutable serving state of one tenant: stream, cursor, stats, region.
 
-    __slots__ = ("spec", "stream", "cursor", "offset", "region_blocks", "stats")
+    SLO state: ``deadlines`` maps stream index -> absolute deadline for
+    requests already offered but not yet resolved (bounded by ``burst``);
+    ``last_deadline`` clamps assignments nondecreasing so EDF never
+    reorders one tenant's own stream; ``cooldown`` counts throttle
+    epochs still to sit out; ``bucket`` is the quota token bucket.
+    """
+
+    __slots__ = (
+        "spec", "stream", "cursor", "offset", "region_blocks", "stats",
+        "deadlines", "last_deadline", "cooldown", "bucket",
+    )
 
     def __init__(
         self,
@@ -246,6 +312,10 @@ class _TenantState:
         self.offset = offset
         self.region_blocks = region_blocks
         self.stats = TenantStats(spec.name, spec.workload_label)
+        self.deadlines: Dict[int, float] = {}
+        self.last_deadline = 0.0
+        self.cooldown = 0
+        self.bucket = TokenBucket(spec.quota) if spec.quota is not None else None
 
     @property
     def remaining(self) -> int:
@@ -317,6 +387,18 @@ class OramService:
         self.epochs = 0
         self._wall_start: Optional[float] = None
         self._wall_elapsed = 0.0
+        # SLO control-plane state (all mutated only inside the shared
+        # deterministic steps, so both drivers agree on every decision).
+        # The virtual clock is the cumulative sum of executed service
+        # latencies across all shards — the service-wide simulated time
+        # deadlines are judged against.
+        self._vclock = 0.0
+        self._min_priority = min(t.spec.priority for t in self._tenants)
+        self.degradation = DegradationController(
+            config.degrade_after, config.recover_after
+        )
+        self._epoch_starved = False
+        self._starved_epochs = 0
 
     # -- setup helpers ---------------------------------------------------------
 
@@ -379,11 +461,78 @@ class OramService:
             else:
                 plan.perform(spec, "serve.shard", key)
 
+    def _effective_policy(self, state: _TenantState) -> str:
+        """The backpressure policy after graceful degradation is applied.
+
+        Level 1 (``shed-low``) turns full-queue events of the *lowest*
+        priority class into sheds; level 2 (``best-effort``) sheds for
+        everyone. Degradation never drops already-admitted work — it
+        only changes how new arrivals meet a full queue.
+        """
+        level = self.degradation.level
+        if level >= 2:
+            return "shed"
+        if level == 1 and state.spec.priority <= self._min_priority:
+            return "shed"
+        return self.config.policy
+
+    def _assign_deadlines(
+        self, candidate_lists: Sequence[Sequence[Request]]
+    ) -> None:
+        """Stamp absolute deadlines on newly-offered requests.
+
+        A request's deadline is the virtual clock at its *first* offer
+        plus the tenant's ``deadline_cycles`` — a deferred request keeps
+        its original deadline, so its slack shrinks and EDF pulls it
+        forward. ``serve.deadline`` fault injectors are consulted here,
+        once per tenant per epoch in tenant order (key = tenant index);
+        a ``stall`` match tightens this epoch's *new* deadlines by
+        ``cycles=N`` — pure bookkeeping pressure that never touches
+        simulated cycles or access order, which is what keeps chaos runs
+        lockstep with their goldens. Assignments are clamped
+        nondecreasing per tenant so EDF preserves each tenant's stream
+        order (an ORAM client's requests are dependent).
+        """
+        plan = faults_active()
+        for tenant_index, candidates in enumerate(candidate_lists):
+            state = self._tenants[tenant_index]
+            tighten = 0.0
+            if plan is not None:
+                key = str(tenant_index)
+                spec = plan.match("serve.deadline", key)
+                if spec is not None:
+                    if spec.action == "stall":
+                        tighten = float(spec.params.get("cycles", "0") or 0)
+                    else:
+                        plan.perform(spec, "serve.deadline", key)
+            if state.spec.deadline_cycles is None:
+                continue
+            for position in range(len(candidates)):
+                index = state.cursor + position
+                if index in state.deadlines:
+                    continue
+                deadline = max(
+                    self._vclock + state.spec.deadline_cycles - tighten,
+                    state.last_deadline,
+                )
+                state.deadlines[index] = deadline
+                state.last_deadline = deadline
+
     def _admit(
         self, candidate_lists: Sequence[Sequence[Request]]
     ) -> List[List[_Admitted]]:
-        """Bounded admission in fixed tenant order — the single mutation
-        site for cursors, shed/defer counters, and breaker state.
+        """Bounded, deadline-aware admission — the single mutation site
+        for cursors, shed/defer/throttle counters, quota buckets,
+        degradation level, and breaker state.
+
+        Offers are flattened and processed earliest-deadline-first (see
+        :data:`ADMISSION_ORDERS`): the sort key is ``(absolute deadline,
+        tenant index, stream position)`` with deadline-free requests at
+        +inf, so with no deadlines configured the EDF order degenerates
+        to exactly the historical fixed-tenant-order FIFO — the
+        bit-identity the lockstep suite pins. Per-tenant deadlines are
+        nondecreasing in stream position, so EDF never reorders a single
+        tenant's own requests.
 
         A shard with an open breaker executes nothing this epoch: its
         arrivals *park* in the shard backlog (cursor advances, the local
@@ -395,53 +544,120 @@ class OramService:
         exactly admission order, merely delayed.
         """
         self._update_breakers()
+        self._assign_deadlines(candidate_lists)
         queues: List[List[_Admitted]] = [[] for _ in self.shards]
         for shard, queue in zip(self.shards, queues):
             if shard.available and shard.backlog:
                 queue.extend(shard.backlog)
                 shard.backlog.clear()
         capacity = self.config.queue_capacity
-        shed = self.config.policy == "shed"
+        self._epoch_starved = False
+        overloaded = False
+        # Refill quota buckets and run down throttle cooldowns, in
+        # tenant order; a cooling-down tenant offers nothing this epoch.
+        blocked = [False] * len(self._tenants)
+        for tenant_index, state in enumerate(self._tenants):
+            if state.bucket is not None:
+                state.bucket.refill()
+            if state.cooldown > 0:
+                state.cooldown -= 1
+                blocked[tenant_index] = True
+                if state.remaining:
+                    self._epoch_starved = True
+        # Flatten this epoch's offers into EDF order. Stream position is
+        # relative to the tenant's epoch-start cursor; because per-tenant
+        # keys are nondecreasing, by the time position p is processed the
+        # cursor has advanced exactly p slots (or the tenant is blocked).
+        entries: List[Tuple[float, int, int, Request]] = []
         for tenant_index, candidates in enumerate(candidate_lists):
             state = self._tenants[tenant_index]
-            for local_addr, is_write in candidates:
-                global_addr = state.offset + local_addr
-                shard_index = self._shard_index(global_addr)
-                shard = self.shards[shard_index]
-                if len(queues[shard_index]) + len(shard.backlog) >= capacity:
-                    if shed:
-                        state.cursor += 1
-                        state.stats.issued += 1
-                        state.stats.shed += 1
-                        shard.stats.shed += 1
-                        continue
-                    state.stats.deferred += 1
-                    shard.stats.deferred += 1
-                    break  # defer: stop issuing this epoch, retry next
-                state.cursor += 1
-                state.stats.issued += 1
-                admitted = _Admitted(
-                    tenant_index,
-                    shard.map_addr(global_addr),
-                    bool(is_write),
+            for position, request in enumerate(candidates):
+                deadline = state.deadlines.get(state.cursor + position)
+                entries.append(
+                    (
+                        deadline if deadline is not None else math.inf,
+                        tenant_index,
+                        position,
+                        request,
+                    )
                 )
-                if shard.available:
-                    queues[shard_index].append(admitted)
-                else:
-                    shard.backlog.append(admitted)
-                    shard.stats.parked += 1
+        if self.config.admission == "edf":
+            entries.sort(key=lambda entry: entry[:3])
+        for _deadline, tenant_index, _position, request in entries:
+            if blocked[tenant_index]:
+                continue
+            state = self._tenants[tenant_index]
+            local_addr, is_write = request
+            global_addr = state.offset + local_addr
+            shard_index = self._shard_index(global_addr)
+            shard = self.shards[shard_index]
+            if state.bucket is not None and not state.bucket.ready:
+                # Quota exhausted: a deterministic pause, not a drop.
+                state.stats.throttled += 1
+                shard.stats.throttled += 1
+                blocked[tenant_index] = True
+                self._epoch_starved = True
+                continue
+            if len(queues[shard_index]) + len(shard.backlog) >= capacity:
+                overloaded = True
+                policy = self._effective_policy(state)
+                if policy == "shed":
+                    state.deadlines.pop(state.cursor, None)
+                    state.cursor += 1
+                    state.stats.issued += 1
+                    state.stats.shed += 1
+                    shard.stats.shed += 1
+                    continue
+                if policy == "throttle":
+                    state.stats.throttled += 1
+                    shard.stats.throttled += 1
+                    state.cooldown = self.config.throttle_epochs
+                    blocked[tenant_index] = True
+                    continue
+                state.stats.deferred += 1
+                shard.stats.deferred += 1
+                blocked[tenant_index] = True  # defer: retry next epoch
+                continue
+            if state.bucket is not None:
+                state.bucket.take()
+            admitted = _Admitted(
+                tenant_index,
+                shard.map_addr(global_addr),
+                bool(is_write),
+                deadline=state.deadlines.pop(state.cursor, None),
+            )
+            state.cursor += 1
+            state.stats.issued += 1
+            if shard.available:
+                queues[shard_index].append(admitted)
+            else:
+                shard.backlog.append(admitted)
+                shard.stats.parked += 1
         for shard, queue in zip(self.shards, queues):
             shard.stats.record_depth(len(queue))
             if not shard.available:
                 shard.down_epochs -= 1
                 shard.stats.stall_epochs += 1
+        if self._epoch_starved:
+            self._starved_epochs += 1
+        self.degradation.observe(self.epochs, overloaded)
         return queues
 
     def _account(
         self,
         executed_by_shard: Sequence[Optional[List[Tuple[_Admitted, float]]]],
     ) -> None:
-        """Post-barrier accounting in (shard index, queue position) order."""
+        """Post-barrier accounting in (shard index, queue position) order.
+
+        Deadline judging: every shard starts the epoch at the service's
+        virtual clock, so a request completes at ``vclock + queue wait +
+        service latency``; the clock then advances by the epoch's total
+        executed cycles. Misses and slack are bookkeeping over already
+        simulated quantities — they never feed back into scheduling
+        within the epoch, so both drivers judge identically.
+        """
+        epoch_start = self._vclock
+        executed_cycles = 0.0
         for executed in executed_by_shard:
             if not executed:
                 continue
@@ -455,7 +671,14 @@ class OramService:
                 stats.wall_us.record(
                     (request.wall_end - request.wall_start) * 1e6
                 )
+                if request.deadline is not None:
+                    slack = request.deadline - (epoch_start + wait + latency)
+                    if slack < 0:
+                        stats.missed += 1
+                    stats.slack_cycles.record(max(slack, 0.0))
                 wait += latency
+                executed_cycles += latency
+        self._vclock += executed_cycles
 
     # -- drivers ---------------------------------------------------------------
 
@@ -464,13 +687,25 @@ class OramService:
 
     def _max_epochs(self) -> int:
         # Breaker-open epochs legitimately make no execution progress, so
-        # the budget grows with every stall the fault plan injects.
+        # the budget grows with every stall the fault plan injects — and
+        # likewise with every epoch a quota bucket or throttle cooldown
+        # legitimately paused a tenant that still had work.
         stalls = sum(s.stats.stall_epochs for s in self.shards)
-        return 2 * sum(len(t.stream) for t in self._tenants) + 16 + 2 * stalls
+        return (
+            2 * sum(len(t.stream) for t in self._tenants)
+            + 16
+            + 2 * stalls
+            + 2 * self._starved_epochs
+        )
 
     def _check_progress(self, admitted: int) -> None:
         failover = any(s.down_epochs or s.backlog for s in self.shards)
-        if admitted == 0 and self._unfinished() and not failover:
+        if (
+            admitted == 0
+            and self._unfinished()
+            and not failover
+            and not self._epoch_starved
+        ):
             raise ReproError(
                 "serve made no progress in an epoch; "
                 "queue_capacity/policy starve every tenant"
@@ -572,7 +807,14 @@ class OramService:
     # -- reporting -------------------------------------------------------------
 
     def report(self) -> Dict[str, object]:
-        """JSON-safe image of the whole run (the ``serve`` CLI artifact)."""
+        """JSON-safe image of the whole run (the ``serve`` CLI artifact).
+
+        The ``resilience`` block mirrors the sweep report's: a summary
+        of every overload/recovery mechanism that fired. Like the sweep
+        layer's, it is observability — comparisons between a chaos run
+        and its golden strip it (and the deadline bookkeeping it
+        summarizes) before asserting bit-identity of simulated numbers.
+        """
         total_cycles = 0.0
         for shard in self.shards:
             total_cycles += shard.stats.busy_cycles
@@ -590,7 +832,21 @@ class OramService:
                 "issued": sum(t.stats.issued for t in self._tenants),
                 "shed": sum(t.stats.shed for t in self._tenants),
                 "deferred": sum(t.stats.deferred for t in self._tenants),
+                "throttled": sum(t.stats.throttled for t in self._tenants),
                 "cycles": total_cycles,
+            },
+            "resilience": {
+                "deadline_missed": sum(t.stats.missed for t in self._tenants),
+                "throttled": sum(t.stats.throttled for t in self._tenants),
+                "shed": sum(t.stats.shed for t in self._tenants),
+                "deferred": sum(t.stats.deferred for t in self._tenants),
+                "breaker_trips": sum(s.stats.breaker_trips for s in self.shards),
+                "parked": sum(s.stats.parked for s in self.shards),
+                "stall_epochs": sum(s.stats.stall_epochs for s in self.shards),
+                "degradation": {
+                    "level": self.degradation.level_name,
+                    "transitions": list(self.degradation.transitions),
+                },
             },
         }
 

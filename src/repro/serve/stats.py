@@ -83,6 +83,13 @@ class TenantStats:
     service time; ``latency_cycles`` adds the simulated queue wait ahead
     of the request in its shard's epoch queue; ``wall_us`` is the
     observational wall-clock time from admission to completion.
+
+    SLO accounting (all in simulated cycles, all deterministic):
+    ``throttled`` counts epochs the tenant was paused by quota or the
+    ``throttle`` policy; ``missed`` counts completed requests that
+    finished past their deadline; ``slack_cycles`` histograms remaining
+    deadline budget at completion, floored at zero (so a miss records a
+    zero-slack sample — the miss *count* carries the violation).
     """
 
     def __init__(self, name: str, benchmark: str) -> None:
@@ -92,9 +99,12 @@ class TenantStats:
         self.completed = 0
         self.shed = 0
         self.deferred = 0
+        self.throttled = 0
+        self.missed = 0
         self.cycles = 0.0
         self.service_cycles = LatencyHistogram()
         self.latency_cycles = LatencyHistogram()
+        self.slack_cycles = LatencyHistogram()
         self.wall_us = LatencyHistogram()
 
     def to_dict(self) -> Dict[str, object]:
@@ -105,9 +115,12 @@ class TenantStats:
             "completed": self.completed,
             "shed": self.shed,
             "deferred": self.deferred,
+            "throttled": self.throttled,
+            "deadline_missed": self.missed,
             "cycles": self.cycles,
             "service_cycles": self.service_cycles.to_dict(),
             "latency_cycles": self.latency_cycles.to_dict(),
+            "slack_cycles": self.slack_cycles.to_dict(),
             "wall_us": self.wall_us.to_dict(),
         }
 
@@ -131,6 +144,7 @@ class ShardStats:
         self.epochs_busy = 0
         self.shed = 0
         self.deferred = 0
+        self.throttled = 0
         self.parked = 0
         self.breaker_trips = 0
         self.stall_epochs = 0
@@ -172,6 +186,7 @@ class ShardStats:
             "epochs_busy": self.epochs_busy,
             "shed": self.shed,
             "deferred": self.deferred,
+            "throttled": self.throttled,
             "parked": self.parked,
             "breaker_trips": self.breaker_trips,
             "stall_epochs": self.stall_epochs,

@@ -1,0 +1,263 @@
+"""Fabric RPC hardening: timeouts, reconnects, and worker quarantine.
+
+Chaos-lockstep extensions of ``test_fabric.py`` for the overload control
+plane: every coordinator↔worker call is bounded by an
+:class:`~repro.resilience.RpcPolicy` deadline, a transiently severed
+worker session auto-reconnects under a stable identity, and the
+coordinator's per-identity circuit breaker quarantines identities that
+flap. The acceptance bar is unchanged: a sweep that suffered timeouts,
+flaps and reconnects produces a report bit-identical to the fault-free
+golden, with only the ``resilience`` accounting block differing.
+
+Thread-worker caveat (same as ``test_fabric.py``): plans here must never
+use the ``exit`` action, and flap/timeout injections key on roles or
+index/session pairs so exactly the intended edge is severed.
+"""
+
+import contextlib
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.fabric import (
+    FabricCoordinator,
+    FabricExecutor,
+    FabricWorker,
+    recv_message,
+    send_message,
+)
+from repro.fabric.protocol import RpcTimeout
+from repro.faults import injected
+from repro.resilience import CircuitBreaker, RpcPolicy
+from repro.sim.runner import SimulationRunner
+from repro.sim.sweep import SweepSpec, run_sweep, sweep_table
+
+BENCHES = ("gob", "hmmer")
+MISSES = 150
+
+
+def _runner(tmp_path, tag, **kw) -> SimulationRunner:
+    return SimulationRunner(
+        misses_per_benchmark=MISSES,
+        cache_dir=tmp_path / tag / "traces",
+        result_cache_dir=tmp_path / tag / "results",
+        **kw,
+    )
+
+
+def _sweep() -> SweepSpec:
+    return SweepSpec.from_args(
+        schemes=["P_X16", "PC_X32"],
+        grid={"plb_capacity_bytes": ["4KiB", "8KiB"]},
+        benchmarks=BENCHES,
+    )
+
+
+def _strip(report):
+    clone = dict(report)
+    assert "resilience" in clone
+    clone.pop("resilience")
+    return clone
+
+
+def _start_worker(host, port):
+    thread = threading.Thread(
+        target=FabricWorker(host, port).run, daemon=True
+    )
+    thread.start()
+    return thread
+
+
+@contextlib.contextmanager
+def _fabric(runner, n_workers=2, **coord_kw):
+    coord_kw.setdefault("heartbeat_interval", 0.05)
+    coord_kw.setdefault("startup_timeout", 30.0)
+    coordinator = FabricCoordinator(runner, spawn=0, **coord_kw)
+    host, port = coordinator.start()
+    threads = [_start_worker(host, port) for _ in range(n_workers)]
+    try:
+        yield coordinator, FabricExecutor(coordinator)
+    finally:
+        coordinator.close()
+        for thread in threads:
+            thread.join(timeout=5)
+
+
+class TestRpcTimeouts:
+    def test_real_socket_timeout_surfaces_as_rpc_timeout(self):
+        a, b = socket.socketpair()
+        try:
+            b.settimeout(None)
+            with pytest.raises(RpcTimeout):
+                recv_message(b, timeout=0.05)
+            # The per-call deadline is scoped: the socket's prior
+            # (blocking) timeout is restored afterwards.
+            assert b.gettimeout() is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_rpc_timeout_is_countable_but_handled_as_disconnect(self):
+        from repro.fabric.protocol import ProtocolError
+
+        assert issubclass(RpcTimeout, ProtocolError)
+        a, b = socket.socketpair()
+        try:
+            with injected("rpc.timeout.crash@peer/send/need#1") as plan:
+                with pytest.raises(RpcTimeout):
+                    send_message(a, {"type": "need"})
+            assert plan.fired
+        finally:
+            a.close()
+            b.close()
+
+    def test_coordinator_lease_timeout_heals_bit_identical(self, tmp_path):
+        golden = run_sweep(_sweep(), _runner(tmp_path, "g"))
+        runner = _runner(tmp_path, "t")
+        # The first lease the coordinator sends times out; the worker's
+        # session is severed, it reconnects, and the lease re-dispatches.
+        with injected("rpc.timeout.crash@coordinator/send/lease#1") as plan:
+            with _fabric(runner, n_workers=2) as (coordinator, executor):
+                report = run_sweep(_sweep(), runner, executor=executor)
+        assert plan.fired
+        fabric = report["resilience"]["fabric"]
+        assert fabric["rpc_timeouts"] >= 1
+        assert fabric["dead"] >= 1
+        assert fabric["reconnects"] >= 1
+        assert _strip(report) == _strip(golden)
+        assert sweep_table(report) == sweep_table(golden)
+
+    def test_worker_side_timeout_triggers_reconnect(self, tmp_path):
+        golden = run_sweep(_sweep(), _runner(tmp_path, "g"))
+        runner = _runner(tmp_path, "wt")
+        with injected("rpc.timeout.crash@worker/send/need#1") as plan:
+            with _fabric(runner, n_workers=2) as (coordinator, executor):
+                report = run_sweep(_sweep(), runner, executor=executor)
+        assert plan.fired
+        assert report["resilience"]["fabric"]["reconnects"] >= 1
+        assert _strip(report) == _strip(golden)
+
+
+class TestWorkerReconnect:
+    def test_idents_distinguish_workers_sharing_a_pid(self):
+        a = FabricWorker("127.0.0.1", 1)
+        b = FabricWorker("127.0.0.1", 1)
+        assert a.ident != b.ident
+        assert a.ident.split(".")[0] == b.ident.split(".")[0]  # same pid
+
+    def test_flapped_session_reconnects_and_heals(self, tmp_path):
+        golden = run_sweep(_sweep(), _runner(tmp_path, "g"))
+        runner = _runner(tmp_path, "f")
+        # Whichever worker lands index 0 flaps right after its first
+        # configuration, then rejoins as a fresh session.
+        with injected("rpc.flap.crash@0/1#1") as plan:
+            with _fabric(runner, n_workers=2) as (coordinator, executor):
+                report = run_sweep(_sweep(), runner, executor=executor)
+        assert plan.fired
+        fabric = report["resilience"]["fabric"]
+        assert fabric["dead"] >= 1
+        assert fabric["reconnects"] >= 1
+        assert _strip(report) == _strip(golden)
+        assert sweep_table(report) == sweep_table(golden)
+
+    def test_repeated_flaps_trip_the_breaker(self, tmp_path):
+        golden = run_sweep(_sweep(), _runner(tmp_path, "g"))
+        runner = _runner(tmp_path, "b")
+        with injected("rpc.flap.crash@0/1#1"):
+            with _fabric(
+                runner, n_workers=2, breaker_threshold=1
+            ) as (coordinator, executor):
+                report = run_sweep(_sweep(), runner, executor=executor)
+        fabric = report["resilience"]["fabric"]
+        assert fabric["breaker_trips"] >= 1
+        assert _strip(report) == _strip(golden)
+
+
+class TestQuarantine:
+    def test_tripped_identity_is_refused_at_hello(self, tmp_path):
+        runner = _runner(tmp_path, "q")
+        coordinator = FabricCoordinator(
+            runner, spawn=0, heartbeat_interval=0.05, startup_timeout=5.0
+        )
+        host, port = coordinator.start()
+        try:
+            worker = FabricWorker(host, port)
+            # Pre-trip the breaker for exactly this worker's identity,
+            # as repeated session failures would.
+            breaker = CircuitBreaker(threshold=1, cooldown=600.0)
+            breaker.record_failure()
+            coordinator._breakers[worker.ident] = breaker
+            assert worker.run() == 0  # refused cleanly, no config ever
+            assert worker.cells_executed == 0
+            assert coordinator.counters["quarantined_workers"] == 1
+            assert coordinator.counters["workers_joined"] == 0
+        finally:
+            coordinator.close()
+
+    def test_quarantine_lifts_after_cooldown(self, tmp_path):
+        runner = _runner(tmp_path, "q2")
+        coordinator = FabricCoordinator(runner, spawn=0, startup_timeout=5.0)
+        host, port = coordinator.start()
+        try:
+            worker = FabricWorker(host, port)
+            breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+            breaker.record_failure()
+            coordinator._breakers[worker.ident] = breaker
+            time.sleep(0.1)  # cooldown elapses: half-open probe admitted
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            deadline = time.time() + 10
+            while (
+                coordinator.counters["workers_joined"] < 1
+                and time.time() < deadline
+            ):
+                time.sleep(0.01)
+            assert coordinator.counters["workers_joined"] == 1
+        finally:
+            coordinator.close()
+            thread.join(timeout=5)
+
+
+class TestRpcPolicyPlumbing:
+    def test_worker_reads_policy_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONNECT_RETRIES", "2")
+        monkeypatch.setenv("REPRO_RPC_TIMEOUT", "7.5")
+        worker = FabricWorker("127.0.0.1", 1)
+        assert worker.rpc.connect_attempts == 2
+        assert worker.rpc.timeout == 7.5
+
+    def test_unreachable_coordinator_respects_bounded_retries(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        worker = FabricWorker(
+            "127.0.0.1",
+            port,
+            connect_timeout=0.5,
+            rpc=RpcPolicy(connect_attempts=2, backoff=0.01, seed=1),
+        )
+        from repro.fabric.protocol import ProtocolError
+
+        start = time.perf_counter()
+        with pytest.raises(ProtocolError, match="2 attempt"):
+            worker.run()
+        assert time.perf_counter() - start < 5.0
+
+    def test_coordinator_send_deadlines_use_policy(self, tmp_path):
+        runner = _runner(tmp_path, "p")
+        coordinator = FabricCoordinator(
+            runner, spawn=0, rpc=RpcPolicy(timeout=12.5)
+        )
+        try:
+            assert coordinator._rpc.timeout == 12.5
+            counters = coordinator.stats()
+            for key in (
+                "rpc_timeouts", "reconnects", "breaker_trips",
+                "quarantined_workers",
+            ):
+                assert counters[key] == 0
+        finally:
+            coordinator.store.close()
